@@ -1,0 +1,186 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §7:
+//!
+//! 1. aligned vs unaligned BCSR (padding vs uniform kernels);
+//! 2. u8 vs (hypothetical) u32 1D-VBL block sizes — measured as the
+//!    working-set delta and the real cost of 255-chunking on long runs;
+//! 3. padding-aware vs naive nnz load balancing;
+//! 4. full-block-only extraction in the decomposed formats (coverage vs
+//!    remainder overhead), proxied by BCSR-DEC against BCSR on a
+//!    partially blocked matrix;
+//! 5. VBR vs 1D-VBL variable blocking.
+//!
+//! Run: `cargo bench -p spmv-bench --bench ablation`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spmv_core::{Csr, MatrixShape, SpMv};
+use spmv_formats::{Bcsr, BcsrDec, Vbl, Vbr};
+use spmv_gen::{random_vector, GenSpec};
+use spmv_kernels::{BlockShape, KernelImpl};
+use spmv_parallel::{bcsr_unit_weights, csr_unit_weights, ParallelSpmv};
+
+/// A matrix whose runs sit at odd offsets: alignment hurts here.
+fn misaligned_runs() -> Csr<f64> {
+    GenSpec::ClusteredRandom {
+        n: 20_000,
+        m: 20_000,
+        runs_per_row: 6,
+        run_len: 5, // odd length at random start: rarely 4-aligned
+    }
+    .build(7)
+}
+
+fn ablation_alignment(c: &mut Criterion) {
+    let csr = misaligned_runs();
+    let shape = BlockShape::new(1, 4).unwrap();
+    let x: Vec<f64> = random_vector(csr.n_cols(), 1);
+    let mut y = vec![0.0f64; csr.n_rows()];
+    let aligned = Bcsr::from_csr_with(&csr, shape, KernelImpl::Scalar, true);
+    let unaligned = Bcsr::from_csr_with(&csr, shape, KernelImpl::Scalar, false);
+    println!(
+        "[ablation/alignment] padding: aligned {} vs unaligned {} (blocks {} vs {})",
+        aligned.padding(),
+        unaligned.padding(),
+        aligned.n_blocks(),
+        unaligned.n_blocks()
+    );
+    let mut group = c.benchmark_group("ablation/alignment-1x4");
+    group.bench_function("aligned", |b| b.iter(|| aligned.spmv_into(&x, &mut y)));
+    group.bench_function("unaligned", |b| b.iter(|| unaligned.spmv_into(&x, &mut y)));
+    group.finish();
+}
+
+fn ablation_vbl_chunking(c: &mut Criterion) {
+    // Long dense rows force 255-chunking; measure its cost and report
+    // the byte saving of u8 sizes over a u32 alternative.
+    let csr = GenSpec::ClusteredRandom {
+        n: 400,
+        m: 60_000,
+        runs_per_row: 2,
+        run_len: 1200, // several 255-chunks per run
+    }
+    .build(3);
+    let vbl = Vbl::from_csr(&csr, KernelImpl::Scalar);
+    let u32_extra = 3 * vbl.n_blocks(); // u32 sizes would add 3 bytes/block
+    println!(
+        "[ablation/vbl] {} blocks (mean len {:.1}); u8 sizes save {} bytes vs u32",
+        vbl.n_blocks(),
+        vbl.avg_block_len(),
+        u32_extra
+    );
+    let x: Vec<f64> = random_vector(csr.n_cols(), 2);
+    let mut y = vec![0.0f64; csr.n_rows()];
+    let mut group = c.benchmark_group("ablation/vbl-chunking");
+    for imp in KernelImpl::ALL {
+        let mut v = vbl.clone();
+        v.set_kernel_impl(imp);
+        group.bench_function(BenchmarkId::new("long-runs", imp.to_string()), |b| {
+            b.iter(|| v.spmv_into(&x, &mut y))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_load_balance(c: &mut Criterion) {
+    // A skewed matrix (power-law): padding-aware balanced strips vs a
+    // naive equal-row split.
+    let csr = GenSpec::PowerLaw {
+        n: 40_000,
+        avg_deg: 8,
+        alpha: 1.6,
+    }
+    .build(5);
+    let shape = BlockShape::new(1, 2).unwrap();
+    let x: Vec<f64> = random_vector(csr.n_cols(), 4);
+    let mut y = vec![0.0f64; csr.n_rows()];
+    let balanced = ParallelSpmv::from_csr(
+        &csr,
+        4,
+        &bcsr_unit_weights(&csr, shape),
+        shape.rows(),
+        |s| Bcsr::from_csr(s, shape, KernelImpl::Scalar),
+    );
+    // Naive: every unit weighs 1 → equal row counts per strip.
+    let naive_weights = vec![1u64; csr.n_rows()];
+    let naive = ParallelSpmv::from_csr(&csr, 4, &naive_weights, 1, |s| {
+        Bcsr::from_csr(s, shape, KernelImpl::Scalar)
+    });
+    let mut group = c.benchmark_group("ablation/load-balance-4t");
+    group.sample_size(12);
+    group.bench_function("padding-aware", |b| {
+        b.iter(|| balanced.spmv_into(&x, &mut y))
+    });
+    group.bench_function("equal-rows", |b| b.iter(|| naive.spmv_into(&x, &mut y)));
+    group.finish();
+
+    let _ = csr_unit_weights(&csr); // exercised for parity with the docs
+}
+
+fn ablation_dec_threshold(c: &mut Criterion) {
+    // Half the nonzeros form perfect 2x2 blocks, half are scatter: BCSR
+    // must pad the scatter, BCSR-DEC routes it to the CSR remainder.
+    let blocks = GenSpec::FemBlocks {
+        nodes: 8_000,
+        dof: 2,
+        neighbors: 4,
+    }
+    .build(11);
+    let scatter = GenSpec::Random {
+        n: 16_000,
+        m: 16_000,
+        nnz_per_row: 5,
+    }
+    .build(12);
+    let mut coo = spmv_core::Coo::new(16_000, 16_000);
+    for (i, j, v) in blocks.iter().chain(scatter.iter()) {
+        coo.push(i, j, v).unwrap();
+    }
+    let csr = Csr::from_coo(&coo);
+    let shape = BlockShape::new(2, 2).unwrap();
+    let bcsr = Bcsr::from_csr(&csr, shape, KernelImpl::Scalar);
+    let dec = BcsrDec::from_csr(&csr, shape, KernelImpl::Scalar);
+    println!(
+        "[ablation/dec] BCSR pads {} zeros; BCSR-DEC covers {:.0}% in full blocks",
+        bcsr.padding(),
+        dec.coverage() * 100.0
+    );
+    let x: Vec<f64> = random_vector(csr.n_cols(), 9);
+    let mut y = vec![0.0f64; csr.n_rows()];
+    let mut group = c.benchmark_group("ablation/dec-vs-padding-2x2");
+    group.bench_function("bcsr", |b| b.iter(|| bcsr.spmv_into(&x, &mut y)));
+    group.bench_function("bcsr-dec", |b| b.iter(|| dec.spmv_into(&x, &mut y)));
+    group.finish();
+}
+
+fn ablation_vbr_vs_vbl(c: &mut Criterion) {
+    // A matrix with repeated row patterns (FEM-like): VBR merges them
+    // into 2-D blocks, 1D-VBL only sees horizontal runs.
+    let csr = GenSpec::FemBlocks {
+        nodes: 6_000,
+        dof: 3,
+        neighbors: 8,
+    }
+    .build(13);
+    let vbl = Vbl::from_csr(&csr, KernelImpl::Scalar);
+    let vbr = Vbr::from_csr(&csr);
+    println!(
+        "[ablation/vbr] 1D-VBL {} blocks / {} bytes; VBR {} blocks / {} bytes",
+        vbl.n_blocks(),
+        vbl.matrix_bytes(),
+        vbr.n_blocks(),
+        vbr.matrix_bytes()
+    );
+    let x: Vec<f64> = random_vector(csr.n_cols(), 6);
+    let mut y = vec![0.0f64; csr.n_rows()];
+    let mut group = c.benchmark_group("ablation/variable-blocking");
+    group.bench_function("1d-vbl", |b| b.iter(|| vbl.spmv_into(&x, &mut y)));
+    group.bench_function("vbr", |b| b.iter(|| vbr.spmv_into(&x, &mut y)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = ablation_alignment, ablation_vbl_chunking, ablation_load_balance,
+              ablation_dec_threshold, ablation_vbr_vs_vbl
+}
+criterion_main!(benches);

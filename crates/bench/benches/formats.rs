@@ -1,0 +1,115 @@
+//! Criterion benchmarks backing Tables II/III: SpMV throughput of every
+//! storage format on representative suite archetypes.
+//!
+//! Run: `cargo bench -p spmv-bench --bench formats`
+//! (set `SPMV_BENCH_SCALE` to grow the matrices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::{Csr, MatrixShape, SpMv};
+use spmv_formats::{Bcsd, BcsdDec, Bcsr, BcsrDec, Vbl, Vbr};
+use spmv_gen::{random_vector, GenSpec};
+use spmv_kernels::{BlockShape, KernelImpl};
+
+fn scale() -> f64 {
+    std::env::var("SPMV_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+fn workloads() -> Vec<(&'static str, Csr<f64>)> {
+    let s = scale();
+    let n = |base: usize| (base as f64 * s) as usize;
+    vec![
+        (
+            "fem3dof",
+            GenSpec::FemBlocks {
+                nodes: n(4000),
+                dof: 3,
+                neighbors: 9,
+            }
+            .build(1),
+        ),
+        (
+            "diag",
+            GenSpec::DiagRuns {
+                n: n(40_000),
+                n_diags: 8,
+            }
+            .build(2),
+        ),
+        (
+            "graph",
+            GenSpec::PowerLaw {
+                n: n(30_000),
+                avg_deg: 8,
+                alpha: 1.7,
+            }
+            .build(3),
+        ),
+        (
+            "stencil3d",
+            GenSpec::Stencil3d {
+                nx: n(28).max(4),
+                ny: 28,
+                nz: 28,
+            }
+            .build(4),
+        ),
+    ]
+}
+
+fn bench_formats(c: &mut Criterion) {
+    for (name, csr) in workloads() {
+        let x: Vec<f64> = random_vector(csr.n_cols(), 7);
+        let mut y = vec![0.0f64; csr.n_rows()];
+        let mut group = c.benchmark_group(format!("spmv/{name}"));
+        group.throughput(Throughput::Bytes(csr.working_set_bytes() as u64));
+
+        group.bench_function(BenchmarkId::new("csr", ""), |b| {
+            b.iter(|| csr.spmv_into(&x, &mut y))
+        });
+
+        let shape = BlockShape::new(2, 2).unwrap();
+        for imp in KernelImpl::ALL {
+            let bcsr = Bcsr::from_csr(&csr, shape, imp);
+            group.bench_function(BenchmarkId::new("bcsr-2x2", imp.to_string()), |b| {
+                b.iter(|| bcsr.spmv_into(&x, &mut y))
+            });
+        }
+        let bcsr13 = Bcsr::from_csr(&csr, BlockShape::new(1, 3).unwrap(), KernelImpl::Scalar);
+        group.bench_function(BenchmarkId::new("bcsr-1x3", "scalar"), |b| {
+            b.iter(|| bcsr13.spmv_into(&x, &mut y))
+        });
+        let dec = BcsrDec::from_csr(&csr, shape, KernelImpl::Scalar);
+        group.bench_function(BenchmarkId::new("bcsr-dec-2x2", "scalar"), |b| {
+            b.iter(|| dec.spmv_into(&x, &mut y))
+        });
+        for imp in KernelImpl::ALL {
+            let bcsd = Bcsd::from_csr(&csr, 4, imp);
+            group.bench_function(BenchmarkId::new("bcsd-4", imp.to_string()), |b| {
+                b.iter(|| bcsd.spmv_into(&x, &mut y))
+            });
+        }
+        let bcsd_dec = BcsdDec::from_csr(&csr, 4, KernelImpl::Scalar);
+        group.bench_function(BenchmarkId::new("bcsd-dec-4", "scalar"), |b| {
+            b.iter(|| bcsd_dec.spmv_into(&x, &mut y))
+        });
+        let vbl = Vbl::from_csr(&csr, KernelImpl::Scalar);
+        group.bench_function(BenchmarkId::new("vbl", "scalar"), |b| {
+            b.iter(|| vbl.spmv_into(&x, &mut y))
+        });
+        let vbr = Vbr::from_csr(&csr);
+        group.bench_function(BenchmarkId::new("vbr", ""), |b| {
+            b.iter(|| vbr.spmv_into(&x, &mut y))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_formats
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks of the block kernels — the measurements
+//! behind the models' `t_b` profiling (§IV): every BCSR shape and BCSD
+//! size, scalar vs SIMD, on an L1-resident dense matrix.
+//!
+//! Run: `cargo bench -p spmv-bench --bench kernels`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::{Csr, DenseMatrix, MatrixShape, SpMv};
+use spmv_formats::{Bcsd, Bcsr};
+use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES};
+
+/// A 48x48 dense matrix: ~18 KiB of doubles, L1-resident with its
+/// vectors on typical machines, divisible by every block shape.
+fn l1_dense() -> Csr<f64> {
+    Csr::from_dense(&DenseMatrix::profiling(48, 48))
+}
+
+fn bench_bcsr_kernels(c: &mut Criterion) {
+    let csr = l1_dense();
+    let x: Vec<f64> = (0..csr.n_cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut y = vec![0.0f64; csr.n_rows()];
+    let mut group = c.benchmark_group("kernel/bcsr");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    for shape in BlockShape::search_space() {
+        for imp in KernelImpl::ALL {
+            let bcsr = Bcsr::from_csr(&csr, shape, imp);
+            group.bench_function(BenchmarkId::new(shape.to_string(), imp.to_string()), |b| {
+                b.iter(|| bcsr.spmv_into(&x, &mut y))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bcsd_kernels(c: &mut Criterion) {
+    let csr = l1_dense();
+    let x: Vec<f64> = (0..csr.n_cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut y = vec![0.0f64; csr.n_rows()];
+    let mut group = c.benchmark_group("kernel/bcsd");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    for b_size in BCSD_SIZES {
+        for imp in KernelImpl::ALL {
+            let bcsd = Bcsd::from_csr(&csr, b_size, imp);
+            group.bench_function(BenchmarkId::new(b_size.to_string(), imp.to_string()), |b| {
+                b.iter(|| bcsd.spmv_into(&x, &mut y))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_csr_baseline(c: &mut Criterion) {
+    let csr = l1_dense();
+    let csr32 = csr.cast::<f32>();
+    let x: Vec<f64> = (0..csr.n_cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+    let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let mut y = vec![0.0f64; csr.n_rows()];
+    let mut y32 = vec![0.0f32; csr.n_rows()];
+    let mut group = c.benchmark_group("kernel/csr");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.bench_function("dp", |b| b.iter(|| csr.spmv_into(&x, &mut y)));
+    group.bench_function("sp", |b| b.iter(|| csr32.spmv_into(&x32, &mut y32)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_csr_baseline, bench_bcsr_kernels, bench_bcsd_kernels
+}
+criterion_main!(benches);

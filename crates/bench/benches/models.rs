@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the model machinery itself — the cost a user
+//! pays for model-driven selection (Figures 3–4's offline side): the
+//! `O(nnz)` structure estimators, single-config prediction, and a full
+//! search-space ranking.
+//!
+//! Run: `cargo bench -p spmv-bench --bench models`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::Csr;
+use spmv_formats::stats::{bcsd_stats, bcsr_dec_stats, bcsr_stats, vbl_stats};
+use spmv_gen::GenSpec;
+use spmv_kernels::BlockShape;
+use spmv_model::{rank, Config, KernelProfile, MachineProfile, Model};
+
+fn workload() -> Csr<f64> {
+    GenSpec::FemBlocks {
+        nodes: 8_000,
+        dof: 3,
+        neighbors: 9,
+    }
+    .build(1)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let csr = workload();
+    let shape = BlockShape::new(2, 2).unwrap();
+    let mut group = c.benchmark_group("model/estimators");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.bench_function("bcsr_stats_2x2", |b| {
+        b.iter(|| bcsr_stats(&csr, shape))
+    });
+    group.bench_function("bcsr_dec_stats_2x2", |b| {
+        b.iter(|| bcsr_dec_stats(&csr, shape))
+    });
+    group.bench_function("bcsd_stats_4", |b| b.iter(|| bcsd_stats(&csr, 4)));
+    group.bench_function("vbl_stats", |b| b.iter(|| vbl_stats(&csr)));
+    group.finish();
+}
+
+fn bench_prediction_and_selection(c: &mut Criterion) {
+    let csr = workload();
+    let machine = MachineProfile::paper_testbed();
+    let profile = KernelProfile::proportional(1e-9, 0.5);
+    let configs = Config::enumerate(true);
+
+    let mut group = c.benchmark_group("model/selection");
+    group.bench_function("predict_one_config", |b| {
+        let config = configs[1];
+        let stats = config.substats(&csr);
+        b.iter(|| Model::Overlap.predict(&stats, &machine, &profile))
+    });
+    for model in Model::ALL {
+        group.bench_function(BenchmarkId::new("rank_full_space", model.label()), |b| {
+            b.iter(|| rank(model, &csr, &machine, &profile, &configs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_construction_vs_estimation(c: &mut Criterion) {
+    // The estimators' reason to exist: materializing a format costs far
+    // more than estimating its statistics.
+    let csr = workload();
+    let shape = BlockShape::new(2, 2).unwrap();
+    let mut group = c.benchmark_group("model/estimate_vs_build");
+    group.sample_size(10);
+    group.bench_function("estimate_bcsr", |b| b.iter(|| bcsr_stats(&csr, shape)));
+    group.bench_function("build_bcsr", |b| {
+        b.iter(|| spmv_formats::Bcsr::from_csr(&csr, shape, spmv_kernels::KernelImpl::Scalar))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_estimators, bench_prediction_and_selection, bench_construction_vs_estimation
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks backing Figure 2: multithreaded SpMV at 1, 2,
+//! and 4 threads with nnz-balanced, padding-aware partitioning.
+//!
+//! On hosts with fewer hardware threads the oversubscribed points
+//! measure scheduling overhead rather than scaling — Figure 2's harness
+//! (`--bin figure2`) prints the host parallelism for exactly this
+//! reason.
+//!
+//! Run: `cargo bench -p spmv-bench --bench parallel`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::{Csr, MatrixShape, SpMv};
+use spmv_formats::Bcsr;
+use spmv_gen::{random_vector, GenSpec};
+use spmv_kernels::{BlockShape, KernelImpl};
+use spmv_parallel::{bcsr_unit_weights, csr_unit_weights, ParallelSpmv};
+
+fn workload() -> Csr<f64> {
+    GenSpec::FemBlocks {
+        nodes: 10_000,
+        dof: 3,
+        neighbors: 9,
+    }
+    .build(1)
+}
+
+fn bench_parallel_spmv(c: &mut Criterion) {
+    let csr = workload();
+    let shape = BlockShape::new(3, 2).unwrap();
+    let x: Vec<f64> = random_vector(csr.n_cols(), 3);
+    let mut y = vec![0.0f64; csr.n_rows()];
+
+    let mut group = c.benchmark_group("parallel/spmv");
+    group.throughput(Throughput::Bytes(csr.working_set_bytes() as u64));
+    for threads in [1usize, 2, 4] {
+        let par_csr =
+            ParallelSpmv::from_csr(&csr, threads, &csr_unit_weights(&csr), 1, Csr::clone);
+        group.bench_function(BenchmarkId::new("csr", threads), |b| {
+            b.iter(|| par_csr.spmv_into(&x, &mut y))
+        });
+        let par_bcsr = ParallelSpmv::from_csr(
+            &csr,
+            threads,
+            &bcsr_unit_weights(&csr, shape),
+            shape.rows(),
+            |s| Bcsr::from_csr(s, shape, KernelImpl::Scalar),
+        );
+        group.bench_function(BenchmarkId::new("bcsr-3x2", threads), |b| {
+            b.iter(|| par_bcsr.spmv_into(&x, &mut y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let csr = workload();
+    let shape = BlockShape::new(3, 2).unwrap();
+    let mut group = c.benchmark_group("parallel/partition");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.bench_function("csr_weights", |b| b.iter(|| csr_unit_weights(&csr)));
+    group.bench_function("bcsr_weights", |b| {
+        b.iter(|| bcsr_unit_weights(&csr, shape))
+    });
+    let w = bcsr_unit_weights(&csr, shape);
+    group.bench_function("partition_4", |b| {
+        b.iter(|| spmv_parallel::partition_units(&w, 4))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_parallel_spmv, bench_partitioning
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The §V-B irregularity probe over the suite: for each matrix, the
+//! slowdown caused by irregular input-vector accesses (original vs
+//! zeroed `col_ind` CSR), next to the static irregularity fraction.
+//!
+//! The paper used this to explain why MEM/OVERLAP under-predict matrices
+//! #12, #14, #15, and #28: their probe speedups were 2x-4x, marking them
+//! latency-bound.
+
+use spmv_bench::diagnostics::{irregularity_fraction, latency_probe};
+use spmv_bench::report::{f2, pct, Table};
+use spmv_bench::Args;
+use spmv_gen::suite;
+
+fn main() {
+    let opts = Args::from_env().experiment_opts("latency_probe", "");
+    let mut t = Table::new(vec![
+        "Matrix",
+        "t_orig (ms)",
+        "t_zeroed (ms)",
+        "slowdown",
+        "irregular",
+        "verdict",
+    ])
+    .title("SV-B probe: cost of irregular input-vector accesses (CSR, dp)");
+    for entry in suite(opts.scale) {
+        if !opts.selects(entry.id) {
+            continue;
+        }
+        let csr = entry.build(opts.seed);
+        let r = latency_probe(&csr, &opts);
+        t.add_row(vec![
+            format!("{:02}.{}", entry.id, entry.name),
+            f2(r.t_original * 1e3),
+            f2(r.t_zeroed * 1e3),
+            f2(r.slowdown()),
+            pct(irregularity_fraction(&csr, 16)),
+            if !r.is_reliable() {
+                "(too fast to judge)".to_string()
+            } else if r.is_latency_bound() {
+                "latency-bound".to_string()
+            } else {
+                "bandwidth-bound".to_string()
+            },
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "paper shape check: the graph/LP/mesh entries (#12, #14, #15, #28 analogues) \
+         should show the largest slowdowns — the matrices Figure 3's models miss."
+    );
+}

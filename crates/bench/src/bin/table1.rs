@@ -1,0 +1,15 @@
+//! Regenerates Table I: the matrix suite with rows, nonzeros, and CSR
+//! working sets.
+
+use spmv_bench::experiments::table1;
+use spmv_bench::Args;
+
+fn main() {
+    let opts = Args::from_env().experiment_opts("table1", "");
+    let rows = table1::run(&opts);
+    println!("{}", table1::render(&rows));
+    println!(
+        "paper shape check: every working set should exceed the cache; \
+         rerun with --scale 8 (or more) on machines with large caches."
+    );
+}

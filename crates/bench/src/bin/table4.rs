@@ -1,0 +1,18 @@
+//! Regenerates Table IV: number of optimal selections per model and the
+//! average distance of each model's selection from the best measured
+//! performance, for single and double precision.
+
+use spmv_bench::experiments::modeleval;
+use spmv_bench::Args;
+
+fn main() {
+    let opts = Args::from_env().experiment_opts("table4", "");
+    let sp = modeleval::run::<f32>(&opts);
+    let dp = modeleval::run::<f64>(&opts);
+    println!("{}", modeleval::render_table4(&[&sp, &dp]));
+    println!(
+        "paper shape check (Table IV): OVERLAP scores the most correct selections \
+         and the smallest distance from best (paper: ~2%); MEM and MEMCOMP trail \
+         at roughly 4-9%."
+    );
+}

@@ -1,0 +1,142 @@
+//! The paper's §V-B irregularity diagnostic.
+//!
+//! Figure 3 shows four matrices (#12, #14, #15, #28) where MEM and
+//! OVERLAP badly under-predict: they are *latency-bound* rather than
+//! bandwidth-bound, stalling on cache misses from irregular input-vector
+//! accesses. The paper verifies this with "a special custom benchmark …
+//! \[that\] zeros out the col_ind structure of CSR, so that no misses are
+//! incurred due to irregular accesses"; matrices whose probe runs much
+//! faster than the original are latency-bound ("the performance of these
+//! matrices doubled, and even quadrupled in the case of matrix #12").
+//!
+//! [`latency_probe`] reproduces that benchmark, and
+//! [`irregularity_fraction`] provides the static counterpart: the share
+//! of input-vector accesses that jump far enough from their predecessor
+//! to defeat a hardware prefetcher.
+
+use crate::sweep::ExpOpts;
+use spmv_core::{Csr, MatrixShape, Scalar};
+use spmv_gen::random_vector;
+use spmv_model::timing::measure_spmv;
+
+/// Result of the zeroed-`col_ind` probe on one matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeResult {
+    /// Seconds per SpMV with the original column indices.
+    pub t_original: f64,
+    /// Seconds per SpMV with all column indices forced to zero
+    /// (identical memory traffic, perfectly regular x accesses).
+    pub t_zeroed: f64,
+}
+
+impl ProbeResult {
+    /// `t_original / t_zeroed`: ≈1 for bandwidth-bound matrices, ≫1 for
+    /// latency-bound ones (the paper saw 2x-4x on its four outliers).
+    pub fn slowdown(&self) -> f64 {
+        self.t_original / self.t_zeroed
+    }
+
+    /// The paper's verdict threshold: a matrix whose irregular accesses
+    /// cost more than ~1.5x is latency- rather than bandwidth-bound.
+    pub fn is_latency_bound(&self) -> bool {
+        self.slowdown() > 1.5
+    }
+
+    /// Whether the probe's verdict is trustworthy: sub-50 µs kernels sit
+    /// at the timer's granularity and their ratios are noise.
+    pub fn is_reliable(&self) -> bool {
+        self.t_original > 50e-6 && self.t_zeroed > 50e-6
+    }
+}
+
+/// Runs the §V-B probe: measures CSR SpMV with real and zeroed column
+/// indices under identical conditions.
+pub fn latency_probe<T: Scalar>(csr: &Csr<T>, opts: &ExpOpts) -> ProbeResult {
+    let x: Vec<T> = random_vector(csr.n_cols(), opts.seed);
+    let t_original = measure_spmv(csr, &x, opts.min_time, opts.batches);
+    let probe = csr.zero_col_ind_probe();
+    let t_zeroed = measure_spmv(&probe, &x, opts.min_time, opts.batches);
+    ProbeResult {
+        t_original,
+        t_zeroed,
+    }
+}
+
+/// Static irregularity measure: the fraction of nonzeros whose column is
+/// further than `window` entries from the previous nonzero in the same
+/// row — accesses a stride prefetcher cannot cover.
+pub fn irregularity_fraction<T: Scalar>(csr: &Csr<T>, window: usize) -> f64 {
+    let mut irregular = 0usize;
+    let mut total = 0usize;
+    for i in 0..csr.n_rows() {
+        let (cols, _) = csr.row(i);
+        for w in cols.windows(2) {
+            total += 1;
+            if (w[1] - w[0]) as usize > window {
+                irregular += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        irregular as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_gen::GenSpec;
+
+    fn quick_opts() -> ExpOpts {
+        ExpOpts {
+            min_time: 2e-4,
+            batches: 1,
+            ..ExpOpts::default()
+        }
+    }
+
+    #[test]
+    fn probe_returns_positive_times() {
+        let csr = GenSpec::Random {
+            n: 400,
+            m: 400,
+            nnz_per_row: 6,
+        }
+        .build(1);
+        let r = latency_probe(&csr, &quick_opts());
+        assert!(r.t_original > 0.0 && r.t_zeroed > 0.0);
+        assert!(r.slowdown() > 0.1);
+    }
+
+    #[test]
+    fn dense_rows_are_regular() {
+        let csr = GenSpec::Dense { n: 40, m: 40 }.build(0);
+        assert_eq!(irregularity_fraction(&csr, 16), 0.0);
+    }
+
+    #[test]
+    fn scattered_rows_are_irregular() {
+        let csr = GenSpec::Random {
+            n: 300,
+            m: 30_000,
+            nnz_per_row: 8,
+        }
+        .build(2);
+        assert!(
+            irregularity_fraction(&csr, 16) > 0.8,
+            "random wide rows must be mostly irregular"
+        );
+    }
+
+    #[test]
+    fn stencil_is_partly_regular() {
+        // 5-point stencil: the off-diagonal jumps are large but the
+        // diagonal neighbourhood is tight; irregularity sits between the
+        // extremes.
+        let csr = GenSpec::Stencil2d { nx: 40, ny: 40 }.build(0);
+        let f = irregularity_fraction(&csr, 16);
+        assert!(f > 0.05 && f < 0.8, "stencil irregularity {f}");
+    }
+}

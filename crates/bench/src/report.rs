@@ -1,0 +1,161 @@
+//! Fixed-width table rendering for the experiment harness.
+//!
+//! Every harness binary prints paper-shaped tables through this module,
+//! so the output of `table2`, `figure3`, … can be compared side-by-side
+//! with the paper's Tables II–IV and Figures 2–4.
+
+use core::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names, labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers; the first column is
+    /// left-aligned, the rest right-aligned (override with
+    /// [`Table::aligns`]).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let mut aligns = vec![Align::Right; headers.len()];
+        if let Some(a) = aligns.first_mut() {
+            *a = Align::Left;
+        }
+        Table {
+            aligns,
+            headers,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a caption printed above the table.
+    pub fn title(mut self, t: impl Into<String>) -> Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Overrides the per-column alignment.
+    pub fn aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        if let Some(t) = &self.title {
+            writeln!(f, "{t}")?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for i in 0..ncols {
+                match self.aligns[i] {
+                    Align::Left => write!(f, " {:<w$} |", cells[i], w = widths[i])?,
+                    Align::Right => write!(f, " {:>w$} |", cells[i], w = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        write_row(f, &self.headers)?;
+        rule(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        rule(f)
+    }
+}
+
+/// Formats a float with 2 decimals (the paper's table precision).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats a byte count as MiB with 2 decimals, as in Table I.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "val"]).title("demo");
+        t.add_row(vec!["a", "1.00"]);
+        t.add_row(vec!["long-name", "12.34"]);
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("| name      |   val |"));
+        assert!(s.contains("| long-name | 12.34 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(pct(0.0215), "2.1%");
+        assert_eq!(mib(32 * 1024 * 1024), "32.00");
+    }
+
+    #[test]
+    fn row_count() {
+        let mut t = Table::new(vec!["x"]);
+        assert_eq!(t.n_rows(), 0);
+        t.add_row(vec!["1"]);
+        assert_eq!(t.n_rows(), 1);
+    }
+}

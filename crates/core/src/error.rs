@@ -1,0 +1,117 @@
+//! Error types shared by every crate in the workspace.
+
+use core::fmt;
+
+/// Convenience alias for results with [`enum@Error`].
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors raised while constructing or validating sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An entry coordinate lies outside the matrix dimensions.
+    OutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        n_rows: usize,
+        /// Number of columns in the matrix.
+        n_cols: usize,
+    },
+    /// A dimension, index, or nonzero count does not fit in the `u32`
+    /// index type mandated by the storage formats.
+    IndexOverflow {
+        /// The value that exceeded [`crate::MAX_INDEX`].
+        value: u64,
+        /// What the value counts (e.g. `"nnz"`, `"rows"`).
+        what: &'static str,
+    },
+    /// A vector passed to a kernel has the wrong length.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+        /// Which argument mismatched (e.g. `"x"`, `"y"`).
+        what: &'static str,
+    },
+    /// A structural invariant of a storage format is violated
+    /// (produced by the `validate()` methods).
+    InvalidStructure(String),
+    /// A block shape or size is outside the supported search space.
+    UnsupportedShape {
+        /// Block rows.
+        r: usize,
+        /// Block columns.
+        c: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfBounds {
+                row,
+                col,
+                n_rows,
+                n_cols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {n_rows}x{n_cols} matrix"
+            ),
+            Error::IndexOverflow { value, what } => write!(
+                f,
+                "{what} = {value} exceeds the u32 index range used by the storage formats"
+            ),
+            Error::DimensionMismatch {
+                expected,
+                got,
+                what,
+            } => write!(f, "vector `{what}` has length {got}, expected {expected}"),
+            Error::InvalidStructure(msg) => write!(f, "invalid storage structure: {msg}"),
+            Error::UnsupportedShape { r, c } => write!(
+                f,
+                "block shape {r}x{c} is outside the supported search space (r*c <= 8)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_offender() {
+        let e = Error::OutOfBounds {
+            row: 5,
+            col: 7,
+            n_rows: 3,
+            n_cols: 3,
+        };
+        assert!(e.to_string().contains("(5, 7)"));
+        let e = Error::IndexOverflow {
+            value: 1 << 40,
+            what: "nnz",
+        };
+        assert!(e.to_string().contains("nnz"));
+        let e = Error::DimensionMismatch {
+            expected: 10,
+            got: 9,
+            what: "x",
+        };
+        assert!(e.to_string().contains("`x`"));
+        let e = Error::UnsupportedShape { r: 9, c: 9 };
+        assert!(e.to_string().contains("9x9"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error<E: std::error::Error>(_: E) {}
+        takes_std_error(Error::InvalidStructure("x".into()));
+    }
+}

@@ -1,0 +1,239 @@
+//! The numeric element trait and precision descriptors.
+
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type of a sparse matrix.
+///
+/// The paper evaluates every storage format in *single precision* (`f32`,
+/// reported as `sp`) and *double precision* (`f64`, reported as `dp`);
+/// this trait is the abstraction that lets every kernel, format, and model
+/// in the workspace be written once for both.
+///
+/// The trait is deliberately small: kernels only need a ring with
+/// `mul_add`, and the performance models need lossless conversion to `f64`
+/// for time arithmetic.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one element in bytes (`size_of::<Self>()`).
+    const BYTES: usize;
+    /// The paper's label for this precision: `"sp"` or `"dp"`.
+    const PRECISION: Precision;
+
+    /// Lossy conversion from `f64` (used by generators and test fixtures).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used by models and accuracy checks).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused/contracted `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Whether the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+
+    /// Approximate equality with both relative and absolute tolerance.
+    ///
+    /// Returns `true` when `|self - other| <= max(abs_tol, rel_tol * max(|self|, |other|))`.
+    /// This is what format round-trip tests use to compare a blocked SpMV
+    /// result against the CSR/dense reference (the summation order differs
+    /// between formats, so exact equality does not hold in general).
+    fn approx_eq(self, other: Self, rel_tol: f64, abs_tol: f64) -> bool {
+        let a = self.to_f64();
+        let b = other.to_f64();
+        if a == b {
+            return true;
+        }
+        let diff = (a - b).abs();
+        let scale = a.abs().max(b.abs());
+        diff <= abs_tol.max(rel_tol * scale)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+    const PRECISION: Precision = Precision::Single;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // Plain multiply-add: `f32::mul_add` lowers to a libm call on
+        // targets without FMA, which would make the kernels unrepresentative
+        // of the paper's compiled C loops.
+        self * a + b
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+    const PRECISION: Precision = Precision::Double;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+/// Floating-point precision of a configuration, using the paper's labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// `f32`, reported as `sp` in the paper's tables.
+    Single,
+    /// `f64`, reported as `dp` in the paper's tables.
+    Double,
+}
+
+impl Precision {
+    /// The paper's table label: `"sp"` or `"dp"`.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Precision::Single => "sp",
+            Precision::Double => "dp",
+        }
+    }
+
+    /// Element size in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
+
+    /// Both precisions, in the order the paper reports them (dp first).
+    pub const ALL: [Precision; 2] = [Precision::Double, Precision::Single];
+}
+
+impl Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<T: Scalar>() {
+        assert_eq!(T::from_f64(0.0), T::ZERO);
+        assert_eq!(T::from_f64(1.0), T::ONE);
+        assert_eq!(T::ZERO.to_f64(), 0.0);
+        assert_eq!(T::ONE.to_f64(), 1.0);
+        assert_eq!(T::BYTES, core::mem::size_of::<T>());
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        generic_roundtrip::<f32>();
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        generic_roundtrip::<f64>();
+    }
+
+    #[test]
+    fn mul_add_matches_expression() {
+        assert_eq!(2.0f64.mul_add(3.0, 4.0), 10.0);
+        assert_eq!(2.0f32.mul_add(3.0, 4.0), 10.0);
+    }
+
+    #[test]
+    fn approx_eq_absolute_tolerance() {
+        assert!(1e-12f64.approx_eq(0.0, 0.0, 1e-9));
+        assert!(!1e-6f64.approx_eq(0.0, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_tolerance() {
+        let a = 1000.0f64;
+        let b = 1000.0f64 * (1.0 + 1e-10);
+        assert!(a.approx_eq(b, 1e-9, 0.0));
+        assert!(!a.approx_eq(1001.0, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_handles_exact_zero() {
+        assert!(0.0f32.approx_eq(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn precision_labels_match_paper() {
+        assert_eq!(Precision::Single.label(), "sp");
+        assert_eq!(Precision::Double.label(), "dp");
+        assert_eq!(<f32 as Scalar>::PRECISION, Precision::Single);
+        assert_eq!(<f64 as Scalar>::PRECISION, Precision::Double);
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Single.bytes(), 4);
+        assert_eq!(Precision::Double.bytes(), 8);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!f64::NAN.is_finite());
+        assert!(!f32::INFINITY.is_finite());
+        assert!(1.0f64.is_finite());
+    }
+}

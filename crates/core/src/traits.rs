@@ -1,0 +1,137 @@
+//! The kernel interface implemented by every storage format.
+
+use crate::Scalar;
+
+/// Anything with a row/column extent.
+pub trait MatrixShape {
+    /// Number of rows.
+    fn n_rows(&self) -> usize;
+    /// Number of columns.
+    fn n_cols(&self) -> usize;
+}
+
+/// Sparse matrix-vector multiplication, `y = A * x`.
+///
+/// Implemented by every storage format in the workspace (CSR, BCSR, BCSD,
+/// the decomposed variants, 1D-VBL, and VBR), so that the evaluation
+/// harness, the performance models, and the parallel driver can treat all
+/// of them uniformly.
+///
+/// Besides the kernel itself the trait exposes the two quantities the
+/// performance models need (§IV of the paper):
+///
+/// * [`nnz_stored`](SpMv::nnz_stored) — the number of *stored* values,
+///   including any explicit zero padding the format introduced;
+/// * [`working_set_bytes`](SpMv::working_set_bytes) — the algorithm's
+///   working set `ws`: every byte streamed from memory during one SpMV
+///   (all matrix arrays plus the input and output vectors).
+pub trait SpMv<T: Scalar>: MatrixShape {
+    /// Computes `y = A * x`, overwriting `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.n_cols()` or `y.len() != self.n_rows()`.
+    fn spmv_into(&self, x: &[T], y: &mut [T]);
+
+    /// Number of stored values, **including** explicit zero padding.
+    ///
+    /// For CSR this equals the number of nonzeros; for BCSR it is
+    /// `nb * r * c`; for decomposed formats it is the sum over submatrices.
+    fn nnz_stored(&self) -> usize;
+
+    /// Bytes occupied by the matrix's own arrays (values + all index
+    /// structures), excluding the vectors.
+    fn matrix_bytes(&self) -> usize;
+
+    /// The working set `ws` used by the performance models: matrix arrays
+    /// plus one input and one output vector.
+    fn working_set_bytes(&self) -> usize {
+        self.matrix_bytes() + (self.n_rows() + self.n_cols()) * T::BYTES
+    }
+
+    /// Convenience wrapper allocating the output vector.
+    fn spmv(&self, x: &[T]) -> Vec<T> {
+        let mut y = vec![T::ZERO; self.n_rows()];
+        self.spmv_into(x, &mut y);
+        y
+    }
+}
+
+/// Asserts the kernel vector dimensions; shared by all `spmv_into`
+/// implementations so the panic message is uniform.
+#[inline]
+pub fn check_spmv_dims<T: Scalar, M: MatrixShape>(m: &M, x: &[T], y: &[T]) {
+    assert_eq!(
+        x.len(),
+        m.n_cols(),
+        "input vector length {} != matrix columns {}",
+        x.len(),
+        m.n_cols()
+    );
+    assert_eq!(
+        y.len(),
+        m.n_rows(),
+        "output vector length {} != matrix rows {}",
+        y.len(),
+        m.n_rows()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Diag(Vec<f64>);
+
+    impl MatrixShape for Diag {
+        fn n_rows(&self) -> usize {
+            self.0.len()
+        }
+        fn n_cols(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    impl SpMv<f64> for Diag {
+        fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+            check_spmv_dims(self, x, y);
+            for ((yi, d), xi) in y.iter_mut().zip(&self.0).zip(x) {
+                *yi = d * xi;
+            }
+        }
+        fn nnz_stored(&self) -> usize {
+            self.0.len()
+        }
+        fn matrix_bytes(&self) -> usize {
+            self.0.len() * 8
+        }
+    }
+
+    #[test]
+    fn default_working_set_adds_vectors() {
+        let d = Diag(vec![1.0; 10]);
+        assert_eq!(d.working_set_bytes(), 10 * 8 + 20 * 8);
+    }
+
+    #[test]
+    fn spmv_convenience_allocates() {
+        let d = Diag(vec![2.0, 3.0]);
+        assert_eq!(d.spmv(&[1.0, 10.0]), vec![2.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input vector length")]
+    fn wrong_x_length_panics() {
+        let d = Diag(vec![1.0; 3]);
+        let mut y = vec![0.0; 3];
+        d.spmv_into(&[1.0; 2], &mut y);
+    }
+
+    #[test]
+    #[should_panic(expected = "output vector length")]
+    fn wrong_y_length_panics() {
+        let d = Diag(vec![1.0; 3]);
+        let mut y = vec![0.0; 2];
+        d.spmv_into(&[1.0; 3], &mut y);
+    }
+}

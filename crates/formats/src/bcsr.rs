@@ -1,0 +1,568 @@
+//! Blocked Compressed Sparse Row (BCSR) with zero padding.
+
+use crate::SpMvAcc;
+use spmv_core::{Csr, Error, Index, MatrixShape, Result, SpMv, MAX_INDEX};
+use spmv_kernels::registry::{bcsr_row_kernel, BcsrRowKernel};
+use spmv_kernels::scalar::bcsr_block_row_clipped;
+use spmv_kernels::simd::SimdScalar;
+use spmv_kernels::{BlockShape, KernelImpl};
+
+/// BCSR: fixed-size `r x c` blocks with aggressive zero padding (§II-A).
+///
+/// Three arrays store the matrix: `bval` (the `r*c` values of every block,
+/// row-major), `bcol_start` (one start column per block), and `brow_ptr`
+/// (one offset per block row). Every block with at least one nonzero is
+/// materialized in full; missing positions hold explicit zeros — that
+/// padding is the price of the uniform, fully unrolled kernels.
+///
+/// In the paper's (default) *aligned* variant every block starts at
+/// `(i, j)` with `i % r == 0` and `j % c == 0`. The *unaligned* variant
+/// (cf. the UBCSR remark in §II-A, exercised by the alignment ablation)
+/// keeps row alignment but packs blocks greedily at arbitrary start
+/// columns, trading construction simplicity for less padding.
+///
+/// ```
+/// use spmv_core::{Coo, Csr, SpMv};
+/// use spmv_formats::Bcsr;
+/// use spmv_kernels::{BlockShape, KernelImpl};
+///
+/// let csr = Csr::from_coo(&Coo::from_triplets(4, 4, vec![
+///     (0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0), // one full 2x2 block
+///     (2, 2, 5.0),                                        // one block with 3 padded zeros
+/// ]).unwrap());
+/// let bcsr = Bcsr::from_csr(&csr, BlockShape::new(2, 2).unwrap(), KernelImpl::Scalar);
+/// assert_eq!(bcsr.n_blocks(), 2);
+/// assert_eq!(bcsr.padding(), 3);
+/// assert_eq!(bcsr.spmv(&[1.0; 4]), csr.spmv(&[1.0; 4]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bcsr<T> {
+    n_rows: usize,
+    n_cols: usize,
+    shape: BlockShape,
+    aligned: bool,
+    imp: KernelImpl,
+    /// Offset of each block row's first block; `n_brows + 1` entries.
+    brow_ptr: Vec<Index>,
+    /// Absolute start column of each block, sorted within a block row.
+    bcol_start: Vec<Index>,
+    /// Block values, `r * c` per block, row-major within the block.
+    bval: Vec<T>,
+    /// Nonzeros of the source matrix (excludes padding).
+    nnz_orig: usize,
+}
+
+impl<T: SimdScalar> Bcsr<T> {
+    /// Converts `csr` to aligned BCSR with the given block shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block count would overflow the `u32` index type.
+    pub fn from_csr(csr: &Csr<T>, shape: BlockShape, imp: KernelImpl) -> Self {
+        Self::from_csr_with(csr, shape, imp, true)
+    }
+
+    /// Converts `csr` to BCSR, choosing block alignment.
+    ///
+    /// With `aligned == false`, blocks still cover whole block rows but may
+    /// start at any column; starts are chosen greedily left-to-right, which
+    /// covers each block row's nonzero columns with pairwise-disjoint
+    /// blocks.
+    pub fn from_csr_with(csr: &Csr<T>, shape: BlockShape, imp: KernelImpl, aligned: bool) -> Self {
+        let (r, c) = (shape.rows(), shape.cols());
+        let n_rows = csr.n_rows();
+        let n_cols = csr.n_cols();
+        let n_brows = n_rows.div_ceil(r);
+
+        let mut brow_ptr: Vec<Index> = Vec::with_capacity(n_brows + 1);
+        brow_ptr.push(0);
+        let mut bcol_start: Vec<Index> = Vec::new();
+        let mut bval: Vec<T> = Vec::new();
+
+        // Scratch reused across block rows.
+        let mut temp: Vec<(Index, usize, T)> = Vec::new(); // (start col, slot, value)
+        let mut cols: Vec<Index> = Vec::new();
+        let mut starts: Vec<Index> = Vec::new();
+
+        for rb in 0..n_brows {
+            temp.clear();
+            starts.clear();
+            let row_hi = ((rb + 1) * r).min(n_rows);
+
+            if aligned {
+                for i in rb * r..row_hi {
+                    let il = i - rb * r;
+                    let (rcols, rvals) = csr.row(i);
+                    for (&j, &v) in rcols.iter().zip(rvals) {
+                        let j0 = j / c as Index * c as Index;
+                        temp.push((j0, il * c + (j - j0) as usize, v));
+                    }
+                }
+                starts.extend(temp.iter().map(|t| t.0));
+                starts.sort_unstable();
+                starts.dedup();
+            } else {
+                // Greedy unaligned packing over the union of the block
+                // row's nonzero columns.
+                cols.clear();
+                for i in rb * r..row_hi {
+                    cols.extend_from_slice(csr.row(i).0);
+                }
+                cols.sort_unstable();
+                cols.dedup();
+                let mut cover_end = 0 as Index;
+                for &j in &cols {
+                    if j >= cover_end || starts.is_empty() {
+                        starts.push(j);
+                        cover_end = j + c as Index;
+                    }
+                }
+                for i in rb * r..row_hi {
+                    let il = i - rb * r;
+                    let (rcols, rvals) = csr.row(i);
+                    for (&j, &v) in rcols.iter().zip(rvals) {
+                        // The covering block is the last start <= j.
+                        let k = match starts.binary_search(&j) {
+                            Ok(k) => k,
+                            Err(k) => k - 1,
+                        };
+                        let j0 = starts[k];
+                        debug_assert!(j < j0 + c as Index);
+                        temp.push((j0, il * c + (j - j0) as usize, v));
+                    }
+                }
+            }
+
+            let base = bcol_start.len();
+            assert!(
+                base + starts.len() <= MAX_INDEX,
+                "BCSR block count overflows u32"
+            );
+            bcol_start.extend_from_slice(&starts);
+            bval.resize(bval.len() + starts.len() * r * c, T::ZERO);
+            for &(j0, slot, v) in &temp {
+                let k = base + starts.binary_search(&j0).expect("start recorded above");
+                bval[k * r * c + slot] = v;
+            }
+            brow_ptr.push(bcol_start.len() as Index);
+        }
+
+        Bcsr {
+            n_rows,
+            n_cols,
+            shape,
+            aligned,
+            imp,
+            brow_ptr,
+            bcol_start,
+            bval,
+            nnz_orig: csr.nnz(),
+        }
+    }
+
+    /// Assembles a BCSR matrix from prebuilt arrays (used by the
+    /// decomposed constructor, which extracts only full blocks).
+    #[allow(clippy::too_many_arguments)] // mirrors the stored fields one-to-one
+    pub(crate) fn from_parts(
+        n_rows: usize,
+        n_cols: usize,
+        shape: BlockShape,
+        aligned: bool,
+        imp: KernelImpl,
+        brow_ptr: Vec<Index>,
+        bcol_start: Vec<Index>,
+        bval: Vec<T>,
+        nnz_orig: usize,
+    ) -> Self {
+        let bcsr = Bcsr {
+            n_rows,
+            n_cols,
+            shape,
+            aligned,
+            imp,
+            brow_ptr,
+            bcol_start,
+            bval,
+            nnz_orig,
+        };
+        debug_assert!(bcsr.validate().is_ok());
+        bcsr
+    }
+
+    /// The block shape `r x c`.
+    pub fn shape(&self) -> BlockShape {
+        self.shape
+    }
+
+    /// Whether blocks are aligned at `r`/`c` boundaries.
+    pub fn aligned(&self) -> bool {
+        self.aligned
+    }
+
+    /// The kernel implementation used by `spmv`.
+    pub fn kernel_impl(&self) -> KernelImpl {
+        self.imp
+    }
+
+    /// Switches between the scalar and SIMD kernel in place.
+    pub fn set_kernel_impl(&mut self, imp: KernelImpl) {
+        self.imp = imp;
+    }
+
+    /// Total number of blocks, `nb`.
+    pub fn n_blocks(&self) -> usize {
+        self.bcol_start.len()
+    }
+
+    /// Explicit zeros added to complete blocks.
+    pub fn padding(&self) -> usize {
+        self.bval.len() - self.nnz_orig
+    }
+
+    /// Nonzeros of the source matrix.
+    pub fn nnz_orig(&self) -> usize {
+        self.nnz_orig
+    }
+
+    /// Fraction of stored values that are true nonzeros, `nnz / (nb*r*c)`.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.bval.is_empty() {
+            1.0
+        } else {
+            self.nnz_orig as f64 / self.bval.len() as f64
+        }
+    }
+
+    /// Converts back to CSR, dropping the padding zeros.
+    ///
+    /// Because COO→CSR construction discards exact zeros, every zero in
+    /// `bval` is padding, so `bcsr.to_csr()` reproduces the source matrix
+    /// exactly: `Bcsr::from_csr(&m, ..).to_csr() == m`.
+    pub fn to_csr(&self) -> Csr<T> {
+        let (r, c) = (self.shape.rows(), self.shape.cols());
+        let mut coo = spmv_core::Coo::with_capacity(self.n_rows, self.n_cols, self.nnz_orig);
+        for rb in 0..self.brow_ptr.len() - 1 {
+            for k in self.brow_ptr[rb] as usize..self.brow_ptr[rb + 1] as usize {
+                let j0 = self.bcol_start[k] as usize;
+                for i in 0..r {
+                    let row = rb * r + i;
+                    if row >= self.n_rows {
+                        break;
+                    }
+                    for j in 0..c {
+                        let col = j0 + j;
+                        let v = self.bval[k * r * c + i * c + j];
+                        if col < self.n_cols && v != T::ZERO {
+                            coo.push(row, col, v).expect("block inside matrix");
+                        }
+                    }
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    /// Checks the structural invariants of the format.
+    pub fn validate(&self) -> Result<()> {
+        let (r, c) = (self.shape.rows(), self.shape.cols());
+        let n_brows = self.n_rows.div_ceil(r);
+        if self.brow_ptr.len() != n_brows + 1 {
+            return Err(Error::InvalidStructure(format!(
+                "brow_ptr has {} entries, expected {}",
+                self.brow_ptr.len(),
+                n_brows + 1
+            )));
+        }
+        if self.brow_ptr.first() != Some(&0)
+            || *self.brow_ptr.last().unwrap() as usize != self.bcol_start.len()
+        {
+            return Err(Error::InvalidStructure("brow_ptr endpoints wrong".into()));
+        }
+        if self.bval.len() != self.bcol_start.len() * r * c {
+            return Err(Error::InvalidStructure("bval length mismatch".into()));
+        }
+        for w in self.brow_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(Error::InvalidStructure("brow_ptr not monotone".into()));
+            }
+        }
+        for rb in 0..n_brows {
+            let blocks =
+                &self.bcol_start[self.brow_ptr[rb] as usize..self.brow_ptr[rb + 1] as usize];
+            for w in blocks.windows(2) {
+                // Aligned blocks are c apart; unaligned merely disjoint.
+                if w[1] < w[0] + c as Index {
+                    return Err(Error::InvalidStructure(format!(
+                        "block row {rb}: overlapping or unsorted blocks"
+                    )));
+                }
+            }
+            for &j0 in blocks {
+                if self.aligned && !(j0 as usize).is_multiple_of(c) {
+                    return Err(Error::InvalidStructure(format!(
+                        "block row {rb}: start column {j0} breaks alignment"
+                    )));
+                }
+                if j0 as usize >= self.n_cols {
+                    return Err(Error::OutOfBounds {
+                        row: rb * r,
+                        col: j0 as usize,
+                        n_rows: self.n_rows,
+                        n_cols: self.n_cols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared implementation of `spmv_acc`; `y` must already hold the
+    /// values to accumulate onto.
+    fn spmv_acc_impl(&self, x: &[T], y: &mut [T]) {
+        let (r, c) = (self.shape.rows(), self.shape.cols());
+        let kern: BcsrRowKernel<T> = bcsr_row_kernel(self.shape, self.imp);
+        let n_brows = self.brow_ptr.len() - 1;
+        let rc = r * c;
+        for rb in 0..n_brows {
+            let start = self.brow_ptr[rb] as usize;
+            let end = self.brow_ptr[rb + 1] as usize;
+            if start == end {
+                continue;
+            }
+            let y0 = rb * r;
+            if y0 + r <= self.n_rows {
+                // Full-height block row: trailing blocks may still clip at
+                // the right edge (starts are sorted, so they are a suffix).
+                let yrow = &mut y[y0..y0 + r];
+                let mut fast_end = end;
+                while fast_end > start
+                    && self.bcol_start[fast_end - 1] as usize + c > self.n_cols
+                {
+                    fast_end -= 1;
+                }
+                if fast_end > start {
+                    kern(
+                        &self.bval[start * rc..fast_end * rc],
+                        &self.bcol_start[start..fast_end],
+                        x,
+                        yrow,
+                    );
+                }
+                if fast_end < end {
+                    bcsr_block_row_clipped(
+                        r,
+                        c,
+                        &self.bval[fast_end * rc..end * rc],
+                        &self.bcol_start[fast_end..end],
+                        x,
+                        yrow,
+                    );
+                }
+            } else {
+                // Short final block row: go through the clipped kernel.
+                let yrow = &mut y[y0..self.n_rows];
+                bcsr_block_row_clipped(
+                    r,
+                    c,
+                    &self.bval[start * rc..end * rc],
+                    &self.bcol_start[start..end],
+                    x,
+                    yrow,
+                );
+            }
+        }
+    }
+}
+
+impl<T> MatrixShape for Bcsr<T> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+}
+
+impl<T: SimdScalar> SpMv<T> for Bcsr<T> {
+    fn spmv_into(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        y.fill(T::ZERO);
+        self.spmv_acc_impl(x, y);
+    }
+
+    fn nnz_stored(&self) -> usize {
+        self.bval.len()
+    }
+
+    fn matrix_bytes(&self) -> usize {
+        self.bval.len() * T::BYTES
+            + self.bcol_start.len() * core::mem::size_of::<Index>()
+            + self.brow_ptr.len() * core::mem::size_of::<Index>()
+    }
+}
+
+impl<T: SimdScalar> SpMvAcc<T> for Bcsr<T> {
+    fn spmv_acc(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        self.spmv_acc_impl(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::Coo;
+
+    fn fixture_csr(n: usize, m: usize, seed: u64) -> Csr<f64> {
+        // Deterministic pseudo-random pattern with clustered structure.
+        let mut coo = Coo::new(n, m);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            for _ in 0..3 {
+                let j = (next() as usize) % m;
+                let v = 1.0 + (next() % 9) as f64;
+                let _ = coo.push(i, j, v);
+                // Clustered neighbour to create some real blocks.
+                if j + 1 < m {
+                    let _ = coo.push(i, j + 1, v + 0.5);
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn all_shapes_match_csr_reference() {
+        let csr = fixture_csr(23, 31, 7); // dims not multiples of any shape
+        let x: Vec<f64> = (0..31).map(|i| 1.0 + (i % 5) as f64).collect();
+        let want = csr.spmv(&x);
+        for shape in BlockShape::search_space() {
+            for imp in KernelImpl::ALL {
+                let bcsr = Bcsr::from_csr(&csr, shape, imp);
+                bcsr.validate().unwrap();
+                let got = bcsr.spmv(&x);
+                for (a, b) in want.iter().zip(&got) {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "shape {shape} imp {imp}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_matches_csr_and_pads_less() {
+        let csr = fixture_csr(40, 40, 3);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64).sin() + 2.0).collect();
+        let want = csr.spmv(&x);
+        let shape = BlockShape::new(1, 4).unwrap();
+        let aligned = Bcsr::from_csr_with(&csr, shape, KernelImpl::Scalar, true);
+        let unaligned = Bcsr::from_csr_with(&csr, shape, KernelImpl::Scalar, false);
+        aligned.validate().unwrap();
+        unaligned.validate().unwrap();
+        for (a, b) in want.iter().zip(unaligned.spmv(&x)) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // Greedy unaligned packing never needs more blocks than aligned.
+        assert!(unaligned.n_blocks() <= aligned.n_blocks());
+        assert!(unaligned.padding() <= aligned.padding());
+    }
+
+    #[test]
+    fn dense_2x2_blocks_have_zero_padding() {
+        // An 8x8 dense matrix blocks perfectly for any shape dividing 8.
+        let dense = spmv_core::DenseMatrix::<f64>::profiling(8, 8);
+        let csr = Csr::from_dense(&dense);
+        let bcsr = Bcsr::from_csr(&csr, BlockShape::new(2, 2).unwrap(), KernelImpl::Scalar);
+        assert_eq!(bcsr.n_blocks(), 16);
+        assert_eq!(bcsr.padding(), 0);
+        assert_eq!(bcsr.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn alignment_forces_padding() {
+        // A single 1x2 run at an odd column must be split by alignment
+        // into two padded blocks, but fits one unaligned block.
+        let csr = Csr::from_coo(
+            &Coo::from_triplets(1, 6, vec![(0, 1, 1.0), (0, 2, 1.0)]).unwrap(),
+        );
+        let shape = BlockShape::new(1, 2).unwrap();
+        let aligned = Bcsr::from_csr(&csr, shape, KernelImpl::Scalar);
+        let unaligned = Bcsr::from_csr_with(&csr, shape, KernelImpl::Scalar, false);
+        assert_eq!(aligned.n_blocks(), 2);
+        assert_eq!(aligned.padding(), 2);
+        assert_eq!(unaligned.n_blocks(), 1);
+        assert_eq!(unaligned.padding(), 0);
+    }
+
+    #[test]
+    fn spmv_acc_accumulates() {
+        let csr = fixture_csr(6, 6, 1);
+        let bcsr = Bcsr::from_csr(&csr, BlockShape::new(2, 2).unwrap(), KernelImpl::Scalar);
+        let x = vec![1.0; 6];
+        let base = csr.spmv(&x);
+        let mut y = base.clone();
+        bcsr.spmv_acc(&x, &mut y);
+        for (a, b) in y.iter().zip(&base) {
+            assert!((a - 2.0 * b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn working_set_shrinks_for_blocky_matrices() {
+        // A matrix of pure 2x2 blocks: BCSR stores 1 index per 4 values,
+        // so its working set must undercut CSR's.
+        let mut coo = Coo::new(64, 64);
+        for bi in 0..32 {
+            for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                coo.push(2 * bi + di, 2 * bi + dj, 1.0).unwrap();
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        let bcsr = Bcsr::from_csr(&csr, BlockShape::new(2, 2).unwrap(), KernelImpl::Scalar);
+        assert_eq!(bcsr.padding(), 0);
+        assert!(bcsr.matrix_bytes() < csr.matrix_bytes());
+    }
+
+    #[test]
+    fn empty_and_tiny_matrices() {
+        let csr = Csr::<f64>::from_coo(&Coo::new(3, 3));
+        let bcsr = Bcsr::from_csr(&csr, BlockShape::new(2, 2).unwrap(), KernelImpl::Scalar);
+        assert_eq!(bcsr.n_blocks(), 0);
+        assert_eq!(bcsr.spmv(&[1.0; 3]), vec![0.0; 3]);
+        bcsr.validate().unwrap();
+
+        let one = Csr::from_coo(&Coo::from_triplets(1, 1, vec![(0, 0, 5.0)]).unwrap());
+        let b = Bcsr::from_csr(&one, BlockShape::new(2, 4).unwrap(), KernelImpl::Simd);
+        assert_eq!(b.spmv(&[2.0]), vec![10.0]);
+        assert_eq!(b.padding(), 7);
+    }
+
+    #[test]
+    fn single_precision_matches_reference() {
+        let csrf: Csr<f32> = {
+            let mut coo = Coo::new(10, 10);
+            for i in 0..10 {
+                coo.push(i, i, 2.0).unwrap();
+                coo.push(i, (i + 3) % 10, 1.0).unwrap();
+            }
+            Csr::from_coo(&coo)
+        };
+        let x: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let want = csrf.spmv(&x);
+        for imp in KernelImpl::ALL {
+            let b = Bcsr::from_csr(&csrf, BlockShape::new(3, 2).unwrap(), imp);
+            let got = b.spmv(&x);
+            for (a, g) in want.iter().zip(&got) {
+                assert!((a - g).abs() < 1e-4);
+            }
+        }
+    }
+}

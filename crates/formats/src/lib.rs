@@ -1,0 +1,176 @@
+#![warn(missing_docs)]
+
+//! Blocked sparse storage formats.
+//!
+//! Implements every storage format the paper studies (§II):
+//!
+//! | Type | Paper name | Category |
+//! |---|---|---|
+//! | [`spmv_core::Csr`] | CSR | baseline |
+//! | [`Bcsr`] | BCSR | fixed-size 2-D blocks, padding |
+//! | [`Bcsd`] | BCSD | fixed-size diagonal blocks, padding |
+//! | [`BcsrDec`] | BCSR-DEC | decomposed: full BCSR blocks + CSR rest |
+//! | [`BcsdDec`] | BCSD-DEC | decomposed: full BCSD blocks + CSR rest |
+//! | [`Vbl`] | 1D-VBL | variable-size 1-D blocks, no padding |
+//! | [`Vbr`] | VBR | variable-size 2-D blocks (described in §II, not in the model study) |
+//!
+//! Every format implements [`spmv_core::SpMv`] plus the accumulate variant
+//! [`SpMvAcc`] that decomposed formats need, and exposes the block counts
+//! and byte totals the performance models consume. The [`stats`] module
+//! computes those same quantities *without* materializing a format — that
+//! is what makes model-driven format selection cheap.
+
+pub mod bcsd;
+pub mod bcsr;
+pub mod decomposed;
+pub mod stats;
+pub mod vbl;
+pub mod vbr;
+
+pub use bcsd::Bcsd;
+pub use bcsr::Bcsr;
+pub use decomposed::{BcsdDec, BcsrDec, Decomposed};
+pub use stats::{
+    bcsd_dec_stats, bcsd_stats, bcsr_dec_stats, bcsr_stats, bcsr_stats_sampled, vbl_stats,
+    FormatStats,
+};
+pub use vbl::Vbl;
+pub use vbr::Vbr;
+
+use core::fmt;
+use spmv_core::{Csr, Scalar, SpMv};
+
+/// Accumulating SpMV: `y += A * x`.
+///
+/// Decomposed formats run their k submatrices into one output vector, so
+/// each part must add rather than overwrite. Every format in this crate
+/// (and CSR) implements it.
+pub trait SpMvAcc<T: Scalar>: SpMv<T> {
+    /// Computes `y += A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on vector length mismatch, like
+    /// [`SpMv::spmv_into`].
+    fn spmv_acc(&self, x: &[T], y: &mut [T]);
+}
+
+impl<T: Scalar> SpMvAcc<T> for Csr<T> {
+    fn spmv_acc(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut acc = T::ZERO;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc = v.mul_add(x[c as usize], acc);
+            }
+            *yi += acc;
+        }
+    }
+}
+
+/// The storage formats of the paper's evaluation, used as sweep keys by
+/// the harness and the performance models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FormatKind {
+    /// Compressed Sparse Row (baseline).
+    Csr,
+    /// Blocked CSR with padding.
+    Bcsr,
+    /// Decomposed BCSR (full blocks + CSR rest).
+    BcsrDec,
+    /// Blocked Compressed Sparse Diagonal with padding.
+    Bcsd,
+    /// Decomposed BCSD.
+    BcsdDec,
+    /// One-dimensional Variable Block Length.
+    Vbl,
+    /// Variable Block Row (§II extension; not part of the model study).
+    Vbr,
+}
+
+impl FormatKind {
+    /// The paper's label for this format.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FormatKind::Csr => "CSR",
+            FormatKind::Bcsr => "BCSR",
+            FormatKind::BcsrDec => "BCSR-DEC",
+            FormatKind::Bcsd => "BCSD",
+            FormatKind::BcsdDec => "BCSD-DEC",
+            FormatKind::Vbl => "1D-VBL",
+            FormatKind::Vbr => "VBR",
+        }
+    }
+
+    /// The six formats of the paper's evaluation (Table II order).
+    pub const EVALUATED: [FormatKind; 6] = [
+        FormatKind::Csr,
+        FormatKind::Bcsr,
+        FormatKind::BcsrDec,
+        FormatKind::Bcsd,
+        FormatKind::BcsdDec,
+        FormatKind::Vbl,
+    ];
+
+    /// The formats covered by the performance models: fixed-size blocking
+    /// with or without decomposition, plus CSR as the degenerate 1×1 case.
+    /// Variable-size blocking is excluded ("we do not consider variable
+    /// size blocking methods", §IV).
+    pub const MODELED: [FormatKind; 5] = [
+        FormatKind::Csr,
+        FormatKind::Bcsr,
+        FormatKind::BcsrDec,
+        FormatKind::Bcsd,
+        FormatKind::BcsdDec,
+    ];
+
+    /// Whether this format is decomposed into k = 2 submatrices.
+    pub const fn is_decomposed(self) -> bool {
+        matches!(self, FormatKind::BcsrDec | FormatKind::BcsdDec)
+    }
+}
+
+impl fmt::Display for FormatKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::Coo;
+
+    #[test]
+    fn csr_spmv_acc_adds() {
+        let csr = Csr::from_coo(
+            &Coo::from_triplets(2, 2, vec![(0, 0, 2.0), (1, 1, 3.0)]).unwrap(),
+        );
+        let mut y = vec![10.0, 10.0];
+        csr.spmv_acc(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![12.0, 13.0]);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(FormatKind::Bcsr.label(), "BCSR");
+        assert_eq!(FormatKind::Vbl.label(), "1D-VBL");
+        assert_eq!(FormatKind::BcsdDec.label(), "BCSD-DEC");
+    }
+
+    #[test]
+    fn modeled_excludes_variable_size() {
+        assert!(!FormatKind::MODELED.contains(&FormatKind::Vbl));
+        assert!(!FormatKind::MODELED.contains(&FormatKind::Vbr));
+        assert!(FormatKind::MODELED.contains(&FormatKind::Csr));
+    }
+
+    #[test]
+    fn decomposed_flag() {
+        assert!(FormatKind::BcsrDec.is_decomposed());
+        assert!(FormatKind::BcsdDec.is_decomposed());
+        assert!(!FormatKind::Bcsr.is_decomposed());
+        assert!(!FormatKind::Csr.is_decomposed());
+    }
+}

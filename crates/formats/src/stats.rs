@@ -1,0 +1,412 @@
+//! Block-structure estimators for model-driven format selection.
+//!
+//! The performance models (§IV) need, for every candidate
+//! (format, block shape) pair: the block count `nb`, the stored-value
+//! count (nonzeros + padding), and the working set `ws`. Materializing
+//! every candidate format just to read those numbers would cost more than
+//! the SpMV it is trying to optimize, so this module computes them
+//! directly from the CSR structure in `O(nnz)` per candidate — the same
+//! role the fill-ratio estimators play in SPARSITY/OSKI-style autotuners.
+//!
+//! Every estimator is exact (not sampled) and is verified against the
+//! materialized formats by the test suite.
+
+use spmv_core::{Csr, Index, MatrixShape, Scalar};
+use spmv_kernels::BlockShape;
+
+/// Exact structure statistics for one (format, block) candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FormatStats {
+    /// Blocks in the blocked (main) submatrix. For CSR-as-1×1 this is the
+    /// nonzero count.
+    pub nb: usize,
+    /// Values stored by the main submatrix, including padding zeros.
+    pub stored: usize,
+    /// Nonzeros relegated to the CSR remainder (decomposed formats only).
+    pub rest_nnz: usize,
+    /// Rows of the main structure's pointer array minus one (block rows or
+    /// segments), for byte accounting.
+    pub index_rows: usize,
+}
+
+impl FormatStats {
+    /// Padding zeros in the main submatrix, given the source matrix's
+    /// nonzero count.
+    pub fn padding(&self, nnz: usize) -> usize {
+        self.stored - (nnz - self.rest_nnz)
+    }
+
+    /// Total values the format stores across submatrices.
+    pub fn total_stored(&self) -> usize {
+        self.stored + self.rest_nnz
+    }
+}
+
+/// Counts blocks/padding for aligned BCSR without building it.
+pub fn bcsr_stats<T: Scalar>(csr: &Csr<T>, shape: BlockShape) -> FormatStats {
+    let (r, c) = (shape.rows(), shape.cols());
+    let n_rows = csr.n_rows();
+    let n_bcols = csr.n_cols().div_ceil(c);
+    let n_brows = n_rows.div_ceil(r);
+    // Stamp array: seen[bc] == current block row marker.
+    let mut seen = vec![u32::MAX; n_bcols];
+    let mut nb = 0usize;
+    for rb in 0..n_brows {
+        let stamp = rb as u32;
+        for i in rb * r..((rb + 1) * r).min(n_rows) {
+            for &j in csr.row(i).0 {
+                let bc = j as usize / c;
+                if seen[bc] != stamp {
+                    seen[bc] = stamp;
+                    nb += 1;
+                }
+            }
+        }
+    }
+    FormatStats {
+        nb,
+        stored: nb * r * c,
+        rest_nnz: 0,
+        index_rows: n_brows,
+    }
+}
+
+/// Counts full blocks and remainder for BCSR-DEC without building it.
+pub fn bcsr_dec_stats<T: Scalar>(csr: &Csr<T>, shape: BlockShape) -> FormatStats {
+    let (r, c) = (shape.rows(), shape.cols());
+    let n_rows = csr.n_rows();
+    let n_bcols = csr.n_cols().div_ceil(c);
+    let n_brows = n_rows.div_ceil(r);
+    let mut seen = vec![u32::MAX; n_bcols];
+    let mut count = vec![0u32; n_bcols];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut nb_full = 0usize;
+    for rb in 0..n_brows {
+        let stamp = rb as u32;
+        touched.clear();
+        for i in rb * r..((rb + 1) * r).min(n_rows) {
+            for &j in csr.row(i).0 {
+                let bc = j as usize / c;
+                if seen[bc] != stamp {
+                    seen[bc] = stamp;
+                    count[bc] = 0;
+                    touched.push(bc);
+                }
+                count[bc] += 1;
+            }
+        }
+        for &bc in &touched {
+            if count[bc] as usize == r * c {
+                nb_full += 1;
+            }
+        }
+    }
+    let covered = nb_full * r * c;
+    FormatStats {
+        nb: nb_full,
+        stored: covered,
+        rest_nnz: csr.nnz() - covered,
+        index_rows: n_brows,
+    }
+}
+
+/// Counts blocks/padding for BCSD without building it.
+pub fn bcsd_stats<T: Scalar>(csr: &Csr<T>, b: usize) -> FormatStats {
+    let n_rows = csr.n_rows();
+    let n_segs = n_rows.div_ceil(b);
+    // Biased start columns range over [1, n_cols + b - 1].
+    let mut seen = vec![u32::MAX; csr.n_cols() + b];
+    let mut nb = 0usize;
+    for s in 0..n_segs {
+        let stamp = s as u32;
+        for i in s * b..((s + 1) * b).min(n_rows) {
+            let t = i - s * b;
+            for &j in csr.row(i).0 {
+                let biased = (j as i64 - t as i64 + b as i64) as usize;
+                if seen[biased] != stamp {
+                    seen[biased] = stamp;
+                    nb += 1;
+                }
+            }
+        }
+    }
+    FormatStats {
+        nb,
+        stored: nb * b,
+        rest_nnz: 0,
+        index_rows: n_segs,
+    }
+}
+
+/// Counts full diagonal blocks and remainder for BCSD-DEC without
+/// building it.
+pub fn bcsd_dec_stats<T: Scalar>(csr: &Csr<T>, b: usize) -> FormatStats {
+    let n_rows = csr.n_rows();
+    let n_segs = n_rows.div_ceil(b);
+    let mut seen = vec![u32::MAX; csr.n_cols() + b];
+    let mut count = vec![0u32; csr.n_cols() + b];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut nb_full = 0usize;
+    for s in 0..n_segs {
+        let stamp = s as u32;
+        touched.clear();
+        for i in s * b..((s + 1) * b).min(n_rows) {
+            let t = i - s * b;
+            for &j in csr.row(i).0 {
+                let biased = (j as i64 - t as i64 + b as i64) as usize;
+                if seen[biased] != stamp {
+                    seen[biased] = stamp;
+                    count[biased] = 0;
+                    touched.push(biased);
+                }
+                count[biased] += 1;
+            }
+        }
+        for &biased in &touched {
+            if count[biased] as usize == b {
+                nb_full += 1;
+            }
+        }
+    }
+    let covered = nb_full * b;
+    FormatStats {
+        nb: nb_full,
+        stored: covered,
+        rest_nnz: csr.nnz() - covered,
+        index_rows: n_segs,
+    }
+}
+
+/// Counts variable-length blocks for 1D-VBL without building it.
+pub fn vbl_stats<T: Scalar>(csr: &Csr<T>) -> FormatStats {
+    let mut nb = 0usize;
+    for i in 0..csr.n_rows() {
+        let cols = csr.row(i).0;
+        let mut k = 0;
+        while k < cols.len() {
+            let mut len = 1usize;
+            while k + len < cols.len()
+                && cols[k + len] == cols[k] + len as Index
+                && len < crate::vbl::MAX_VBL_BLOCK
+            {
+                len += 1;
+            }
+            nb += 1;
+            k += len;
+        }
+    }
+    FormatStats {
+        nb,
+        stored: csr.nnz(),
+        rest_nnz: 0,
+        index_rows: csr.n_rows(),
+    }
+}
+
+/// Sampled BCSR statistics, SPARSITY/OSKI style: only `ceil(fraction *
+/// n_brows)` block rows are scanned (a deterministic stride starting at
+/// `seed % stride`), and the counts are scaled back up.
+///
+/// The exact estimators above are already `O(nnz)`, but ranking the full
+/// 105-configuration space still touches every nonzero dozens of times;
+/// sampling cuts that to a constant fraction at the price of an
+/// estimate. Error is unbiased for matrices whose block structure is
+/// homogeneous across block rows (the common case for the suite), and
+/// the returned `stored` is always consistent with the returned `nb`
+/// (`stored = nb * r * c`).
+pub fn bcsr_stats_sampled<T: Scalar>(
+    csr: &Csr<T>,
+    shape: BlockShape,
+    fraction: f64,
+    seed: u64,
+) -> FormatStats {
+    assert!(
+        (0.0..=1.0).contains(&fraction) && fraction > 0.0,
+        "sample fraction must be in (0, 1]"
+    );
+    let (r, c) = (shape.rows(), shape.cols());
+    let n_rows = csr.n_rows();
+    let n_brows = n_rows.div_ceil(r);
+    if fraction >= 1.0 || n_brows == 0 {
+        return bcsr_stats(csr, shape);
+    }
+    let stride = ((1.0 / fraction).round() as usize).max(1);
+    let offset = (seed as usize) % stride;
+    let mut seen = vec![u32::MAX; csr.n_cols().div_ceil(c)];
+    let mut nb_sampled = 0usize;
+    let mut sampled = 0usize;
+    let mut rb = offset;
+    while rb < n_brows {
+        sampled += 1;
+        let stamp = rb as u32;
+        for i in rb * r..((rb + 1) * r).min(n_rows) {
+            for &j in csr.row(i).0 {
+                let bc = j as usize / c;
+                if seen[bc] != stamp {
+                    seen[bc] = stamp;
+                    nb_sampled += 1;
+                }
+            }
+        }
+        rb += stride;
+    }
+    if sampled == 0 {
+        return bcsr_stats(csr, shape);
+    }
+    let nb = (nb_sampled as f64 * n_brows as f64 / sampled as f64).round() as usize;
+    FormatStats {
+        nb,
+        stored: nb * r * c,
+        rest_nnz: 0,
+        index_rows: n_brows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bcsd, BcsdDec, Bcsr, BcsrDec, Vbl};
+    use spmv_core::{Coo, SpMv};
+    use spmv_kernels::KernelImpl;
+
+    fn fixture(seed: u64) -> Csr<f64> {
+        let mut coo = Coo::new(37, 41);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..37 {
+            if i < 41 {
+                let _ = coo.push(i, i, 2.0);
+            }
+            for _ in 0..2 + (next() as usize) % 3 {
+                let j = (next() as usize) % 41;
+                let _ = coo.push(i, j, 1.0);
+                if j + 1 < 41 {
+                    let _ = coo.push(i, j + 1, 1.0);
+                }
+            }
+            let _ = coo.push(i, 0, 0.25);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn bcsr_stats_match_constructed_format() {
+        let csr = fixture(1);
+        for shape in BlockShape::search_space() {
+            let est = bcsr_stats(&csr, shape);
+            let real = Bcsr::from_csr(&csr, shape, KernelImpl::Scalar);
+            assert_eq!(est.nb, real.n_blocks(), "shape {shape}");
+            assert_eq!(est.stored, real.nnz_stored(), "shape {shape}");
+        }
+    }
+
+    #[test]
+    fn bcsr_dec_stats_match_constructed_format() {
+        let csr = fixture(2);
+        for shape in BlockShape::search_space() {
+            let est = bcsr_dec_stats(&csr, shape);
+            let real = BcsrDec::from_csr(&csr, shape, KernelImpl::Scalar);
+            assert_eq!(est.nb, real.main().n_blocks(), "shape {shape}");
+            assert_eq!(est.stored, real.main().nnz_stored(), "shape {shape}");
+            assert_eq!(est.rest_nnz, real.rest().nnz(), "shape {shape}");
+        }
+    }
+
+    #[test]
+    fn bcsd_stats_match_constructed_format() {
+        let csr = fixture(3);
+        for b in spmv_kernels::BCSD_SIZES {
+            let est = bcsd_stats(&csr, b);
+            let real = Bcsd::from_csr(&csr, b, KernelImpl::Scalar);
+            assert_eq!(est.nb, real.n_blocks(), "b {b}");
+            assert_eq!(est.stored, real.nnz_stored(), "b {b}");
+        }
+    }
+
+    #[test]
+    fn bcsd_dec_stats_match_constructed_format() {
+        let csr = fixture(4);
+        for b in spmv_kernels::BCSD_SIZES {
+            let est = bcsd_dec_stats(&csr, b);
+            let real = BcsdDec::from_csr(&csr, b, KernelImpl::Scalar);
+            assert_eq!(est.nb, real.main().n_blocks(), "b {b}");
+            assert_eq!(est.rest_nnz, real.rest().nnz(), "b {b}");
+        }
+    }
+
+    #[test]
+    fn vbl_stats_match_constructed_format() {
+        let csr = fixture(5);
+        let est = vbl_stats(&csr);
+        let real = Vbl::from_csr(&csr, KernelImpl::Scalar);
+        assert_eq!(est.nb, real.n_blocks());
+        assert_eq!(est.stored, real.nnz_stored());
+    }
+
+    #[test]
+    fn sampled_stats_exact_at_fraction_one() {
+        let csr = fixture(7);
+        for shape in [BlockShape::new(2, 2).unwrap(), BlockShape::new(1, 4).unwrap()] {
+            assert_eq!(bcsr_stats_sampled(&csr, shape, 1.0, 0), bcsr_stats(&csr, shape));
+        }
+    }
+
+    #[test]
+    fn sampled_stats_approximate_on_homogeneous_matrices() {
+        // A large homogeneous matrix: a 25% sample must land within 20%
+        // of the exact block count.
+        let mut coo = Coo::new(400, 400);
+        let mut state = 99u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..400 {
+            for _ in 0..4 {
+                let _ = coo.push(i, (next() as usize) % 400, 1.0);
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        let shape = BlockShape::new(2, 2).unwrap();
+        let exact = bcsr_stats(&csr, shape).nb as f64;
+        let est = bcsr_stats_sampled(&csr, shape, 0.25, 3).nb as f64;
+        assert!(
+            (est - exact).abs() / exact < 0.2,
+            "sampled {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn sampled_stats_internally_consistent() {
+        let csr = fixture(8);
+        let shape = BlockShape::new(2, 3).unwrap();
+        for fraction in [0.1, 0.33, 0.5] {
+            let st = bcsr_stats_sampled(&csr, shape, fraction, 1);
+            assert_eq!(st.stored, st.nb * shape.elems());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample fraction")]
+    fn sampled_stats_rejects_zero_fraction() {
+        let csr = fixture(9);
+        let _ = bcsr_stats_sampled(&csr, BlockShape::new(2, 2).unwrap(), 0.0, 0);
+    }
+
+    #[test]
+    fn csr_degenerate_case_is_consistent() {
+        // 1x1 BCSR statistics coincide with CSR's nnz — the models'
+        // degenerate case.
+        let csr = fixture(6);
+        let est = bcsr_stats(&csr, BlockShape::UNIT);
+        assert_eq!(est.nb, csr.nnz());
+        assert_eq!(est.stored, csr.nnz());
+    }
+}

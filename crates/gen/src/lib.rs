@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Matrix workloads: synthetic generators, the 30-matrix evaluation
+//! suite, and MatrixMarket I/O.
+//!
+//! The paper evaluates on 30 matrices from the University of Florida
+//! (Tim Davis) collection (Table I). Those files are not redistributable
+//! with this repository, so [`suite()`] provides a *synthetic stand-in
+//! suite*: one generated matrix per paper entry, matching its application
+//! category and the structural properties the blocked formats are
+//! sensitive to — dense-block content, diagonal runs, row-length
+//! distribution, and access regularity. The generators themselves live in
+//! [`generators`] and are reusable beyond the suite.
+//!
+//! When the real matrices are available, [`matrixmarket`] loads them from
+//! `.mtx` files and the whole harness runs on them unchanged.
+
+pub mod analysis;
+pub mod generators;
+pub mod matrixmarket;
+pub mod suite;
+pub mod vectors;
+
+pub use analysis::{analyze, MatrixAnalysis};
+pub use generators::GenSpec;
+pub use suite::{suite, Geometry, SuiteMatrix};
+pub use vectors::random_vector;

@@ -1,0 +1,43 @@
+//! Input-vector generation.
+//!
+//! The paper's experimental process runs "100 consecutive SpMV operations
+//! using randomly generated input vectors" (§V); this module is that
+//! vector source, deterministic per seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spmv_core::Scalar;
+
+/// A random vector with entries uniform in `[-1, 1)`.
+pub fn random_vector<T: Scalar>(n: usize, seed: u64) -> Vec<T> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x853C_49E6_748F_EA9B);
+    (0..n)
+        .map(|_| T::from_f64(rng.gen::<f64>() * 2.0 - 1.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let a: Vec<f64> = random_vector(100, 3);
+        let b: Vec<f64> = random_vector(100, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a: Vec<f32> = random_vector(50, 1);
+        let b: Vec<f32> = random_vector(50, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v: Vec<f64> = random_vector(0, 0);
+        assert!(v.is_empty());
+    }
+}

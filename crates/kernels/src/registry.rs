@@ -1,0 +1,126 @@
+//! Runtime dispatch from `(shape, implementation)` to kernel functions.
+
+use crate::scalar;
+use crate::shapes::{BlockShape, KernelImpl};
+use crate::simd::{dispatch_shape, dispatch_size, SimdScalar};
+use spmv_core::Index;
+
+/// A kernel processing one BCSR block row:
+/// `kernel(bvals, bcols, x, yrow)` accumulates the products of the block
+/// row's blocks into the `r` entries of `yrow`.
+pub type BcsrRowKernel<T> = fn(&[T], &[Index], &[T], &mut [T]);
+
+/// A kernel processing one BCSD segment:
+/// `kernel(bvals, start_cols, x, yseg)` accumulates the diagonal products
+/// into the `b` entries of `yseg`.
+pub type BcsdSegKernel<T> = fn(&[T], &[Index], &[T], &mut [T]);
+
+/// Scalar BCSR block-row kernel for `shape`.
+///
+/// # Panics
+///
+/// Panics if `shape` is outside the supported search space (which
+/// [`BlockShape::new`] prevents constructing).
+pub fn bcsr_row_kernel_scalar<T: SimdScalar>(shape: BlockShape) -> BcsrRowKernel<T> {
+    macro_rules! apply {
+        ($r:literal, $c:literal) => {
+            Some(scalar::bcsr_block_row::<T, $r, $c> as BcsrRowKernel<T>)
+        };
+    }
+    dispatch_shape!(shape, apply).unwrap_or_else(|| panic!("unsupported BCSR shape {shape}"))
+}
+
+/// Scalar BCSD segment kernel for diagonal size `b` (1 ≤ b ≤ 8).
+pub fn bcsd_seg_kernel_scalar<T: SimdScalar>(b: usize) -> BcsdSegKernel<T> {
+    macro_rules! apply {
+        ($b:literal) => {
+            Some(scalar::bcsd_segment::<T, $b> as BcsdSegKernel<T>)
+        };
+    }
+    dispatch_size!(b, apply).unwrap_or_else(|| panic!("unsupported BCSD size {b}"))
+}
+
+/// BCSR block-row kernel for `(shape, imp)`.
+///
+/// Requesting [`KernelImpl::Simd`] on a target without SIMD support (or a
+/// shape without a SIMD variant) transparently returns the scalar kernel,
+/// so callers can sweep both implementations unconditionally.
+pub fn bcsr_row_kernel<T: SimdScalar>(shape: BlockShape, imp: KernelImpl) -> BcsrRowKernel<T> {
+    match imp {
+        KernelImpl::Scalar => bcsr_row_kernel_scalar(shape),
+        KernelImpl::Simd => {
+            T::bcsr_row_simd(shape).unwrap_or_else(|| bcsr_row_kernel_scalar(shape))
+        }
+    }
+}
+
+/// BCSD segment kernel for `(b, imp)`, with the same SIMD fallback rule as
+/// [`bcsr_row_kernel`].
+pub fn bcsd_seg_kernel<T: SimdScalar>(b: usize, imp: KernelImpl) -> BcsdSegKernel<T> {
+    match imp {
+        KernelImpl::Scalar => bcsd_seg_kernel_scalar(b),
+        KernelImpl::Simd => T::bcsd_seg_simd(b).unwrap_or_else(|| bcsd_seg_kernel_scalar(b)),
+    }
+}
+
+/// Dot product of a contiguous value run (1D-VBL inner kernel) for `imp`.
+#[inline]
+pub fn dot_run<T: SimdScalar>(vals: &[T], x: &[T], imp: KernelImpl) -> T {
+    match imp {
+        KernelImpl::Scalar => scalar::dot_run_scalar(vals, x),
+        KernelImpl::Simd => T::dot_run_simd(vals, x),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_search_space_shape_dispatches() {
+        for shape in BlockShape::search_space() {
+            for imp in KernelImpl::ALL {
+                let _ = bcsr_row_kernel::<f64>(shape, imp);
+                let _ = bcsr_row_kernel::<f32>(shape, imp);
+            }
+        }
+        // The degenerate 1x1 kernel exists too (used for CSR profiling).
+        let _ = bcsr_row_kernel::<f64>(BlockShape::UNIT, KernelImpl::Scalar);
+    }
+
+    #[test]
+    fn every_bcsd_size_dispatches() {
+        for b in 1..=8 {
+            for imp in KernelImpl::ALL {
+                let _ = bcsd_seg_kernel::<f64>(b, imp);
+                let _ = bcsd_seg_kernel::<f32>(b, imp);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported BCSD size")]
+    fn oversized_bcsd_panics() {
+        let _ = bcsd_seg_kernel_scalar::<f64>(9);
+    }
+
+    #[test]
+    fn unit_kernel_is_csr_row() {
+        // 1x1 blocks with nb = nnz reproduce a CSR row dot product.
+        let kern = bcsr_row_kernel::<f64>(BlockShape::UNIT, KernelImpl::Scalar);
+        let vals = [2.0, 3.0];
+        let cols = [1u32, 3];
+        let x = [1.0, 10.0, 100.0, 1000.0];
+        let mut y = [0.0];
+        kern(&vals, &cols, &x, &mut y);
+        assert_eq!(y[0], 2.0 * 10.0 + 3.0 * 1000.0);
+    }
+
+    #[test]
+    fn dot_run_both_impls() {
+        let v = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let x = [1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(dot_run(&v, &x, KernelImpl::Scalar), 15.0);
+        assert!((dot_run(&v, &x, KernelImpl::Simd) - 15.0).abs() < 1e-12);
+    }
+}

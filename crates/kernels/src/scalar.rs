@@ -1,0 +1,359 @@
+//! Fully unrolled scalar block kernels.
+//!
+//! Each fixed block shape gets its own monomorphized kernel through const
+//! generics: the shape dimensions are compile-time constants, so the
+//! compiler fully unrolls the per-block loops — the Rust equivalent of the
+//! paper's per-shape C routines. The [`crate::registry`] module maps a
+//! runtime [`crate::BlockShape`] to the matching instantiation.
+//!
+//! Two kinds of kernels exist per format:
+//!
+//! * **interior** kernels ([`bcsr_block_row`], [`bcsd_segment`]) assume the
+//!   whole block lies inside the matrix and index `x` without per-element
+//!   bounds logic;
+//! * **clipped** kernels ([`bcsr_block_row_clipped`],
+//!   [`bcsd_segment_clipped`]) handle the at-most-one partial block row /
+//!   block column at the matrix boundary (when the dimensions are not
+//!   multiples of the block shape) with runtime shape parameters.
+//!
+//! All kernels accumulate (`+=`) into their output slice.
+
+use spmv_core::{Index, Scalar};
+
+/// Processes one BCSR block row: all blocks `k` starting at **absolute**
+/// column `bcols[k]`, values `bvals[k*R*C .. (k+1)*R*C]` (row-major),
+/// accumulating into the `R` outputs of `yrow`.
+///
+/// Start columns are absolute (not block-column indices) so that the same
+/// kernels serve both aligned BCSR (starts are multiples of `C`) and the
+/// unaligned variant used by the alignment ablation.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if a block reads past `x` — callers route
+/// boundary blocks to [`bcsr_block_row_clipped`] instead.
+#[inline]
+pub fn bcsr_block_row<T: Scalar, const R: usize, const C: usize>(
+    bvals: &[T],
+    bcols: &[Index],
+    x: &[T],
+    yrow: &mut [T],
+) {
+    debug_assert_eq!(yrow.len(), R);
+    debug_assert_eq!(bvals.len(), bcols.len() * R * C);
+    let mut acc = [T::ZERO; R];
+    for (k, &bc) in bcols.iter().enumerate() {
+        let x0 = bc as usize;
+        let xb = &x[x0..x0 + C];
+        let b = &bvals[k * (R * C)..k * (R * C) + R * C];
+        for i in 0..R {
+            for j in 0..C {
+                acc[i] = b[i * C + j].mul_add(xb[j], acc[i]);
+            }
+        }
+    }
+    for (yi, a) in yrow.iter_mut().zip(acc) {
+        *yi += a;
+    }
+}
+
+/// Boundary-safe BCSR block-row kernel with runtime shape.
+///
+/// `yrow` may be shorter than `r` (a clipped final block row) and blocks
+/// may extend past the last column of `x` (a clipped final block column);
+/// out-of-matrix positions hold padding zeros in `bvals` and are skipped.
+/// `bcols` holds absolute start columns, as in [`bcsr_block_row`].
+pub fn bcsr_block_row_clipped<T: Scalar>(
+    r: usize,
+    c: usize,
+    bvals: &[T],
+    bcols: &[Index],
+    x: &[T],
+    yrow: &mut [T],
+) {
+    debug_assert!(yrow.len() <= r);
+    debug_assert_eq!(bvals.len(), bcols.len() * r * c);
+    let n_cols = x.len();
+    for (k, &bc) in bcols.iter().enumerate() {
+        let x0 = bc as usize;
+        let b = &bvals[k * r * c..(k + 1) * r * c];
+        let c_valid = c.min(n_cols.saturating_sub(x0));
+        for (i, yi) in yrow.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for j in 0..c_valid {
+                acc = b[i * c + j].mul_add(x[x0 + j], acc);
+            }
+            *yi += acc;
+        }
+    }
+}
+
+/// Processes one BCSD segment: all diagonal blocks `k` with the `B`
+/// diagonal values in `bvals[k*B .. (k+1)*B]`, accumulating into the `B`
+/// outputs of `yseg`.
+///
+/// `bcols[k]` stores the block's start column **biased by `+B`**
+/// (`bcols[k] = j0 + B`). The bias keeps left-edge blocks — whose true
+/// start column `j0 = col - row_offset` is negative when an element sits
+/// within `B-1` columns of the matrix's left edge — representable in the
+/// unsigned index type. This interior kernel requires `bcols[k] >= B`
+/// (i.e. `j0 >= 0`); edge blocks go through [`bcsd_segment_clipped`].
+#[inline]
+pub fn bcsd_segment<T: Scalar, const B: usize>(
+    bvals: &[T],
+    bcols: &[Index],
+    x: &[T],
+    yseg: &mut [T],
+) {
+    debug_assert_eq!(yseg.len(), B);
+    debug_assert_eq!(bvals.len(), bcols.len() * B);
+    let mut acc = [T::ZERO; B];
+    for (k, &j0) in bcols.iter().enumerate() {
+        let v = &bvals[k * B..k * B + B];
+        debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
+        let j0 = j0 as usize - B;
+        let xb = &x[j0..j0 + B];
+        for t in 0..B {
+            acc[t] = v[t].mul_add(xb[t], acc[t]);
+        }
+    }
+    for (yi, a) in yseg.iter_mut().zip(acc) {
+        *yi += a;
+    }
+}
+
+/// Boundary-safe BCSD segment kernel with runtime block size.
+///
+/// `yseg` may be shorter than `b` (clipped final segment) and diagonal
+/// blocks may be clipped at either edge: `bcols` carries the `+b` bias of
+/// [`bcsd_segment`], and positions with a negative true column or a column
+/// `>= x.len()` are padding and are skipped.
+pub fn bcsd_segment_clipped<T: Scalar>(
+    b: usize,
+    bvals: &[T],
+    bcols: &[Index],
+    x: &[T],
+    yseg: &mut [T],
+) {
+    debug_assert!(yseg.len() <= b);
+    debug_assert_eq!(bvals.len(), bcols.len() * b);
+    let n_cols = x.len() as isize;
+    for (k, &biased) in bcols.iter().enumerate() {
+        let j0 = biased as isize - b as isize;
+        let v = &bvals[k * b..(k + 1) * b];
+        let t_min = (-j0).max(0) as usize;
+        let t_max = yseg.len().min((n_cols - j0).max(0) as usize);
+        for t in t_min..t_max {
+            yseg[t] = v[t].mul_add(x[(j0 + t as isize) as usize], yseg[t]);
+        }
+    }
+}
+
+/// Dot product of a contiguous value run against the matching slice of the
+/// input vector — the inner kernel of the 1D-VBL format.
+#[inline]
+pub fn dot_run_scalar<T: Scalar>(vals: &[T], x: &[T]) -> T {
+    debug_assert_eq!(vals.len(), x.len());
+    let mut acc = T::ZERO;
+    for (&v, &xj) in vals.iter().zip(x) {
+        acc = v.mul_add(xj, acc);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference for one BCSR block row (`bcols` = absolute start
+    /// columns).
+    fn bcsr_reference(
+        r: usize,
+        c: usize,
+        bvals: &[f64],
+        bcols: &[Index],
+        x: &[f64],
+        yrow: &mut [f64],
+    ) {
+        for (k, &bc) in bcols.iter().enumerate() {
+            for i in 0..yrow.len() {
+                for j in 0..c {
+                    let col = bc as usize + j;
+                    if col < x.len() {
+                        yrow[i] += bvals[k * r * c + i * c + j] * x[col];
+                    }
+                }
+            }
+        }
+    }
+
+    fn test_vectors(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 0.5 + (i % 11) as f64).collect()
+    }
+
+    #[test]
+    fn bcsr_2x2_matches_reference() {
+        let bvals = test_vectors(2 * 4); // two blocks
+        let bcols = [0u32, 4];
+        let x = test_vectors(6);
+        let mut y = [0.0; 2];
+        let mut yref = [0.0; 2];
+        bcsr_block_row::<f64, 2, 2>(&bvals, &bcols, &x, &mut y);
+        bcsr_reference(2, 2, &bvals, &bcols, &x, &mut yref);
+        assert_eq!(y, yref);
+    }
+
+    #[test]
+    fn all_shapes_match_reference() {
+        for shape in crate::BlockShape::search_space() {
+            let (r, c) = (shape.rows(), shape.cols());
+            let nb = 3;
+            let bvals = test_vectors(nb * r * c);
+            let bcols: Vec<Index> = vec![0, c as Index, 3 * c as Index];
+            let x = test_vectors(4 * c);
+            let mut y = vec![0.0; r];
+            let mut yref = vec![0.0; r];
+            let kern = crate::registry::bcsr_row_kernel::<f64>(
+                shape,
+                crate::KernelImpl::Scalar,
+            );
+            kern(&bvals, &bcols, &x, &mut y);
+            bcsr_reference(r, c, &bvals, &bcols, &x, &mut yref);
+            assert_eq!(y, yref, "shape {shape}");
+        }
+    }
+
+    #[test]
+    fn unaligned_start_columns_work() {
+        // Absolute start columns need not be multiples of C.
+        let bvals = [1.0, 1.0];
+        let bcols = [3u32];
+        let x = test_vectors(6);
+        let mut y = [0.0];
+        bcsr_block_row::<f64, 1, 2>(&bvals, &bcols, &x, &mut y);
+        assert_eq!(y[0], x[3] + x[4]);
+    }
+
+    #[test]
+    fn kernels_accumulate_not_overwrite() {
+        let bvals = [1.0, 1.0, 1.0, 1.0];
+        let bcols = [0u32];
+        let x = [1.0, 1.0];
+        let mut y = [10.0, 20.0];
+        bcsr_block_row::<f64, 2, 2>(&bvals, &bcols, &x, &mut y);
+        assert_eq!(y, [12.0, 22.0]);
+    }
+
+    #[test]
+    fn clipped_matches_interior_when_nothing_clips() {
+        let bvals = test_vectors(2 * 6);
+        let bcols = [0u32, 1];
+        let x = test_vectors(6);
+        let mut y1 = [0.0; 2];
+        let mut y2 = [0.0; 2];
+        bcsr_block_row::<f64, 2, 3>(&bvals, &bcols, &x, &mut y1);
+        bcsr_block_row_clipped(2, 3, &bvals, &bcols, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn clipped_skips_out_of_matrix_columns() {
+        // One 1x4 block starting at column 4 of a 6-column matrix:
+        // columns 6 and 7 are padding and must not be read.
+        let bvals = [1.0, 1.0, 9.0, 9.0];
+        let bcols = [4u32];
+        let x = test_vectors(6);
+        let mut y = [0.0];
+        bcsr_block_row_clipped(1, 4, &bvals, &bcols, &x, &mut y);
+        assert_eq!(y[0], x[4] + x[5]);
+    }
+
+    #[test]
+    fn clipped_short_yrow() {
+        // 3x1 blocks, but only 2 valid rows remain.
+        let bvals = [1.0, 2.0, 9.0];
+        let bcols = [0u32];
+        let x = [10.0];
+        let mut y = [0.0; 2];
+        bcsr_block_row_clipped(3, 1, &bvals, &bcols, &x, &mut y);
+        assert_eq!(y, [10.0, 20.0]);
+    }
+
+    /// Biases true start columns by `+b`, as the BCSD kernel contract
+    /// requires.
+    fn biased(b: usize, cols: &[i64]) -> Vec<Index> {
+        cols.iter().map(|&j0| (j0 + b as i64) as Index).collect()
+    }
+
+    #[test]
+    fn bcsd_matches_manual() {
+        // Segment of height 3, two diagonal blocks at columns 0 and 4.
+        let bvals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let bcols = biased(3, &[0, 4]);
+        let x = test_vectors(8);
+        let mut y = [0.0; 3];
+        bcsd_segment::<f64, 3>(&bvals, &bcols, &x, &mut y);
+        assert_eq!(
+            y,
+            [
+                1.0 * x[0] + 4.0 * x[4],
+                2.0 * x[1] + 5.0 * x[5],
+                3.0 * x[2] + 6.0 * x[6]
+            ]
+        );
+    }
+
+    #[test]
+    fn bcsd_clipped_matches_interior_when_nothing_clips() {
+        let bvals = test_vectors(8);
+        let bcols = biased(4, &[0, 3]);
+        let x = test_vectors(8);
+        let mut y1 = [0.0; 4];
+        let mut y2 = [0.0; 4];
+        bcsd_segment::<f64, 4>(&bvals, &bcols, &x, &mut y1);
+        bcsd_segment_clipped(4, &bvals, &bcols, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn bcsd_clipped_right_boundary() {
+        // Block of size 4 starting at column 2 of a 4-column matrix: only
+        // t = 0, 1 are inside.
+        let bvals = [1.0, 2.0, 9.0, 9.0];
+        let bcols = biased(4, &[2]);
+        let x = [0.0, 0.0, 5.0, 7.0];
+        let mut y = [0.0; 4];
+        bcsd_segment_clipped(4, &bvals, &bcols, &x, &mut y);
+        assert_eq!(y, [5.0, 14.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn bcsd_clipped_left_boundary() {
+        // Block of size 3 with true start column -2: only t = 2 (column 0)
+        // is inside the matrix.
+        let bvals = [9.0, 9.0, 5.0];
+        let bcols = biased(3, &[-2]);
+        let x = [2.0, 0.0, 0.0];
+        let mut y = [0.0; 3];
+        bcsd_segment_clipped(3, &bvals, &bcols, &x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn bcsd_clipped_short_segment() {
+        let bvals = [1.0, 2.0, 9.0];
+        let bcols = biased(3, &[0]);
+        let x = test_vectors(3);
+        let mut y = [0.0; 2]; // only 2 rows remain in the last segment
+        bcsd_segment_clipped(3, &bvals, &bcols, &x, &mut y);
+        assert_eq!(y, [x[0], 2.0 * x[1]]);
+    }
+
+    #[test]
+    fn dot_run() {
+        let v = [1.0, 2.0, 3.0];
+        let x = [4.0, 5.0, 6.0];
+        assert_eq!(dot_run_scalar(&v, &x), 32.0);
+        assert_eq!(dot_run_scalar::<f64>(&[], &[]), 0.0);
+    }
+}

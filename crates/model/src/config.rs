@@ -1,0 +1,419 @@
+//! The (format, block, implementation) configuration space the models
+//! search.
+
+use core::fmt;
+use spmv_core::{Csr, Index, MatrixShape, Scalar, SpMv};
+use spmv_formats::{
+    bcsd_dec_stats, bcsd_stats, bcsr_dec_stats, bcsr_stats, Bcsd, BcsdDec, Bcsr, BcsrDec,
+    FormatKind,
+};
+use spmv_kernels::simd::SimdScalar;
+use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES};
+
+/// A storage format plus its block parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockConfig {
+    /// Plain CSR (the models' degenerate 1×1 blocking).
+    Csr,
+    /// BCSR with the given shape.
+    Bcsr(BlockShape),
+    /// BCSR-DEC with the given shape.
+    BcsrDec(BlockShape),
+    /// BCSD with the given diagonal size.
+    Bcsd(usize),
+    /// BCSD-DEC with the given diagonal size.
+    BcsdDec(usize),
+}
+
+impl BlockConfig {
+    /// The format family this configuration belongs to.
+    pub fn kind(self) -> FormatKind {
+        match self {
+            BlockConfig::Csr => FormatKind::Csr,
+            BlockConfig::Bcsr(_) => FormatKind::Bcsr,
+            BlockConfig::BcsrDec(_) => FormatKind::BcsrDec,
+            BlockConfig::Bcsd(_) => FormatKind::Bcsd,
+            BlockConfig::BcsdDec(_) => FormatKind::BcsdDec,
+        }
+    }
+}
+
+/// One point of the search space: block configuration plus kernel
+/// implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Config {
+    /// Format and block parameter.
+    pub block: BlockConfig,
+    /// Scalar or SIMD kernels (always scalar for CSR).
+    pub imp: KernelImpl,
+}
+
+impl Config {
+    /// Plain CSR with the baseline kernel.
+    pub const CSR: Config = Config {
+        block: BlockConfig::Csr,
+        imp: KernelImpl::Scalar,
+    };
+
+    /// Enumerates the search space (§V-A): CSR, plus every BCSR/BCSR-DEC
+    /// shape with `r*c <= 8`, plus every BCSD/BCSD-DEC size in `2..=8` —
+    /// each in scalar and (when `include_simd`) SIMD form.
+    pub fn enumerate(include_simd: bool) -> Vec<Config> {
+        let imps: &[KernelImpl] = if include_simd {
+            &[KernelImpl::Scalar, KernelImpl::Simd]
+        } else {
+            &[KernelImpl::Scalar]
+        };
+        let mut out = vec![Config::CSR];
+        for shape in BlockShape::search_space() {
+            for &imp in imps {
+                out.push(Config {
+                    block: BlockConfig::Bcsr(shape),
+                    imp,
+                });
+                out.push(Config {
+                    block: BlockConfig::BcsrDec(shape),
+                    imp,
+                });
+            }
+        }
+        for b in BCSD_SIZES {
+            for &imp in imps {
+                out.push(Config {
+                    block: BlockConfig::Bcsd(b),
+                    imp,
+                });
+                out.push(Config {
+                    block: BlockConfig::BcsdDec(b),
+                    imp,
+                });
+            }
+        }
+        out
+    }
+
+    /// The profiling key of the blocked (main) submatrix's kernel.
+    pub fn kernel_key(&self) -> KernelKey {
+        match self.block {
+            BlockConfig::Csr => KernelKey::Csr,
+            BlockConfig::Bcsr(shape) | BlockConfig::BcsrDec(shape) => KernelKey::Bcsr {
+                shape,
+                imp: self.imp,
+            },
+            BlockConfig::Bcsd(b) | BlockConfig::BcsdDec(b) => KernelKey::Bcsd {
+                b: b as u8,
+                imp: self.imp,
+            },
+        }
+    }
+
+    /// Materializes the configuration for `csr`.
+    pub fn build<T: SimdScalar>(&self, csr: &Csr<T>) -> BuiltFormat<T> {
+        match self.block {
+            BlockConfig::Csr => BuiltFormat::Csr(csr.clone()),
+            BlockConfig::Bcsr(shape) => BuiltFormat::Bcsr(Bcsr::from_csr(csr, shape, self.imp)),
+            BlockConfig::BcsrDec(shape) => {
+                BuiltFormat::BcsrDec(BcsrDec::from_csr(csr, shape, self.imp))
+            }
+            BlockConfig::Bcsd(b) => BuiltFormat::Bcsd(Bcsd::from_csr(csr, b, self.imp)),
+            BlockConfig::BcsdDec(b) => BuiltFormat::BcsdDec(BcsdDec::from_csr(csr, b, self.imp)),
+        }
+    }
+
+    /// Computes the per-submatrix statistics the models need, without
+    /// materializing the format. The returned byte totals are exact — the
+    /// test suite checks them against [`Config::build`].
+    pub fn substats<T: Scalar>(&self, csr: &Csr<T>) -> Vec<SubStat> {
+        let idx = core::mem::size_of::<Index>();
+        let vecs = (csr.n_rows() + csr.n_cols()) * T::BYTES;
+        let csr_bytes =
+            |nnz: usize| nnz * (T::BYTES + idx) + (csr.n_rows() + 1) * idx;
+        let main_bytes = |stored: usize, nb: usize, index_rows: usize| {
+            stored * T::BYTES + nb * idx + (index_rows + 1) * idx
+        };
+        match self.block {
+            BlockConfig::Csr => vec![SubStat {
+                ws_bytes: csr_bytes(csr.nnz()) + vecs,
+                nb: csr.nnz(),
+                key: KernelKey::Csr,
+            }],
+            BlockConfig::Bcsr(shape) => {
+                let st = bcsr_stats(csr, shape);
+                vec![SubStat {
+                    ws_bytes: main_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                    nb: st.nb,
+                    key: self.kernel_key(),
+                }]
+            }
+            BlockConfig::Bcsd(b) => {
+                let st = bcsd_stats(csr, b);
+                vec![SubStat {
+                    ws_bytes: main_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                    nb: st.nb,
+                    key: self.kernel_key(),
+                }]
+            }
+            BlockConfig::BcsrDec(shape) => {
+                let st = bcsr_dec_stats(csr, shape);
+                vec![
+                    SubStat {
+                        ws_bytes: main_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                        nb: st.nb,
+                        key: self.kernel_key(),
+                    },
+                    SubStat {
+                        ws_bytes: csr_bytes(st.rest_nnz) + vecs,
+                        nb: st.rest_nnz,
+                        key: KernelKey::Csr,
+                    },
+                ]
+            }
+            BlockConfig::BcsdDec(b) => {
+                let st = bcsd_dec_stats(csr, b);
+                vec![
+                    SubStat {
+                        ws_bytes: main_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                        nb: st.nb,
+                        key: self.kernel_key(),
+                    },
+                    SubStat {
+                        ws_bytes: csr_bytes(st.rest_nnz) + vecs,
+                        nb: st.rest_nnz,
+                        key: KernelKey::Csr,
+                    },
+                ]
+            }
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            BlockConfig::Csr => write!(f, "CSR")?,
+            BlockConfig::Bcsr(s) => write!(f, "BCSR {s}")?,
+            BlockConfig::BcsrDec(s) => write!(f, "BCSR-DEC {s}")?,
+            BlockConfig::Bcsd(b) => write!(f, "BCSD b={b}")?,
+            BlockConfig::BcsdDec(b) => write!(f, "BCSD-DEC b={b}")?,
+        }
+        if self.imp == KernelImpl::Simd {
+            write!(f, " simd")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-submatrix model inputs: working set, block count, kernel identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubStat {
+    /// Working set of this submatrix's SpMV pass (arrays + vectors).
+    pub ws_bytes: usize,
+    /// Number of blocks (`nnz` for CSR submatrices).
+    pub nb: usize,
+    /// Which profiled kernel executes this submatrix.
+    pub key: KernelKey,
+}
+
+/// Identity of a profiled kernel: what `t_b` and `nof` are keyed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelKey {
+    /// The CSR row kernel (1×1 degenerate block).
+    Csr,
+    /// A BCSR block-row kernel.
+    Bcsr {
+        /// Block shape.
+        shape: BlockShape,
+        /// Kernel implementation.
+        imp: KernelImpl,
+    },
+    /// A BCSD segment kernel.
+    Bcsd {
+        /// Diagonal block size.
+        b: u8,
+        /// Kernel implementation.
+        imp: KernelImpl,
+    },
+}
+
+impl KernelKey {
+    /// Elements processed per block by this kernel (1 for the CSR
+    /// degenerate case).
+    pub fn block_elems(self) -> usize {
+        match self {
+            KernelKey::Csr => 1,
+            KernelKey::Bcsr { shape, .. } => shape.elems(),
+            KernelKey::Bcsd { b, .. } => b as usize,
+        }
+    }
+}
+
+impl fmt::Display for KernelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelKey::Csr => write!(f, "csr"),
+            KernelKey::Bcsr { shape, imp } => write!(f, "bcsr-{shape}{}", imp.suffix()),
+            KernelKey::Bcsd { b, imp } => write!(f, "bcsd-{b}{}", imp.suffix()),
+        }
+    }
+}
+
+/// A materialized configuration; delegates [`SpMv`] to the concrete
+/// format without boxing.
+#[derive(Debug, Clone)]
+pub enum BuiltFormat<T> {
+    /// CSR.
+    Csr(Csr<T>),
+    /// BCSR.
+    Bcsr(Bcsr<T>),
+    /// BCSR-DEC.
+    BcsrDec(BcsrDec<T>),
+    /// BCSD.
+    Bcsd(Bcsd<T>),
+    /// BCSD-DEC.
+    BcsdDec(BcsdDec<T>),
+}
+
+macro_rules! delegate {
+    ($self:expr, $m:ident ( $($arg:expr),* )) => {
+        match $self {
+            BuiltFormat::Csr(x) => x.$m($($arg),*),
+            BuiltFormat::Bcsr(x) => x.$m($($arg),*),
+            BuiltFormat::BcsrDec(x) => x.$m($($arg),*),
+            BuiltFormat::Bcsd(x) => x.$m($($arg),*),
+            BuiltFormat::BcsdDec(x) => x.$m($($arg),*),
+        }
+    };
+}
+
+impl<T: SimdScalar> MatrixShape for BuiltFormat<T> {
+    fn n_rows(&self) -> usize {
+        delegate!(self, n_rows())
+    }
+    fn n_cols(&self) -> usize {
+        delegate!(self, n_cols())
+    }
+}
+
+impl<T: SimdScalar> SpMv<T> for BuiltFormat<T> {
+    fn spmv_into(&self, x: &[T], y: &mut [T]) {
+        delegate!(self, spmv_into(x, y))
+    }
+    fn nnz_stored(&self) -> usize {
+        delegate!(self, nnz_stored())
+    }
+    fn matrix_bytes(&self) -> usize {
+        delegate!(self, matrix_bytes())
+    }
+    fn working_set_bytes(&self) -> usize {
+        delegate!(self, working_set_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::Coo;
+
+    fn fixture() -> Csr<f64> {
+        let mut coo = Coo::new(29, 31);
+        let mut state = 77u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..29 {
+            if i < 31 {
+                let _ = coo.push(i, i, 2.0);
+            }
+            for _ in 0..3 {
+                let j = (next() as usize) % 31;
+                let _ = coo.push(i, j, 1.0);
+                if j + 1 < 31 && next() % 2 == 0 {
+                    let _ = coo.push(i, j + 1, 1.0);
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        // scalar-only: CSR + (19 BCSR + 19 BCSR-DEC) + (7 BCSD + 7 BCSD-DEC)
+        assert_eq!(Config::enumerate(false).len(), 1 + 38 + 14);
+        // with SIMD: blocked configs double
+        assert_eq!(Config::enumerate(true).len(), 1 + 76 + 28);
+    }
+
+    #[test]
+    fn substats_bytes_match_materialized_formats() {
+        let csr = fixture();
+        for config in Config::enumerate(true) {
+            let stats = config.substats(&csr);
+            let built = config.build(&csr);
+            let ws_est: usize = stats.iter().map(|s| s.ws_bytes).sum();
+            assert_eq!(
+                ws_est,
+                built.working_set_bytes(),
+                "ws mismatch for {config}"
+            );
+        }
+    }
+
+    #[test]
+    fn substats_block_counts_match_materialized_formats() {
+        let csr = fixture();
+        for config in Config::enumerate(false) {
+            let stats = config.substats(&csr);
+            match config.build(&csr) {
+                BuiltFormat::Csr(m) => assert_eq!(stats[0].nb, m.nnz()),
+                BuiltFormat::Bcsr(m) => assert_eq!(stats[0].nb, m.n_blocks(), "{config}"),
+                BuiltFormat::Bcsd(m) => assert_eq!(stats[0].nb, m.n_blocks(), "{config}"),
+                BuiltFormat::BcsrDec(m) => {
+                    assert_eq!(stats[0].nb, m.main().n_blocks(), "{config}");
+                    assert_eq!(stats[1].nb, m.rest().nnz(), "{config}");
+                }
+                BuiltFormat::BcsdDec(m) => {
+                    assert_eq!(stats[0].nb, m.main().n_blocks(), "{config}");
+                    assert_eq!(stats[1].nb, m.rest().nnz(), "{config}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn built_formats_all_multiply_correctly() {
+        let csr = fixture();
+        let x: Vec<f64> = (0..31).map(|i| 1.0 + (i % 3) as f64).collect();
+        let want = csr.spmv(&x);
+        for config in Config::enumerate(true) {
+            let built = config.build(&csr);
+            let got = built.spmv(&x);
+            for (a, g) in want.iter().zip(&got) {
+                assert!((a - g).abs() < 1e-9, "{config}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let configs = Config::enumerate(true);
+        let mut labels: Vec<String> = configs.iter().map(|c| c.to_string()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), configs.len());
+    }
+
+    #[test]
+    fn decomposed_substats_have_two_parts() {
+        let csr = fixture();
+        let c = Config {
+            block: BlockConfig::BcsrDec(BlockShape::new(2, 2).unwrap()),
+            imp: KernelImpl::Scalar,
+        };
+        let stats = c.substats(&csr);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[1].key, KernelKey::Csr);
+    }
+}

@@ -1,0 +1,200 @@
+//! Multicore model adaptation — the paper's second future-work
+//! direction ("consider the adaptation of these models on multicore
+//! platforms", §VI).
+//!
+//! The threaded execution model matches `spmv-parallel`: the matrix is
+//! split row-wise into `threads` contiguous, stored-element-balanced
+//! strips that run concurrently. Two effects change the prediction:
+//!
+//! 1. **bandwidth sharing** — the strips stream simultaneously from the
+//!    same memory controller, so each strip sees `BW / threads`
+//!    (pessimistic for low thread counts that cannot saturate the bus
+//!    alone; exact once the bus is the bottleneck, which is the SpMV
+//!    regime the paper targets);
+//! 2. **synchronization at the end** — the SpMV finishes when the
+//!    slowest strip does, so the prediction is a `max` over strips
+//!    rather than a sum.
+//!
+//! [`predict_threaded`] evaluates any of the three §IV models under this
+//! execution model; with `threads == 1` it reduces exactly to the
+//! single-threaded prediction.
+
+use crate::config::Config;
+use crate::machine::MachineProfile;
+use crate::models::Model;
+use crate::profile::KernelProfile;
+use spmv_core::{Csr, MatrixShape, Scalar};
+
+/// Splits row indices into `threads` contiguous strips balanced by
+/// nonzeros (the model-side mirror of `spmv_parallel::partition_units`;
+/// re-implemented here to keep the model crate's dependencies minimal
+/// and because the model only needs approximate strip extents).
+fn strip_rows<T: Scalar>(csr: &Csr<T>, threads: usize) -> Vec<core::ops::Range<usize>> {
+    let total = csr.nnz() as u64;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for p in 0..threads {
+        let mut end = start;
+        if p == threads - 1 {
+            end = csr.n_rows();
+        } else {
+            let target = total * (p as u64 + 1) / threads as u64;
+            while end < csr.n_rows() && acc < target {
+                acc += csr.row_nnz(end) as u64;
+                end += 1;
+            }
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Predicted seconds per SpMV for `config` on `csr` executed with
+/// `threads` bandwidth-sharing threads.
+pub fn predict_threaded<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    config: &Config,
+    threads: usize,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+) -> f64 {
+    assert!(threads > 0);
+    if threads == 1 {
+        return model.predict(&config.substats(csr), machine, profile);
+    }
+    let shared = MachineProfile {
+        bandwidth: machine.bandwidth / threads as f64,
+        ..*machine
+    };
+    strip_rows(csr, threads)
+        .into_iter()
+        .map(|rows| {
+            let strip = csr.row_slice(rows);
+            model.predict(&config.substats(&strip), &shared, profile)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The thread count at which adding threads stops helping according to
+/// the model: the smallest `t` in `1..=max_threads` minimizing the
+/// predicted time (SpMV saturates the memory bus quickly, so this is
+/// often below the core count — the phenomenon Figure 2's flat scaling
+/// reflects).
+pub fn predicted_saturation_point<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    config: &Config,
+    max_threads: usize,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+) -> usize {
+    (1..=max_threads.max(1))
+        .min_by(|&a, &b| {
+            let ta = predict_threaded(model, csr, config, a, machine, profile);
+            let tb = predict_threaded(model, csr, config, b, machine, profile);
+            ta.total_cmp(&tb)
+        })
+        .expect("non-empty range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::KernelProfile;
+    use spmv_gen::GenSpec;
+
+    fn machine() -> MachineProfile {
+        MachineProfile {
+            bandwidth: 4e9,
+            l1_bytes: 32 * 1024,
+            llc_bytes: 4 << 20,
+        }
+    }
+
+    #[test]
+    fn one_thread_equals_sequential_prediction() {
+        let csr = GenSpec::Stencil2d { nx: 30, ny: 30 }.build(1);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        for model in Model::ALL {
+            let seq = model.predict(&Config::CSR.substats(&csr), &machine(), &profile);
+            let par = predict_threaded(model, &csr, &Config::CSR, 1, &machine(), &profile);
+            assert_eq!(seq, par);
+        }
+    }
+
+    #[test]
+    fn strips_cover_all_rows() {
+        let csr = GenSpec::Random {
+            n: 101,
+            m: 50,
+            nnz_per_row: 3,
+        }
+        .build(2);
+        for threads in 1..6 {
+            let strips = strip_rows(&csr, threads);
+            assert_eq!(strips.len(), threads);
+            assert_eq!(strips[0].start, 0);
+            assert_eq!(strips.last().unwrap().end, 101);
+        }
+    }
+
+    #[test]
+    fn pure_streaming_does_not_scale_under_shared_bandwidth() {
+        // MEM: per-strip ws ~ total/t, but bandwidth is BW/t, so the
+        // predicted time stays ~constant — the memory wall.
+        let csr = GenSpec::Random {
+            n: 4_000,
+            m: 4_000,
+            nnz_per_row: 8,
+        }
+        .build(3);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let t1 = predict_threaded(Model::Mem, &csr, &Config::CSR, 1, &machine(), &profile);
+        let t4 = predict_threaded(Model::Mem, &csr, &Config::CSR, 4, &machine(), &profile);
+        // t4 can even exceed t1 slightly (per-strip vector traffic), but
+        // must be nowhere near a 4x speedup.
+        assert!(t4 > 0.6 * t1, "MEM predicted super-scaling: {t1} -> {t4}");
+    }
+
+    #[test]
+    fn compute_bound_work_scales_under_memcomp() {
+        // Give blocks a huge t_b: compute dominates, and compute *does*
+        // parallelize (each strip runs its own blocks).
+        let csr = GenSpec::Random {
+            n: 2_000,
+            m: 2_000,
+            nnz_per_row: 8,
+        }
+        .build(4);
+        let profile = KernelProfile::uniform(1e-6, 1.0);
+        let t1 = predict_threaded(Model::MemComp, &csr, &Config::CSR, 1, &machine(), &profile);
+        let t4 = predict_threaded(Model::MemComp, &csr, &Config::CSR, 4, &machine(), &profile);
+        assert!(
+            t4 < 0.35 * t1,
+            "compute-bound prediction should scale: {t1} -> {t4}"
+        );
+    }
+
+    #[test]
+    fn saturation_point_is_low_for_streaming_kernels() {
+        let csr = GenSpec::Random {
+            n: 4_000,
+            m: 4_000,
+            nnz_per_row: 8,
+        }
+        .build(5);
+        let profile = KernelProfile::uniform(1e-10, 0.1);
+        let sat = predicted_saturation_point(
+            Model::Overlap,
+            &csr,
+            &Config::CSR,
+            8,
+            &machine(),
+            &profile,
+        );
+        assert!(sat <= 4, "streaming SpMV should saturate early, got {sat}");
+    }
+}

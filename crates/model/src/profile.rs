@@ -1,0 +1,314 @@
+//! Kernel profiling: per-block compute times `t_b` and non-overlap
+//! factors `nof_b`.
+//!
+//! The MEMCOMP model's `t_b` is "obtained by profiling the execution of a
+//! very small dense matrix, which is stored using every blocking method
+//! and block under consideration and fits in the L1 cache of the target
+//! machine" (§IV). The OVERLAP model's `nof_b` comes from equation (4),
+//! profiling "a large dense matrix that exceeds the highest level of
+//! cache". This module is that profiler; a [`KernelProfile`] is computed
+//! once per (machine, precision) and reused across every matrix.
+
+use crate::config::KernelKey;
+use crate::machine::MachineProfile;
+use crate::timing::measure_spmv;
+use spmv_core::{Csr, DenseMatrix, Scalar, SpMv};
+use spmv_formats::{Bcsd, Bcsr};
+use spmv_kernels::simd::SimdScalar;
+use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES};
+use std::collections::HashMap;
+
+/// Profiled characteristics of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockTimes {
+    /// Estimated execution time for a single block, seconds (eq. 2).
+    pub t_b: f64,
+    /// Non-overlapping factor: the fraction of computation *not* hidden
+    /// behind memory transfers (eq. 3–4), clamped to `[0, 1]`.
+    pub nof: f64,
+}
+
+/// The complete kernel profile for one machine and precision.
+#[derive(Debug, Clone, Default)]
+pub struct KernelProfile {
+    times: HashMap<KernelKey, BlockTimes>,
+}
+
+impl KernelProfile {
+    /// Looks up a kernel's profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was never profiled — profiles are built over the
+    /// full search space, so this indicates a programming error.
+    pub fn get(&self, key: KernelKey) -> BlockTimes {
+        *self
+            .times
+            .get(&key)
+            .unwrap_or_else(|| panic!("kernel {key} missing from profile"))
+    }
+
+    /// Inserts or replaces one kernel's numbers (used by tests and by
+    /// synthetic profiles).
+    pub fn set(&mut self, key: KernelKey, times: BlockTimes) {
+        self.times.insert(key, times);
+    }
+
+    /// Number of profiled kernels.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterates over all profiled kernels.
+    pub fn iter(&self) -> impl Iterator<Item = (&KernelKey, &BlockTimes)> {
+        self.times.iter()
+    }
+
+    /// A synthetic profile where each block costs time proportional to
+    /// its element count (`t_b = elems * per_elem`), with a uniform
+    /// `nof`. This is the "ideal machine" profile: it isolates the
+    /// models' structural reasoning (working sets, block counts, padding)
+    /// from kernel-quality noise, and is what deterministic tests use.
+    pub fn proportional(per_elem: f64, nof: f64) -> Self {
+        let mut p = Self::uniform(0.0, nof);
+        let keys: Vec<KernelKey> = p.times.keys().copied().collect();
+        for key in keys {
+            p.set(
+                key,
+                BlockTimes {
+                    t_b: key.block_elems() as f64 * per_elem,
+                    nof,
+                },
+            );
+        }
+        p
+    }
+
+    /// A synthetic profile for tests: every kernel gets the same `t_b`
+    /// and `nof`.
+    pub fn uniform(t_b: f64, nof: f64) -> Self {
+        let mut p = KernelProfile::default();
+        let times = BlockTimes { t_b, nof };
+        p.set(KernelKey::Csr, times);
+        for shape in BlockShape::search_space() {
+            for imp in KernelImpl::ALL {
+                p.set(KernelKey::Bcsr { shape, imp }, times);
+            }
+        }
+        for b in BCSD_SIZES {
+            for imp in KernelImpl::ALL {
+                p.set(KernelKey::Bcsd { b: b as u8, imp }, times);
+            }
+        }
+        p
+    }
+}
+
+/// Sizing and measurement knobs for [`profile_kernels`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileOptions {
+    /// Target byte footprint of the L1-resident profiling matrix
+    /// (`0` = half the machine's L1).
+    pub small_bytes: usize,
+    /// Target byte footprint of the out-of-cache profiling matrix
+    /// (`0` = twice the machine's LLC, capped at 64 MiB).
+    pub large_bytes: usize,
+    /// Minimum timing window per measurement, seconds.
+    pub min_time: f64,
+    /// Timing batches (best-of).
+    pub batches: usize,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            small_bytes: 0,
+            large_bytes: 0,
+            min_time: 3e-3,
+            batches: 3,
+        }
+    }
+}
+
+/// Dense square profiling matrix with side rounded down to a multiple of
+/// 8 (so every block shape tiles it exactly).
+fn profiling_matrix<T: Scalar>(target_bytes: usize) -> Csr<T> {
+    let n = ((target_bytes / T::BYTES) as f64).sqrt() as usize;
+    let n = (n / 8 * 8).max(16);
+    Csr::from_dense(&DenseMatrix::<T>::profiling(n, n))
+}
+
+/// Measures `t_b` (L1-resident dense) and `nof` (out-of-cache dense) for
+/// every kernel in the search space, both implementations, plus the CSR
+/// baseline kernel.
+pub fn profile_kernels<T: SimdScalar>(
+    machine: &MachineProfile,
+    opts: &ProfileOptions,
+) -> KernelProfile {
+    let small_bytes = if opts.small_bytes == 0 {
+        machine.l1_bytes / 2
+    } else {
+        opts.small_bytes
+    };
+    let large_bytes = if opts.large_bytes == 0 {
+        // Twice the LLC, capped at 64 MiB: large enough to defeat modest
+        // caches, small enough that profiling all 53 kernels stays in
+        // seconds even on machines with very large last-level caches
+        // (where the triad-matched bandwidth keeps the model consistent;
+        // DESIGN.md §2).
+        (machine.llc_bytes * 2).min(64 << 20)
+    } else {
+        opts.large_bytes
+    };
+    let small = profiling_matrix::<T>(small_bytes);
+    let large = profiling_matrix::<T>(large_bytes);
+    let x_small: Vec<T> = (0..spmv_core::MatrixShape::n_cols(&small))
+        .map(|i| T::from_f64(1.0 + (i % 3) as f64))
+        .collect();
+    let x_large: Vec<T> = (0..spmv_core::MatrixShape::n_cols(&large))
+        .map(|i| T::from_f64(1.0 + (i % 3) as f64))
+        .collect();
+
+    let mut profile = KernelProfile::default();
+
+    // Shared nof computation (eq. 4): the numerator is the compute time
+    // not hidden behind the streaming transfers, the denominator the
+    // estimated total compute time.
+    let nof_of = |t_real: f64, ws_bytes: usize, nb: usize, t_b: f64| -> f64 {
+        let t_mem = ws_bytes as f64 / machine.bandwidth;
+        if nb == 0 || t_b <= 0.0 {
+            return 1.0;
+        }
+        ((t_real - t_mem) / (nb as f64 * t_b)).clamp(0.0, 1.0)
+    };
+
+    // CSR baseline (degenerate 1x1 blocks, nb = nnz).
+    {
+        let t_small = measure_spmv(&small, &x_small, opts.min_time, opts.batches);
+        let t_b = t_small / small.nnz() as f64;
+        let t_large = measure_spmv(&large, &x_large, opts.min_time, opts.batches);
+        let nof = nof_of(t_large, large.working_set_bytes(), large.nnz(), t_b);
+        profile.set(KernelKey::Csr, BlockTimes { t_b, nof });
+    }
+
+    // BCSR kernels: one construction per shape and size, both
+    // implementations measured by switching the kernel in place.
+    for shape in BlockShape::search_space() {
+        let mut small_b = Bcsr::from_csr(&small, shape, KernelImpl::Scalar);
+        let mut large_b = Bcsr::from_csr(&large, shape, KernelImpl::Scalar);
+        for imp in KernelImpl::ALL {
+            small_b.set_kernel_impl(imp);
+            large_b.set_kernel_impl(imp);
+            let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+            let t_b = t_small / small_b.n_blocks().max(1) as f64;
+            let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+            let nof = nof_of(
+                t_large,
+                large_b.working_set_bytes(),
+                large_b.n_blocks(),
+                t_b,
+            );
+            profile.set(KernelKey::Bcsr { shape, imp }, BlockTimes { t_b, nof });
+        }
+    }
+
+    // BCSD kernels.
+    for b in BCSD_SIZES {
+        let mut small_b = Bcsd::from_csr(&small, b, KernelImpl::Scalar);
+        let mut large_b = Bcsd::from_csr(&large, b, KernelImpl::Scalar);
+        for imp in KernelImpl::ALL {
+            small_b.set_kernel_impl(imp);
+            large_b.set_kernel_impl(imp);
+            let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+            let t_b = t_small / small_b.n_blocks().max(1) as f64;
+            let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+            let nof = nof_of(
+                t_large,
+                large_b.working_set_bytes(),
+                large_b.n_blocks(),
+                t_b,
+            );
+            profile.set(
+                KernelKey::Bcsd { b: b as u8, imp },
+                BlockTimes { t_b, nof },
+            );
+        }
+    }
+
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ProfileOptions {
+        ProfileOptions {
+            small_bytes: 4 * 1024,
+            large_bytes: 32 * 1024,
+            min_time: 2e-4,
+            batches: 1,
+        }
+    }
+
+    #[test]
+    fn profile_covers_the_whole_search_space() {
+        let machine = MachineProfile::paper_testbed();
+        let p = profile_kernels::<f64>(&machine, &tiny_opts());
+        assert_eq!(p.len(), 1 + 19 * 2 + 7 * 2);
+        let _ = p.get(KernelKey::Csr);
+        for shape in BlockShape::search_space() {
+            for imp in KernelImpl::ALL {
+                let t = p.get(KernelKey::Bcsr { shape, imp });
+                assert!(t.t_b > 0.0, "t_b must be positive for {shape}");
+                assert!((0.0..=1.0).contains(&t.nof));
+            }
+        }
+    }
+
+    #[test]
+    fn larger_blocks_take_longer_per_block() {
+        let machine = MachineProfile::paper_testbed();
+        let p = profile_kernels::<f64>(&machine, &tiny_opts());
+        let t1 = p
+            .get(KernelKey::Bcsr {
+                shape: BlockShape::new(1, 2).unwrap(),
+                imp: KernelImpl::Scalar,
+            })
+            .t_b;
+        let t8 = p
+            .get(KernelKey::Bcsr {
+                shape: BlockShape::new(1, 8).unwrap(),
+                imp: KernelImpl::Scalar,
+            })
+            .t_b;
+        // A 1x8 block does 4x the work of a 1x2 block; allow generous
+        // measurement slack but demand the ordering.
+        assert!(t8 > t1, "t_b(1x8)={t8} should exceed t_b(1x2)={t1}");
+    }
+
+    #[test]
+    fn uniform_profile_for_tests() {
+        let p = KernelProfile::uniform(1e-9, 0.5);
+        assert_eq!(p.len(), 1 + 38 + 14);
+        assert_eq!(p.get(KernelKey::Csr).nof, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from profile")]
+    fn missing_key_panics() {
+        let p = KernelProfile::default();
+        let _ = p.get(KernelKey::Csr);
+    }
+
+    #[test]
+    fn profiling_matrix_side_is_multiple_of_8() {
+        let m: Csr<f64> = profiling_matrix(16 * 1024);
+        assert_eq!(spmv_core::MatrixShape::n_rows(&m) % 8, 0);
+    }
+}

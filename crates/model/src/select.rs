@@ -1,0 +1,208 @@
+//! Model-driven configuration selection.
+//!
+//! This is the models' purpose in the paper: rank every candidate
+//! (format, block, implementation) by predicted time and pick the
+//! minimum — "what is important for a performance model to accurately
+//! select the proper blocking method and block is to properly rank the
+//! different combinations … even if the predicted execution time is not
+//! very accurate" (§V-B).
+
+use crate::config::Config;
+use crate::machine::MachineProfile;
+use crate::models::Model;
+use crate::profile::KernelProfile;
+use spmv_core::{Csr, Scalar};
+
+/// One ranked candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The configuration.
+    pub config: Config,
+    /// Its predicted execution time, seconds per SpMV.
+    pub predicted: f64,
+}
+
+/// The candidate list a model considers.
+///
+/// The MEM model "ignores the computational part of the kernel", so it
+/// cannot distinguish kernel implementations; following §V-B it considers
+/// only the non-SIMD variants ("we selected the non-simd version by
+/// default"). MEMCOMP and OVERLAP rank the full space, including the
+/// choice of SIMD vs scalar kernels.
+pub fn candidate_configs(model: Model, include_simd: bool) -> Vec<Config> {
+    match model {
+        Model::Mem => Config::enumerate(false),
+        Model::MemComp | Model::Overlap => Config::enumerate(include_simd),
+    }
+}
+
+/// Ranks `configs` for `csr` by predicted time, ascending.
+pub fn rank<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    configs: &[Config],
+) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = configs
+        .iter()
+        .map(|&config| Candidate {
+            config,
+            predicted: model.predict(&config.substats(csr), machine, profile),
+        })
+        .collect();
+    out.sort_by(|a, b| a.predicted.total_cmp(&b.predicted));
+    out
+}
+
+/// Returns the model's selection (minimum predicted time) over the
+/// model-appropriate candidate set.
+pub fn select<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    include_simd: bool,
+) -> Candidate {
+    let configs = candidate_configs(model, include_simd);
+    rank(model, csr, machine, profile, &configs)
+        .into_iter()
+        .next()
+        .expect("candidate set is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BlockConfig, KernelKey};
+    use crate::profile::BlockTimes;
+    use spmv_core::Coo;
+    use spmv_gen::GenSpec;
+    use spmv_kernels::{BlockShape, KernelImpl};
+
+    fn machine() -> MachineProfile {
+        MachineProfile {
+            bandwidth: 3e9,
+            l1_bytes: 32 * 1024,
+            llc_bytes: 4 << 20,
+        }
+    }
+
+    #[test]
+    fn mem_considers_only_scalar_configs() {
+        let configs = candidate_configs(Model::Mem, true);
+        assert!(configs.iter().all(|c| c.imp == KernelImpl::Scalar));
+    }
+
+    #[test]
+    fn mem_selects_bcsr_for_pure_block_matrices() {
+        // A pure 2x2-block matrix: BCSR 2x2 stores one index per four
+        // values, so its working set is minimal and MEM must prefer a
+        // blocked format over CSR.
+        let mut coo = Coo::new(64, 64);
+        for bi in 0..32 {
+            for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                coo.push(2 * bi + di, 2 * bi + dj, 1.0).unwrap();
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let best = select(Model::Mem, &csr, &machine(), &profile, true);
+        assert_ne!(best.config.block, BlockConfig::Csr, "MEM must pick blocking");
+        // And its ws must be below CSR's.
+        let csr_ws: usize = Config::CSR.substats(&csr).iter().map(|s| s.ws_bytes).sum();
+        let best_ws: usize = best
+            .config
+            .substats(&csr)
+            .iter()
+            .map(|s| s.ws_bytes)
+            .sum();
+        assert!(best_ws < csr_ws);
+    }
+
+    #[test]
+    fn scattered_matrix_keeps_csr() {
+        // Isolated nonzeros: every blocked format pays padding or extra
+        // structures, so CSR must win under every model.
+        let csr = GenSpec::Random {
+            n: 300,
+            m: 300,
+            nnz_per_row: 2,
+        }
+        .build(3);
+        let profile = KernelProfile::uniform(1e-9, 1.0);
+        for model in Model::ALL {
+            let best = select(model, &csr, &machine(), &profile, true);
+            assert_eq!(
+                best.config.block,
+                BlockConfig::Csr,
+                "{model} should keep CSR on scatter"
+            );
+        }
+    }
+
+    #[test]
+    fn memcomp_punishes_slow_kernels_where_mem_cannot(
+    ) {
+        // Give the 2x2 BCSR kernel an absurd per-block cost: MEMCOMP must
+        // avoid it, MEM (blind to compute) must still pick it.
+        let mut coo = Coo::new(64, 64);
+        for bi in 0..32 {
+            for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                coo.push(2 * bi + di, 2 * bi + dj, 1.0).unwrap();
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        let mut profile = KernelProfile::uniform(1e-12, 1.0);
+        for imp in KernelImpl::ALL {
+            profile.set(
+                KernelKey::Bcsr {
+                    shape: BlockShape::new(2, 2).unwrap(),
+                    imp,
+                },
+                BlockTimes { t_b: 1.0, nof: 1.0 },
+            );
+        }
+        let mem = select(Model::Mem, &csr, &machine(), &profile, false);
+        let memcomp = select(Model::MemComp, &csr, &machine(), &profile, false);
+        assert_eq!(
+            mem.config.block,
+            BlockConfig::Bcsr(BlockShape::new(2, 2).unwrap())
+        );
+        assert_ne!(
+            memcomp.config.block,
+            BlockConfig::Bcsr(BlockShape::new(2, 2).unwrap())
+        );
+    }
+
+    #[test]
+    fn rank_is_sorted_and_complete() {
+        let csr = GenSpec::Stencil2d { nx: 12, ny: 12 }.build(0);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let configs = Config::enumerate(true);
+        let ranked = rank(Model::Overlap, &csr, &machine(), &profile, &configs);
+        assert_eq!(ranked.len(), configs.len());
+        for w in ranked.windows(2) {
+            assert!(w[0].predicted <= w[1].predicted);
+        }
+    }
+
+    #[test]
+    fn overlap_between_mem_and_memcomp_predictions() {
+        let csr = GenSpec::FemBlocks {
+            nodes: 40,
+            dof: 3,
+            neighbors: 5,
+        }
+        .build(2);
+        let profile = KernelProfile::uniform(5e-9, 0.4);
+        let m = machine();
+        for config in Config::enumerate(false) {
+            let stats = config.substats(&csr);
+            let mem = Model::Mem.predict(&stats, &m, &profile);
+            let ovl = Model::Overlap.predict(&stats, &m, &profile);
+            let cmp = Model::MemComp.predict(&stats, &m, &profile);
+            assert!(mem <= ovl + 1e-15 && ovl <= cmp + 1e-15, "{config}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The multithreaded SpMV driver.
+
+use core::ops::Range;
+use spmv_core::{Csr, MatrixShape, Scalar, SpMv};
+
+/// One thread's share of the matrix: a contiguous row strip converted to
+/// the format under test.
+#[derive(Debug, Clone)]
+struct Strip<F> {
+    rows: Range<usize>,
+    mat: F,
+}
+
+/// A row-partitioned matrix executing SpMV with one thread per strip.
+///
+/// Mirrors the paper's multithreaded setup (§V-A): the input matrix is
+/// split row-wise into as many contiguous strips as threads, each strip
+/// is stored independently in the format under test, and every SpMV runs
+/// all strips concurrently into disjoint slices of the output vector.
+/// The input vector is shared read-only.
+///
+/// ```
+/// use spmv_core::{Coo, Csr, SpMv};
+/// use spmv_parallel::ParallelSpmv;
+/// use spmv_parallel::partition::csr_unit_weights;
+///
+/// let csr = Csr::from_coo(&Coo::from_triplets(4, 4, vec![
+///     (0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 3, 4.0),
+/// ]).unwrap());
+/// let par = ParallelSpmv::from_csr(&csr, 2, &csr_unit_weights(&csr), 1, |s| s.clone());
+/// assert_eq!(par.spmv(&[1.0; 4]), csr.spmv(&[1.0; 4]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelSpmv<F> {
+    strips: Vec<Strip<F>>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl<F> ParallelSpmv<F> {
+    /// Partitions `csr` into `n_threads` strips balanced by `unit_weights`
+    /// (one weight per unit of `unit_height` rows — padding-aware weights
+    /// come from [`crate::partition`]), then converts each strip with
+    /// `build`.
+    ///
+    /// `unit_height` keeps strip boundaries aligned to block rows or
+    /// segments, so blocked strips never split a block.
+    pub fn from_csr<T: Scalar>(
+        csr: &Csr<T>,
+        n_threads: usize,
+        unit_weights: &[u64],
+        unit_height: usize,
+        build: impl Fn(&Csr<T>) -> F,
+    ) -> Self {
+        assert!(n_threads > 0, "at least one thread required");
+        assert_eq!(
+            unit_weights.len(),
+            csr.n_rows().div_ceil(unit_height),
+            "one weight per unit expected"
+        );
+        let unit_ranges = crate::partition::partition_units(unit_weights, n_threads);
+        let row_ranges =
+            crate::partition::units_to_rows(&unit_ranges, unit_height, csr.n_rows());
+        let strips = row_ranges
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(|rows| Strip {
+                mat: build(&csr.row_slice(rows.clone())),
+                rows,
+            })
+            .collect();
+        ParallelSpmv {
+            strips,
+            n_rows: csr.n_rows(),
+            n_cols: csr.n_cols(),
+        }
+    }
+
+    /// Number of non-empty strips (≤ requested threads).
+    pub fn n_strips(&self) -> usize {
+        self.strips.len()
+    }
+
+    /// The row ranges assigned to each strip.
+    pub fn strip_rows(&self) -> Vec<Range<usize>> {
+        self.strips.iter().map(|s| s.rows.clone()).collect()
+    }
+}
+
+impl<F> MatrixShape for ParallelSpmv<F> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+}
+
+impl<T: Scalar, F: SpMv<T> + Sync> SpMv<T> for ParallelSpmv<F> {
+    fn spmv_into(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        // Split y into per-strip disjoint slices (strips are sorted and
+        // contiguous by construction).
+        let mut slices: Vec<(&Strip<F>, &mut [T])> = Vec::with_capacity(self.strips.len());
+        let mut rest = y;
+        let mut offset = 0usize;
+        for strip in &self.strips {
+            let (skip, tail) = rest.split_at_mut(strip.rows.start - offset);
+            skip.fill(T::ZERO); // rows not covered by any strip are zero
+            let (mine, tail) = tail.split_at_mut(strip.rows.len());
+            slices.push((strip, mine));
+            rest = tail;
+            offset = strip.rows.end;
+        }
+        rest.fill(T::ZERO);
+
+        if slices.len() == 1 {
+            // Single strip: avoid thread-spawn overhead entirely.
+            let (strip, ys) = slices.pop().expect("one strip");
+            strip.mat.spmv_into(x, ys);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for (strip, ys) in slices {
+                scope.spawn(move || strip.mat.spmv_into(x, ys));
+            }
+        });
+    }
+
+    fn nnz_stored(&self) -> usize {
+        self.strips.iter().map(|s| s.mat.nnz_stored()).sum()
+    }
+
+    fn matrix_bytes(&self) -> usize {
+        self.strips.iter().map(|s| s.mat.matrix_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{bcsr_unit_weights, csr_unit_weights};
+    use spmv_core::Coo;
+    use spmv_formats::Bcsr;
+    use spmv_kernels::{BlockShape, KernelImpl};
+
+    fn fixture(n: usize, m: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, m);
+        let mut state = 0xFEEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            for _ in 0..1 + (next() as usize) % 5 {
+                let _ = coo.push(i, (next() as usize) % m, 1.0 + (next() % 7) as f64);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn parallel_csr_matches_sequential() {
+        let csr = fixture(101, 77);
+        let x: Vec<f64> = (0..77).map(|i| 1.0 + (i % 9) as f64).collect();
+        let want = csr.spmv(&x);
+        for threads in [1, 2, 4, 8] {
+            let par =
+                ParallelSpmv::from_csr(&csr, threads, &csr_unit_weights(&csr), 1, Csr::clone);
+            assert_eq!(par.spmv(&x), want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_bcsr_matches_sequential() {
+        let csr = fixture(90, 64);
+        let shape = BlockShape::new(2, 3).unwrap();
+        let x: Vec<f64> = (0..64).map(|i| 0.5 + (i % 4) as f64).collect();
+        let want = csr.spmv(&x);
+        for threads in [1, 2, 4] {
+            let par = ParallelSpmv::from_csr(
+                &csr,
+                threads,
+                &bcsr_unit_weights(&csr, shape),
+                shape.rows(),
+                |s| Bcsr::from_csr(s, shape, KernelImpl::Scalar),
+            );
+            let got = par.spmv(&x);
+            for (a, g) in want.iter().zip(&got) {
+                assert!((a - g).abs() < 1e-9, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn strip_boundaries_respect_block_alignment() {
+        let csr = fixture(97, 50);
+        let shape = BlockShape::new(4, 2).unwrap();
+        let par = ParallelSpmv::from_csr(
+            &csr,
+            3,
+            &bcsr_unit_weights(&csr, shape),
+            shape.rows(),
+            |s| Bcsr::from_csr(s, shape, KernelImpl::Scalar),
+        );
+        for rows in par.strip_rows() {
+            assert_eq!(rows.start % 4, 0, "strip start must be block-aligned");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let csr = fixture(3, 5);
+        let par = ParallelSpmv::from_csr(&csr, 16, &csr_unit_weights(&csr), 1, Csr::clone);
+        assert!(par.n_strips() <= 3);
+        let x = vec![1.0; 5];
+        assert_eq!(par.spmv(&x), csr.spmv(&x));
+    }
+
+    #[test]
+    fn nnz_and_bytes_aggregate_over_strips() {
+        let csr = fixture(60, 60);
+        let par = ParallelSpmv::from_csr(&csr, 4, &csr_unit_weights(&csr), 1, Csr::clone);
+        assert_eq!(par.nnz_stored(), csr.nnz());
+        // Strip row_ptr arrays are shorter than the full matrix's, so the
+        // total matrix bytes may differ slightly; values and col_ind match.
+        assert!(par.matrix_bytes() >= csr.nnz() * (8 + 4));
+    }
+
+    #[test]
+    fn empty_matrix_parallel() {
+        let csr = Csr::<f64>::from_coo(&Coo::new(0, 4));
+        let par = ParallelSpmv::from_csr(&csr, 2, &[], 1, Csr::clone);
+        assert_eq!(par.spmv(&[1.0; 4]), Vec::<f64>::new());
+    }
+}

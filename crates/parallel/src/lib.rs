@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Multithreaded SpMV: static nnz-balanced row partitioning plus a
+//! strip-per-thread execution driver.
+//!
+//! Reproduces the paper's multithreaded setup (§V-A): row-wise split into
+//! as many portions as threads, statically balanced so every thread gets
+//! the same number of *stored* elements — for padded formats that count
+//! includes the padding zeros. [`partition`] computes the weights and the
+//! split; [`ParallelSpmv`] owns the per-thread strips and runs them with
+//! scoped threads.
+
+pub mod driver;
+pub mod partition;
+
+pub use driver::ParallelSpmv;
+pub use partition::{
+    bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, partition_units, units_to_rows,
+};

@@ -1,0 +1,210 @@
+//! Static, weight-balanced row partitioning.
+//!
+//! "In order to assign work to threads, we have split the input matrix
+//! row-wise in as many portions as threads … such that each thread is
+//! assigned the same number of nonzeros. Specifically, for the case of
+//! methods with padding, we also accounted for the extra zero elements
+//! used for the padding" (§V-A). This module implements that scheme:
+//! contiguous unit ranges (rows, block rows, or segments) balanced by a
+//! weight per unit, where the weight is the *stored* element count —
+//! padding included.
+
+use core::ops::Range;
+use spmv_core::{Csr, MatrixShape, Scalar};
+use spmv_kernels::BlockShape;
+
+/// Splits `0..weights.len()` into `parts` contiguous ranges whose weight
+/// totals are as even as a greedy prefix scan can make them.
+///
+/// Every range is returned (possibly empty at the tail) so callers can
+/// zip them with threads. The greedy rule assigns units to the current
+/// part until its running total reaches the ideal share, then advances —
+/// the same static scheme the paper uses.
+pub fn partition_units(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "at least one partition required");
+    let total: u64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for p in 0..parts {
+        let mut end = start;
+        if p == parts - 1 {
+            // The final part takes the remainder.
+            end = weights.len();
+        } else {
+            // Advance until the cumulative weight reaches part p's ideal
+            // cumulative share.
+            let target = total * (p as u64 + 1) / parts as u64;
+            while end < weights.len() && acc < target {
+                acc += weights[end];
+                end += 1;
+            }
+        }
+        out.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(out.last().map(|r| r.end), Some(weights.len()));
+    out
+}
+
+/// Converts unit ranges (units of `unit_height` rows) into row ranges,
+/// clamping the final range to `n_rows`.
+pub fn units_to_rows(
+    unit_ranges: &[Range<usize>],
+    unit_height: usize,
+    n_rows: usize,
+) -> Vec<Range<usize>> {
+    unit_ranges
+        .iter()
+        .map(|r| (r.start * unit_height).min(n_rows)..(r.end * unit_height).min(n_rows))
+        .collect()
+}
+
+/// Per-row weights for CSR: the nonzero count of each row.
+pub fn csr_unit_weights<T: Scalar>(csr: &Csr<T>) -> Vec<u64> {
+    (0..csr.n_rows()).map(|i| csr.row_nnz(i) as u64).collect()
+}
+
+/// Per-block-row weights for BCSR: stored elements including padding
+/// (`blocks_in_block_row * r * c`). Partitioning block rows keeps strip
+/// boundaries aligned, so no block is ever split across threads.
+pub fn bcsr_unit_weights<T: Scalar>(csr: &Csr<T>, shape: BlockShape) -> Vec<u64> {
+    let (r, c) = (shape.rows(), shape.cols());
+    let n_rows = csr.n_rows();
+    let n_brows = n_rows.div_ceil(r);
+    let n_bcols = csr.n_cols().div_ceil(c);
+    let mut seen = vec![u32::MAX; n_bcols];
+    let mut weights = vec![0u64; n_brows];
+    for (rb, w) in weights.iter_mut().enumerate() {
+        let stamp = rb as u32;
+        let mut nb = 0u64;
+        for i in rb * r..((rb + 1) * r).min(n_rows) {
+            for &j in csr.row(i).0 {
+                let bc = j as usize / c;
+                if seen[bc] != stamp {
+                    seen[bc] = stamp;
+                    nb += 1;
+                }
+            }
+        }
+        *w = nb * (r * c) as u64;
+    }
+    weights
+}
+
+/// Per-segment weights for BCSD: stored elements including padding
+/// (`blocks_in_segment * b`).
+pub fn bcsd_unit_weights<T: Scalar>(csr: &Csr<T>, b: usize) -> Vec<u64> {
+    let n_rows = csr.n_rows();
+    let n_segs = n_rows.div_ceil(b);
+    let mut seen = vec![u32::MAX; csr.n_cols() + b];
+    let mut weights = vec![0u64; n_segs];
+    for (s, w) in weights.iter_mut().enumerate() {
+        let stamp = s as u32;
+        let mut nb = 0u64;
+        for i in s * b..((s + 1) * b).min(n_rows) {
+            let t = i - s * b;
+            for &j in csr.row(i).0 {
+                let biased = (j as i64 - t as i64 + b as i64) as usize;
+                if seen[biased] != stamp {
+                    seen[biased] = stamp;
+                    nb += 1;
+                }
+            }
+        }
+        *w = nb * b as u64;
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::Coo;
+
+    #[test]
+    fn partitions_cover_everything_contiguously() {
+        let w = vec![1u64; 100];
+        for parts in 1..=7 {
+            let ranges = partition_units(&w, parts);
+            assert_eq!(ranges.len(), parts);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, 100);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let w = vec![1u64; 100];
+        let ranges = partition_units(&w, 4);
+        for r in &ranges {
+            assert_eq!(r.len(), 25);
+        }
+    }
+
+    #[test]
+    fn skewed_weights_balance_by_weight_not_count() {
+        // First 10 units carry all the weight.
+        let mut w = vec![0u64; 100];
+        for v in w.iter_mut().take(10) {
+            *v = 100;
+        }
+        let ranges = partition_units(&w, 2);
+        let first: u64 = w[ranges[0].clone()].iter().sum();
+        let second: u64 = w[ranges[1].clone()].iter().sum();
+        assert!(first.abs_diff(second) <= 100, "{first} vs {second}");
+    }
+
+    #[test]
+    fn single_partition_takes_all() {
+        let ranges = partition_units(&[3, 1, 4], 1);
+        assert_eq!(ranges, vec![0..3]);
+    }
+
+    #[test]
+    fn more_parts_than_units_yields_empty_tails() {
+        let ranges = partition_units(&[5, 5], 4);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges.last().unwrap().end, 2);
+        let nonempty: usize = ranges.iter().filter(|r| !r.is_empty()).count();
+        assert!(nonempty >= 1);
+    }
+
+    #[test]
+    fn zero_weight_units_do_not_break_partitioning() {
+        let ranges = partition_units(&[0, 0, 0, 0], 2);
+        assert_eq!(ranges.last().unwrap().end, 4);
+    }
+
+    #[test]
+    fn units_to_rows_clamps_tail() {
+        let unit_ranges = vec![0..2, 2..4];
+        // 4 units of height 3 over 10 rows: last row range clamps to 10.
+        let rows = units_to_rows(&unit_ranges, 3, 10);
+        assert_eq!(rows, vec![0..6, 6..10]);
+    }
+
+    #[test]
+    fn padded_weights_exceed_raw_nnz() {
+        // One isolated entry per block row: weight must count the full
+        // padded block, not the single nonzero.
+        let csr = Csr::from_coo(
+            &Coo::from_triplets(8, 8, vec![(0, 0, 1.0), (2, 3, 1.0), (4, 7, 1.0)]).unwrap(),
+        );
+        let w = bcsr_unit_weights(&csr, BlockShape::new(2, 4).unwrap());
+        assert_eq!(w, vec![8, 8, 8, 0]);
+        let wd = bcsd_unit_weights(&csr, 2);
+        assert_eq!(wd, vec![2, 2, 2, 0]);
+    }
+
+    #[test]
+    fn csr_weights_are_row_nnz() {
+        let csr = Csr::from_coo(
+            &Coo::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (2, 2, 1.0)]).unwrap(),
+        );
+        assert_eq!(csr_unit_weights(&csr), vec![2, 0, 1]);
+    }
+}

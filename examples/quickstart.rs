@@ -1,0 +1,119 @@
+//! Quickstart: build a sparse matrix, convert it to every storage
+//! format, and let the OVERLAP model pick the fastest configuration.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use blocked_spmv::core::{Coo, Csr, SpMv};
+use blocked_spmv::formats::{Bcsd, Bcsr, BcsrDec, Vbl};
+use blocked_spmv::kernels::{BlockShape, KernelImpl};
+use blocked_spmv::model::{profile_kernels, select, MachineProfile, Model, ProfileOptions};
+
+fn main() {
+    // 1. Assemble a matrix from triplets: a 2D Laplacian with an extra
+    //    dense 2x2 block sprinkled on the diagonal.
+    let nx = 64;
+    let n = nx * nx;
+    let mut coo = Coo::<f64>::new(n, n);
+    for y in 0..nx {
+        for x in 0..nx {
+            let i = y * nx + x;
+            coo.push(i, i, 4.0).unwrap();
+            if x > 0 {
+                coo.push(i, i - 1, -1.0).unwrap();
+            }
+            if x + 1 < nx {
+                coo.push(i, i + 1, -1.0).unwrap();
+            }
+            if y > 0 {
+                coo.push(i, i - nx, -1.0).unwrap();
+            }
+            if y + 1 < nx {
+                coo.push(i, i + nx, -1.0).unwrap();
+            }
+        }
+    }
+    let csr = Csr::from_coo(&coo);
+    println!("matrix: {n} x {n}, {} nonzeros", csr.nnz());
+
+    // 2. Convert to blocked formats and compare working sets.
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let reference = csr.spmv(&x);
+
+    let shape = BlockShape::new(1, 3).unwrap();
+    let bcsr = Bcsr::from_csr(&csr, shape, KernelImpl::Scalar);
+    let bcsr_dec = BcsrDec::from_csr(&csr, shape, KernelImpl::Scalar);
+    let bcsd = Bcsd::from_csr(&csr, 4, KernelImpl::Scalar);
+    let vbl = Vbl::from_csr(&csr, KernelImpl::Scalar);
+
+    println!("\nworking sets (bytes):");
+    println!("  CSR       {:>9}", csr.working_set_bytes());
+    println!(
+        "  BCSR {}   {:>9}  ({} blocks, {} padded zeros)",
+        shape,
+        bcsr.working_set_bytes(),
+        bcsr.n_blocks(),
+        bcsr.padding()
+    );
+    println!(
+        "  BCSR-DEC  {:>9}  ({:.0}% of nnz in full blocks)",
+        bcsr_dec.working_set_bytes(),
+        bcsr_dec.coverage() * 100.0
+    );
+    println!(
+        "  BCSD b=4  {:>9}  ({} blocks, {} padded zeros)",
+        bcsd.working_set_bytes(),
+        bcsd.n_blocks(),
+        bcsd.padding()
+    );
+    println!(
+        "  1D-VBL    {:>9}  ({} blocks, mean run {:.1})",
+        vbl.working_set_bytes(),
+        vbl.n_blocks(),
+        vbl.avg_block_len()
+    );
+
+    // 3. Every format computes the same product.
+    for (name, y) in [
+        ("BCSR", bcsr.spmv(&x)),
+        ("BCSR-DEC", bcsr_dec.spmv(&x)),
+        ("BCSD", bcsd.spmv(&x)),
+        ("1D-VBL", vbl.spmv(&x)),
+    ] {
+        let max_err = reference
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-9, "{name} diverged");
+        println!("{name:>9}: matches CSR (max |err| = {max_err:.1e})");
+    }
+
+    // 4. Let the OVERLAP model choose the best configuration for this
+    //    matrix on this machine.
+    println!("\ncalibrating the performance models (a few seconds) ...");
+    let machine = MachineProfile::detect_with(32 << 20);
+    let profile = profile_kernels::<f64>(
+        &machine,
+        &ProfileOptions {
+            large_bytes: 32 << 20,
+            ..ProfileOptions::default()
+        },
+    );
+    println!(
+        "machine: {:.2} GiB/s STREAM, L1 {} KiB, LLC {} MiB",
+        machine.bandwidth / (1u64 << 30) as f64,
+        machine.l1_bytes / 1024,
+        machine.llc_bytes / (1024 * 1024)
+    );
+    for model in Model::ALL {
+        let best = select(model, &csr, &machine, &profile, true);
+        println!(
+            "{:>8} selects {:<16} (predicted {:.3} ms/SpMV)",
+            model.label(),
+            best.config.to_string(),
+            best.predicted * 1e3
+        );
+    }
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+cd /root/repo
+R=results
+T() { date +%H:%M:%S; }
+echo "$(T) table1" 
+./target/release/table1 --scale 1.0 > $R/table1.txt 2>&1
+echo "$(T) table2"
+./target/release/table2 --scale 1.0 --min-time 3 > $R/table2.txt 2>&1
+echo "$(T) table3"
+./target/release/table3 --scale 1.0 --min-time 3 > $R/table3.txt 2>&1
+echo "$(T) modeleval"
+./target/release/modeleval --scale 1.0 --min-time 3 > $R/modeleval.txt 2>&1
+echo "$(T) figure2"
+./target/release/figure2 --scale 1.0 --min-time 3 > $R/figure2.txt 2>&1
+echo "$(T) latency_probe"
+./target/release/latency_probe --scale 1.0 --min-time 3 > $R/latency_probe.txt 2>&1
+echo "$(T) heuristic_cmp"
+./target/release/heuristic_cmp --scale 0.5 --min-time 2 > $R/heuristic.txt 2>&1
+echo "$(T) PHASE1_DONE"

@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+T() { date +%H:%M:%S; }
+echo "$(T) latency_probe rerun"
+./target/release/latency_probe --scale 1.0 --min-time 5 --batches 5 > results/latency_probe.txt 2>&1
+echo "$(T) heuristic_cmp rerun"
+./target/release/heuristic_cmp --scale 0.5 --min-time 3 > results/heuristic.txt 2>&1
+echo "$(T) PHASE1B_DONE"

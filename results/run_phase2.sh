@@ -1,0 +1,12 @@
+#!/bin/bash
+cd /root/repo
+T() { date +%H:%M:%S; }
+echo "$(T) rebuild bins"
+cargo build -q --release -p spmv-bench --bin latency_probe 2>&1 | tail -2
+echo "$(T) latency_probe final"
+./target/release/latency_probe --scale 1.0 --min-time 5 --batches 5 > results/latency_probe.txt 2>&1
+echo "$(T) tests"
+cargo test --workspace > /root/repo/test_output.txt 2>&1
+echo "$(T) benches"
+cargo bench --workspace > /root/repo/bench_output.txt 2>&1
+echo "$(T) PHASE2_DONE"

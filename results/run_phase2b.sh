@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+T() { date +%H:%M:%S; }
+echo "$(T) tests"
+cargo test --workspace > /root/repo/test_output.txt 2>&1
+echo "$(T) benches quick"
+cargo bench --workspace -- --quick > /root/repo/bench_output.txt 2>&1
+echo "$(T) PHASE2B_DONE"

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # blocked-spmv
+//!
+//! A reproduction of *"Performance Models for Blocked Sparse
+//! Matrix-Vector Multiplication Kernels"* (V. Karakasis, G. Goumas,
+//! N. Koziris — ICPP 2009) as a production-quality Rust workspace.
+//!
+//! This facade crate re-exports the whole workspace under one name:
+//!
+//! * [`core`] — scalars, COO/CSR/dense matrices, the
+//!   [`SpMv`] trait;
+//! * [`kernels`] — per-shape block multiply kernels
+//!   (scalar and SSE2);
+//! * [`formats`] — BCSR, BCSD, BCSR-DEC, BCSD-DEC, 1D-VBL,
+//!   and VBR storage;
+//! * [`gen`] — synthetic matrix generators, the 30-matrix
+//!   evaluation suite, MatrixMarket I/O;
+//! * [`model`] — the MEM / MEMCOMP / OVERLAP performance
+//!   models, machine profiling, and model-driven format selection;
+//! * [`parallel`] — nnz-balanced row partitioning and
+//!   multithreaded SpMV;
+//! * [`bench`](mod@bench) — timing utilities, experiment drivers, and
+//!   the table/figure regeneration harness.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use spmv_bench as bench;
+pub use spmv_core as core;
+pub use spmv_formats as formats;
+pub use spmv_gen as gen;
+pub use spmv_kernels as kernels;
+pub use spmv_model as model;
+pub use spmv_parallel as parallel;
+
+pub use spmv_core::{Coo, Csr, DenseMatrix, Error, Precision, Result, Scalar, SpMv};
+pub use spmv_formats::{Bcsd, BcsdDec, Bcsr, BcsrDec, FormatKind, SpMvAcc, Vbl, Vbr};
+pub use spmv_kernels::{BlockShape, KernelImpl};
