@@ -1,6 +1,17 @@
 //! Criterion benchmarks backing Figure 2: multithreaded SpMV at 1, 2,
 //! and 4 threads with nnz-balanced, padding-aware partitioning.
 //!
+//! Two execution drivers are measured side by side:
+//!
+//! * `scoped/*` — [`ParallelSpmv`], which spawns scoped threads on every
+//!   call (the one-shot fallback), so its per-call time includes a
+//!   thread spawn + join per strip;
+//! * `pool/*` — [`SpmvPool`], persistent pinned workers driven by an
+//!   epoch barrier, the driver used for all reported numbers.
+//!
+//! The `overhead` group isolates the per-call fixed cost on a small
+//! matrix, where the spawn cost dominates the kernel itself.
+//!
 //! On hosts with fewer hardware threads the oversubscribed points
 //! measure scheduling overhead rather than scaling — Figure 2's harness
 //! (`--bin figure2`) prints the host parallelism for exactly this
@@ -13,7 +24,9 @@ use spmv_core::{Csr, MatrixShape, SpMv};
 use spmv_formats::Bcsr;
 use spmv_gen::{random_vector, GenSpec};
 use spmv_kernels::{BlockShape, KernelImpl};
-use spmv_parallel::{bcsr_unit_weights, csr_unit_weights, ParallelSpmv};
+use spmv_parallel::{
+    bcsr_unit_weights, csr_unit_weights, ParallelSpmv, PinPolicy, SpmvPool,
+};
 
 fn workload() -> Csr<f64> {
     GenSpec::FemBlocks {
@@ -22,6 +35,12 @@ fn workload() -> Csr<f64> {
         neighbors: 9,
     }
     .build(1)
+}
+
+/// Small workload for the per-call overhead comparison: the kernel runs
+/// in ~10 µs, so any fixed per-call cost is plainly visible.
+fn small_workload() -> Csr<f64> {
+    GenSpec::Stencil2d { nx: 45, ny: 45 }.build(1)
 }
 
 fn bench_parallel_spmv(c: &mut Criterion) {
@@ -35,8 +54,19 @@ fn bench_parallel_spmv(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         let par_csr =
             ParallelSpmv::from_csr(&csr, threads, &csr_unit_weights(&csr), 1, Csr::clone);
-        group.bench_function(BenchmarkId::new("csr", threads), |b| {
+        group.bench_function(BenchmarkId::new("scoped-csr", threads), |b| {
             b.iter(|| par_csr.spmv_into(&x, &mut y))
+        });
+        let pool_csr = SpmvPool::from_csr(
+            &csr,
+            threads,
+            &csr_unit_weights(&csr),
+            1,
+            Csr::clone,
+            PinPolicy::Compact,
+        );
+        group.bench_function(BenchmarkId::new("pool-csr", threads), |b| {
+            b.iter(|| pool_csr.spmv_into(&x, &mut y))
         });
         let par_bcsr = ParallelSpmv::from_csr(
             &csr,
@@ -45,8 +75,48 @@ fn bench_parallel_spmv(c: &mut Criterion) {
             shape.rows(),
             |s| Bcsr::from_csr(s, shape, KernelImpl::Scalar),
         );
-        group.bench_function(BenchmarkId::new("bcsr-3x2", threads), |b| {
+        group.bench_function(BenchmarkId::new("scoped-bcsr-3x2", threads), |b| {
             b.iter(|| par_bcsr.spmv_into(&x, &mut y))
+        });
+        let pool_bcsr = SpmvPool::from_csr(
+            &csr,
+            threads,
+            &bcsr_unit_weights(&csr, shape),
+            shape.rows(),
+            |s| Bcsr::from_csr(s, shape, KernelImpl::Scalar),
+            PinPolicy::Compact,
+        );
+        group.bench_function(BenchmarkId::new("pool-bcsr-3x2", threads), |b| {
+            b.iter(|| pool_bcsr.spmv_into(&x, &mut y))
+        });
+    }
+    group.finish();
+}
+
+/// Per-call fixed cost: scoped spawn/join vs pool epoch barrier on a
+/// matrix small enough that the kernel itself is almost free.
+fn bench_call_overhead(c: &mut Criterion) {
+    let csr = small_workload();
+    let x: Vec<f64> = random_vector(csr.n_cols(), 7);
+    let mut y = vec![0.0f64; csr.n_rows()];
+
+    let mut group = c.benchmark_group("parallel/overhead");
+    for threads in [2usize, 4] {
+        let scoped =
+            ParallelSpmv::from_csr(&csr, threads, &csr_unit_weights(&csr), 1, Csr::clone);
+        group.bench_function(BenchmarkId::new("scoped", threads), |b| {
+            b.iter(|| scoped.spmv_into(&x, &mut y))
+        });
+        let pool = SpmvPool::from_csr(
+            &csr,
+            threads,
+            &csr_unit_weights(&csr),
+            1,
+            Csr::clone,
+            PinPolicy::Compact,
+        );
+        group.bench_function(BenchmarkId::new("pool", threads), |b| {
+            b.iter(|| pool.spmv_into(&x, &mut y))
         });
     }
     group.finish();
@@ -71,6 +141,6 @@ fn bench_partitioning(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15);
-    targets = bench_parallel_spmv, bench_partitioning
+    targets = bench_parallel_spmv, bench_call_overhead, bench_partitioning
 }
 criterion_main!(benches);

@@ -15,7 +15,7 @@ use spmv_gen::{random_vector, suite, Geometry};
 use spmv_kernels::simd::SimdScalar;
 use spmv_model::timing::measure_spmv;
 use spmv_model::{BlockConfig, Config};
-use spmv_parallel::{bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, ParallelSpmv};
+use spmv_parallel::{bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, PinPolicy, SpmvPool};
 use std::collections::BTreeMap;
 
 /// Thread counts evaluated by Figure 2.
@@ -45,6 +45,12 @@ fn partition_inputs<T: SimdScalar>(csr: &Csr<T>, config: Config) -> (Vec<u64>, u
 }
 
 /// Measures `config` on `csr` at the given thread count.
+///
+/// Runs on a persistent, core-pinned [`SpmvPool`] rather than per-call
+/// scoped threads, so the measured time is the kernel plus one epoch
+/// barrier — not a thread spawn/join per multiply, which used to
+/// dominate on small matrices (see `docs/PARALLEL.md` and the
+/// "Measurement methodology" section of EXPERIMENTS.md).
 pub fn measure_threaded<T: SimdScalar>(
     csr: &Csr<T>,
     config: Config,
@@ -52,9 +58,16 @@ pub fn measure_threaded<T: SimdScalar>(
     opts: &ExpOpts,
 ) -> f64 {
     let (weights, unit) = partition_inputs(csr, config);
-    let par = ParallelSpmv::from_csr(csr, threads, &weights, unit, |s| config.build(s));
+    let pool = SpmvPool::from_csr(
+        csr,
+        threads,
+        &weights,
+        unit,
+        |s| config.build(s),
+        PinPolicy::Compact,
+    );
     let x: Vec<T> = random_vector(csr.n_cols(), opts.seed);
-    measure_spmv(&par, &x, opts.min_time, opts.batches)
+    measure_spmv(&pool, &x, opts.min_time, opts.batches)
 }
 
 /// Picks each format's best block configuration by single-threaded time

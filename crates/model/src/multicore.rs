@@ -18,6 +18,15 @@
 //! [`predict_threaded`] evaluates any of the three §IV models under this
 //! execution model; with `threads == 1` it reduces exactly to the
 //! single-threaded prediction.
+//!
+//! The `max` in effect assumes the static weight balance is *perfect* —
+//! every strip is predicted from its own structure, but runtime effects
+//! (cache topology, pinning, SMT siblings, OS noise) skew real strips
+//! further apart. The persistent pool in `spmv-parallel`
+//! (`SpmvPool::measured_strip_seconds`) reports the *measured* median
+//! time per strip; [`predict_threaded_measured`] folds that observed
+//! skew back into the prediction via [`imbalance_factor`], replacing the
+//! model's structural `max` with measured imbalance.
 
 use crate::config::Config;
 use crate::machine::MachineProfile;
@@ -76,6 +85,64 @@ pub fn predict_threaded<T: Scalar>(
             model.predict(&config.substats(&strip), &shared, profile)
         })
         .fold(0.0, f64::max)
+}
+
+/// Load-imbalance factor of a measured per-strip timing profile: the
+/// slowest strip's time over the mean strip time, clamped to ≥ 1.
+///
+/// `1.0` means perfectly balanced strips (and is returned for empty or
+/// degenerate profiles); `2.0` means the critical strip ran twice as
+/// long as the average, so half the aggregate compute capacity was idle
+/// at the barrier. Feed this from
+/// `spmv_parallel::SpmvPool::measured_strip_seconds`.
+pub fn imbalance_factor(per_strip_seconds: &[f64]) -> f64 {
+    if per_strip_seconds.is_empty() {
+        return 1.0;
+    }
+    let max = per_strip_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+    let mean = per_strip_seconds.iter().sum::<f64>() / per_strip_seconds.len() as f64;
+    if mean <= 0.0 || !mean.is_finite() {
+        1.0
+    } else {
+        (max / mean).max(1.0)
+    }
+}
+
+/// Predicted seconds per SpMV like [`predict_threaded`], but scaled by
+/// the **measured** per-strip imbalance instead of the structural `max`
+/// over predicted strips.
+///
+/// The balanced-core prediction is the *mean* over per-strip predictions
+/// (what a perfectly level execution would cost per core under shared
+/// bandwidth); multiplying by [`imbalance_factor`] restores the barrier
+/// wait the pool actually observed. With fewer than two measured strips
+/// — or `threads == 1` — this degrades to [`predict_threaded`].
+pub fn predict_threaded_measured<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    config: &Config,
+    threads: usize,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    per_strip_seconds: &[f64],
+) -> f64 {
+    assert!(threads > 0);
+    if threads == 1 || per_strip_seconds.len() < 2 {
+        return predict_threaded(model, csr, config, threads, machine, profile);
+    }
+    let shared = MachineProfile {
+        bandwidth: machine.bandwidth / threads as f64,
+        ..*machine
+    };
+    let mean_pred = strip_rows(csr, threads)
+        .into_iter()
+        .map(|rows| {
+            let strip = csr.row_slice(rows);
+            model.predict(&config.substats(&strip), &shared, profile)
+        })
+        .sum::<f64>()
+        / threads as f64;
+    mean_pred * imbalance_factor(per_strip_seconds)
 }
 
 /// The thread count at which adding threads stops helping according to
@@ -176,6 +243,89 @@ mod tests {
             t4 < 0.35 * t1,
             "compute-bound prediction should scale: {t1} -> {t4}"
         );
+    }
+
+    #[test]
+    fn imbalance_factor_basics() {
+        assert_eq!(imbalance_factor(&[]), 1.0);
+        assert_eq!(imbalance_factor(&[0.5]), 1.0);
+        assert_eq!(imbalance_factor(&[1.0, 1.0, 1.0, 1.0]), 1.0);
+        // One strip at 2x the others: max/mean = 2 / 1.25 = 1.6.
+        let f = imbalance_factor(&[1.0, 1.0, 1.0, 2.0]);
+        assert!((f - 1.6).abs() < 1e-12, "{f}");
+        // Degenerate profiles never deflate a prediction.
+        assert_eq!(imbalance_factor(&[0.0, 0.0]), 1.0);
+        assert!(imbalance_factor(&[3.0, 1.0]) >= 1.0);
+    }
+
+    #[test]
+    fn measured_prediction_reduces_to_structural_when_balanced() {
+        let csr = GenSpec::Stencil2d { nx: 24, ny: 24 }.build(7);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        for model in Model::ALL {
+            // Perfectly balanced measurement: mean == max over strips,
+            // so the measured form must not exceed the structural form
+            // (which takes the max over per-strip predictions).
+            let structural =
+                predict_threaded(model, &csr, &Config::CSR, 4, &machine(), &profile);
+            let balanced = predict_threaded_measured(
+                model,
+                &csr,
+                &Config::CSR,
+                4,
+                &machine(),
+                &profile,
+                &[1.0, 1.0, 1.0, 1.0],
+            );
+            assert!(
+                balanced <= structural + 1e-12,
+                "{model:?}: balanced {balanced} > structural {structural}"
+            );
+            assert!(balanced > 0.0);
+        }
+    }
+
+    #[test]
+    fn measured_imbalance_inflates_prediction() {
+        let csr = GenSpec::Stencil2d { nx: 24, ny: 24 }.build(8);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let balanced = predict_threaded_measured(
+            Model::Overlap,
+            &csr,
+            &Config::CSR,
+            2,
+            &machine(),
+            &profile,
+            &[1.0, 1.0],
+        );
+        let skewed = predict_threaded_measured(
+            Model::Overlap,
+            &csr,
+            &Config::CSR,
+            2,
+            &machine(),
+            &profile,
+            &[1.0, 3.0],
+        );
+        // max/mean = 3/2: the skewed profile costs exactly 1.5x more.
+        assert!((skewed / balanced - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_prediction_falls_back_without_samples() {
+        let csr = GenSpec::Stencil2d { nx: 16, ny: 16 }.build(9);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let structural = predict_threaded(Model::Mem, &csr, &Config::CSR, 2, &machine(), &profile);
+        let fallback = predict_threaded_measured(
+            Model::Mem,
+            &csr,
+            &Config::CSR,
+            2,
+            &machine(),
+            &profile,
+            &[],
+        );
+        assert_eq!(structural, fallback);
     }
 
     #[test]

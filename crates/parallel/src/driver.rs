@@ -1,4 +1,11 @@
-//! The multithreaded SpMV driver.
+//! The one-shot multithreaded SpMV driver (scoped threads).
+//!
+//! [`ParallelSpmv`] spawns a scoped thread per strip on **every** call —
+//! the right trade-off for a single multiply, where paying a pool's
+//! standing workers would not amortize. For repeated SpMV (iterative
+//! solvers, benchmarking loops), use [`crate::SpmvPool`], which hosts
+//! the same strips on persistent, optionally core-pinned workers and
+//! eliminates the per-call spawn/join cost.
 
 use core::ops::Range;
 use spmv_core::{Csr, MatrixShape, Scalar, SpMv};
@@ -11,13 +18,23 @@ struct Strip<F> {
     mat: F,
 }
 
-/// A row-partitioned matrix executing SpMV with one thread per strip.
+/// A row-partitioned matrix executing SpMV with one scoped thread per
+/// strip, spawned fresh on every call.
 ///
 /// Mirrors the paper's multithreaded setup (§V-A): the input matrix is
 /// split row-wise into as many contiguous strips as threads, each strip
 /// is stored independently in the format under test, and every SpMV runs
 /// all strips concurrently into disjoint slices of the output vector.
 /// The input vector is shared read-only.
+///
+/// Strips with no rows are dropped at construction, so `n_strips() ≤
+/// n_threads` and every surviving strip is non-empty — `n_threads`
+/// larger than the unit count (or an empty matrix) degrades gracefully.
+/// A single surviving strip executes inline with no thread spawn at all.
+///
+/// This type is the *one-shot fallback*; [`crate::SpmvPool`] reuses the
+/// same strips on persistent workers for repeated multiplies (convert
+/// with [`crate::SpmvPool::from_parallel`]).
 ///
 /// ```
 /// use spmv_core::{Coo, Csr, SpMv};
@@ -85,6 +102,17 @@ impl<F> ParallelSpmv<F> {
     pub fn strip_rows(&self) -> Vec<Range<usize>> {
         self.strips.iter().map(|s| s.rows.clone()).collect()
     }
+
+    /// Decomposes into `(rows, strip)` pairs plus the overall shape, so
+    /// [`crate::SpmvPool`] can re-host the strips on persistent workers.
+    pub(crate) fn into_parts(self) -> (Vec<(Range<usize>, F)>, usize, usize) {
+        let strips = self
+            .strips
+            .into_iter()
+            .map(|s| (s.rows, s.mat))
+            .collect();
+        (strips, self.n_rows, self.n_cols)
+    }
 }
 
 impl<F> MatrixShape for ParallelSpmv<F> {
@@ -99,32 +127,40 @@ impl<F> MatrixShape for ParallelSpmv<F> {
 impl<T: Scalar, F: SpMv<T> + Sync> SpMv<T> for ParallelSpmv<F> {
     fn spmv_into(&self, x: &[T], y: &mut [T]) {
         spmv_core::traits::check_spmv_dims(self, x, y);
-        // Split y into per-strip disjoint slices (strips are sorted and
-        // contiguous by construction).
-        let mut slices: Vec<(&Strip<F>, &mut [T])> = Vec::with_capacity(self.strips.len());
-        let mut rest = y;
-        let mut offset = 0usize;
-        for strip in &self.strips {
-            let (skip, tail) = rest.split_at_mut(strip.rows.start - offset);
-            skip.fill(T::ZERO); // rows not covered by any strip are zero
-            let (mine, tail) = tail.split_at_mut(strip.rows.len());
-            slices.push((strip, mine));
-            rest = tail;
-            offset = strip.rows.end;
-        }
-        rest.fill(T::ZERO);
-
-        if slices.len() == 1 {
-            // Single strip: avoid thread-spawn overhead entirely.
-            let (strip, ys) = slices.pop().expect("one strip");
-            strip.mat.spmv_into(x, ys);
-            return;
-        }
-        std::thread::scope(|scope| {
-            for (strip, ys) in slices {
-                scope.spawn(move || strip.mat.spmv_into(x, ys));
+        match self.strips.as_slice() {
+            // No strips (0×m matrix, or every partition came up empty):
+            // nothing to compute, every row is zero. Never enters
+            // `thread::scope`.
+            [] => y.fill(T::ZERO),
+            // Single strip: run inline — no slice bookkeeping, no
+            // thread-spawn overhead.
+            [strip] => {
+                y[..strip.rows.start].fill(T::ZERO);
+                y[strip.rows.end..].fill(T::ZERO);
+                strip.mat.spmv_into(x, &mut y[strip.rows.clone()]);
             }
-        });
+            strips => {
+                // Split y into per-strip disjoint slices (strips are
+                // sorted and contiguous by construction).
+                let mut slices: Vec<(&Strip<F>, &mut [T])> = Vec::with_capacity(strips.len());
+                let mut rest = y;
+                let mut offset = 0usize;
+                for strip in strips {
+                    let (skip, tail) = rest.split_at_mut(strip.rows.start - offset);
+                    skip.fill(T::ZERO); // rows not covered by any strip are zero
+                    let (mine, tail) = tail.split_at_mut(strip.rows.len());
+                    slices.push((strip, mine));
+                    rest = tail;
+                    offset = strip.rows.end;
+                }
+                rest.fill(T::ZERO);
+                std::thread::scope(|scope| {
+                    for (strip, ys) in slices {
+                        scope.spawn(move || strip.mat.spmv_into(x, ys));
+                    }
+                });
+            }
+        }
     }
 
     fn nnz_stored(&self) -> usize {
@@ -233,6 +269,60 @@ mod tests {
     fn empty_matrix_parallel() {
         let csr = Csr::<f64>::from_coo(&Coo::new(0, 4));
         let par = ParallelSpmv::from_csr(&csr, 2, &[], 1, Csr::clone);
+        assert_eq!(par.n_strips(), 0);
         assert_eq!(par.spmv(&[1.0; 4]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn no_strip_is_ever_empty() {
+        // n_threads far above the unit count: the partitioner produces
+        // empty tail ranges, but none may survive into a strip.
+        for (n, threads) in [(1usize, 8usize), (3, 16), (5, 5), (7, 3)] {
+            let csr = fixture(n, 6);
+            let par = ParallelSpmv::from_csr(&csr, threads, &csr_unit_weights(&csr), 1, Csr::clone);
+            assert!(par.n_strips() >= 1);
+            for rows in par.strip_rows() {
+                assert!(!rows.is_empty(), "{n} rows / {threads} threads left an empty strip");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_units_blocked() {
+        // Blocked units (height 4) with more threads than units: strips
+        // stay aligned, non-empty, and the product is unchanged.
+        let csr = fixture(10, 12);
+        let shape = BlockShape::new(4, 2).unwrap();
+        let par = ParallelSpmv::from_csr(
+            &csr,
+            9,
+            &bcsr_unit_weights(&csr, shape),
+            shape.rows(),
+            |s| Bcsr::from_csr(s, shape, KernelImpl::Scalar),
+        );
+        assert!(par.n_strips() <= 3); // ceil(10/4) = 3 units
+        for rows in par.strip_rows() {
+            assert!(!rows.is_empty());
+            assert_eq!(rows.start % 4, 0);
+        }
+        let x = vec![1.0; 12];
+        let want = csr.spmv(&x);
+        for (a, g) in want.iter().zip(par.spmv(&x).iter()) {
+            assert!((a - g).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_strip_fast_path_zeroes_uncovered_rows() {
+        // One thread over a matrix whose trailing rows hold no nonzeros:
+        // the inline fast path must still zero every output row.
+        let csr = Csr::from_coo(
+            &Coo::from_triplets(6, 4, vec![(0, 0, 2.0), (1, 3, 4.0)]).unwrap(),
+        );
+        let par = ParallelSpmv::from_csr(&csr, 1, &csr_unit_weights(&csr), 1, Csr::clone);
+        assert_eq!(par.n_strips(), 1);
+        let mut y = vec![f64::NAN; 6]; // poison: stale values must be overwritten
+        par.spmv_into(&[1.0; 4], &mut y);
+        assert_eq!(y, csr.spmv(&[1.0; 4]));
     }
 }

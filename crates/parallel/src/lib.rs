@@ -1,19 +1,52 @@
 #![warn(missing_docs)]
 
-//! Multithreaded SpMV: static nnz-balanced row partitioning plus a
-//! strip-per-thread execution driver.
+//! Multithreaded SpMV: static nnz-balanced row partitioning plus two
+//! execution drivers — scoped threads for one-shot multiplies and a
+//! persistent, optionally core-pinned worker pool for repeated ones.
 //!
 //! Reproduces the paper's multithreaded setup (§V-A): row-wise split into
 //! as many portions as threads, statically balanced so every thread gets
 //! the same number of *stored* elements — for padded formats that count
 //! includes the padding zeros. [`partition`] computes the weights and the
-//! split; [`ParallelSpmv`] owns the per-thread strips and runs them with
-//! scoped threads.
+//! split; [`ParallelSpmv`] runs the strips with per-call scoped threads;
+//! [`SpmvPool`] hosts the same strips on long-lived workers driven by an
+//! epoch barrier, with optional core pinning ([`affinity`]) and per-strip
+//! timing hooks for the multicore model.
+//!
+//! # Which driver?
+//!
+//! | | [`ParallelSpmv`] | [`SpmvPool`] |
+//! |---|---|---|
+//! | threads | spawned per call | spawned once, reused |
+//! | per-call cost | spawn + join per strip | epoch barrier (spin-then-park) |
+//! | pinning | no | [`PinPolicy`] |
+//! | timing hooks | no | [`StripReport`] per strip |
+//! | best for | a single multiply | solvers, benchmarks, services |
+//!
+//! # Example
+//!
+//! ```
+//! use spmv_core::{Coo, Csr, SpMv};
+//! use spmv_parallel::{csr_unit_weights, PinPolicy, SpmvPool};
+//!
+//! let csr = Csr::from_coo(&Coo::from_triplets(3, 3, vec![
+//!     (0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0),
+//! ]).unwrap());
+//! // Two persistent workers, balanced by per-row nonzeros.
+//! let pool = SpmvPool::from_csr(
+//!     &csr, 2, &csr_unit_weights(&csr), 1, Csr::clone, PinPolicy::None,
+//! );
+//! assert_eq!(pool.spmv(&[1.0, 1.0, 1.0]), csr.spmv(&[1.0, 1.0, 1.0]));
+//! ```
 
+pub mod affinity;
 pub mod driver;
 pub mod partition;
+pub mod pool;
 
+pub use affinity::PinPolicy;
 pub use driver::ParallelSpmv;
 pub use partition::{
     bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, partition_units, units_to_rows,
 };
+pub use pool::{SpmvPool, StripReport};

@@ -20,6 +20,28 @@ use spmv_kernels::BlockShape;
 /// zip them with threads. The greedy rule assigns units to the current
 /// part until its running total reaches the ideal share, then advances —
 /// the same static scheme the paper uses.
+///
+/// # Invariants
+///
+/// * exactly `parts` ranges are returned;
+/// * they are sorted, contiguous (`r[i].end == r[i+1].start`), start at
+///   0, and end at `weights.len()` — every unit lands in exactly one
+///   range;
+/// * ranges may be **empty** (more parts than units, or zero-weight
+///   tails); both drivers drop empty ranges before spawning threads,
+///   so a strip is never empty;
+/// * no part overshoots the ideal share `total/parts` by more than one
+///   unit's weight.
+///
+/// ```
+/// use spmv_parallel::partition_units;
+/// // 6 units, the heavy one (8) forces an uneven split: 8 | 2,2 | 2,2,2.
+/// let ranges = partition_units(&[8, 2, 2, 2, 2, 2], 3);
+/// assert_eq!(ranges, vec![0..1, 1..3, 3..6]);
+/// // More parts than units: tails come back empty and must be filtered.
+/// let ranges = partition_units(&[5, 5], 4);
+/// assert_eq!(ranges.iter().filter(|r| !r.is_empty()).count(), 2);
+/// ```
 pub fn partition_units(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
     assert!(parts > 0, "at least one partition required");
     let total: u64 = weights.iter().sum();
@@ -49,6 +71,22 @@ pub fn partition_units(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
 
 /// Converts unit ranges (units of `unit_height` rows) into row ranges,
 /// clamping the final range to `n_rows`.
+///
+/// # Invariants
+///
+/// * every produced `start` is a multiple of `unit_height` — a blocked
+///   strip never begins mid-block, so BCSR block rows and BCSD segments
+///   are never split across threads;
+/// * ends are clamped to `n_rows`, so the last strip absorbs a final
+///   partial unit when `n_rows % unit_height != 0`.
+///
+/// ```
+/// use spmv_parallel::units_to_rows;
+/// // 4 units of height 3 over 10 rows: the tail clamps to 10.
+/// let rows = units_to_rows(&[0..2, 2..4], 3, 10);
+/// assert_eq!(rows, vec![0..6, 6..10]);
+/// assert!(rows.iter().all(|r| r.start % 3 == 0));
+/// ```
 pub fn units_to_rows(
     unit_ranges: &[Range<usize>],
     unit_height: usize,
@@ -60,7 +98,17 @@ pub fn units_to_rows(
         .collect()
 }
 
-/// Per-row weights for CSR: the nonzero count of each row.
+/// Per-row weights for CSR: the nonzero count of each row
+/// (`unit_height = 1`; CSR stores no padding, so weight = nnz).
+///
+/// ```
+/// use spmv_core::{Coo, Csr};
+/// use spmv_parallel::csr_unit_weights;
+/// let csr = Csr::from_coo(&Coo::from_triplets(3, 3, vec![
+///     (0, 0, 1.0), (0, 1, 1.0), (2, 2, 1.0),
+/// ]).unwrap());
+/// assert_eq!(csr_unit_weights(&csr), vec![2, 0, 1]);
+/// ```
 pub fn csr_unit_weights<T: Scalar>(csr: &Csr<T>) -> Vec<u64> {
     (0..csr.n_rows()).map(|i| csr.row_nnz(i) as u64).collect()
 }
@@ -68,6 +116,26 @@ pub fn csr_unit_weights<T: Scalar>(csr: &Csr<T>) -> Vec<u64> {
 /// Per-block-row weights for BCSR: stored elements including padding
 /// (`blocks_in_block_row * r * c`). Partitioning block rows keeps strip
 /// boundaries aligned, so no block is ever split across threads.
+///
+/// # Invariants
+///
+/// * one weight per block row (`unit_height = shape.rows()`), i.e.
+///   `ceil(n_rows / r)` weights;
+/// * each weight counts **stored** elements — `r·c` per touched block —
+///   so it is always ≥ the raw nonzero count of those rows (§V-A: "we
+///   also accounted for the extra zero elements used for the padding").
+///
+/// ```
+/// use spmv_core::{Coo, Csr};
+/// use spmv_kernels::BlockShape;
+/// use spmv_parallel::bcsr_unit_weights;
+/// // One lone nonzero per 2x4 block row still weighs a full 8-element block.
+/// let csr = Csr::from_coo(&Coo::from_triplets(4, 8, vec![
+///     (0, 0, 1.0), (2, 5, 1.0),
+/// ]).unwrap());
+/// let w = bcsr_unit_weights(&csr, BlockShape::new(2, 4).unwrap());
+/// assert_eq!(w, vec![8, 8]);
+/// ```
 pub fn bcsr_unit_weights<T: Scalar>(csr: &Csr<T>, shape: BlockShape) -> Vec<u64> {
     let (r, c) = (shape.rows(), shape.cols());
     let n_rows = csr.n_rows();
@@ -94,6 +162,24 @@ pub fn bcsr_unit_weights<T: Scalar>(csr: &Csr<T>, shape: BlockShape) -> Vec<u64>
 
 /// Per-segment weights for BCSD: stored elements including padding
 /// (`blocks_in_segment * b`).
+///
+/// # Invariants
+///
+/// * one weight per height-`b` row segment (`unit_height = b`), i.e.
+///   `ceil(n_rows / b)` weights;
+/// * each weight counts stored elements — `b` per touched diagonal,
+///   including diagonals clipped by the matrix edge — so, like
+///   [`bcsr_unit_weights`], it dominates the raw nonzero count.
+///
+/// ```
+/// use spmv_core::{Coo, Csr};
+/// use spmv_parallel::bcsd_unit_weights;
+/// // Two nonzeros on the same diagonal of one segment: one block of 2.
+/// let csr = Csr::from_coo(&Coo::from_triplets(2, 4, vec![
+///     (0, 1, 1.0), (1, 2, 1.0),
+/// ]).unwrap());
+/// assert_eq!(bcsd_unit_weights(&csr, 2), vec![2]);
+/// ```
 pub fn bcsd_unit_weights<T: Scalar>(csr: &Csr<T>, b: usize) -> Vec<u64> {
     let n_rows = csr.n_rows();
     let n_segs = n_rows.div_ceil(b);

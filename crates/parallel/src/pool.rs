@@ -1,0 +1,782 @@
+//! A persistent, optionally core-pinned worker pool for repeated SpMV.
+//!
+//! [`crate::ParallelSpmv`] spawns scoped threads on *every* call, so a
+//! thread spawn + join (tens of microseconds) is paid per multiply —
+//! acceptable for a one-shot product, but it dominates exactly the
+//! small/medium matrices where the paper's models are most
+//! discriminating, and an iterative solver calling SpMV thousands of
+//! times cannot afford it. [`SpmvPool`] spawns its workers **once**:
+//!
+//! * each worker owns its row strip (the same padding-aware partitioning
+//!   as the scoped driver) and is optionally pinned to a core
+//!   ([`crate::affinity`]);
+//! * every [`SpMv::spmv_into`] call is one *epoch*: the driver publishes
+//!   the input vector, bumps an atomic epoch counter, and the workers —
+//!   spinning briefly, then parked — wake, multiply their strip into a
+//!   disjoint slice of a shared output buffer, and report completion;
+//! * per-strip wall-clock timings (min / median nanoseconds per
+//!   iteration) are recorded on every epoch, so the multicore model
+//!   (`spmv-model::multicore`) can consume *measured* per-thread
+//!   imbalance instead of assuming perfect static balance.
+//!
+//! # Example
+//!
+//! ```
+//! use spmv_core::{Coo, Csr, SpMv};
+//! use spmv_parallel::{csr_unit_weights, PinPolicy, SpmvPool};
+//!
+//! let csr = Csr::from_coo(&Coo::from_triplets(4, 4, vec![
+//!     (0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 3, 4.0),
+//! ]).unwrap());
+//! let pool = SpmvPool::from_csr(
+//!     &csr, 2, &csr_unit_weights(&csr), 1, Csr::clone, PinPolicy::None,
+//! );
+//! for _ in 0..10 {
+//!     assert_eq!(pool.spmv(&[1.0; 4]), csr.spmv(&[1.0; 4]));
+//! }
+//! assert_eq!(pool.iterations(), 10);
+//! // The same two OS threads served all ten calls.
+//! for report in pool.strip_reports() {
+//!     assert_eq!(report.iterations, 10);
+//!     assert!(!report.respawned);
+//! }
+//! ```
+
+use core::ops::Range;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle, Thread, ThreadId};
+use std::time::{Duration, Instant};
+
+use crate::affinity::PinPolicy;
+use crate::driver::ParallelSpmv;
+use spmv_core::{Csr, MatrixShape, Scalar, SpMv};
+
+/// Epoch value ordering workers to exit. Driver epochs count up from 1,
+/// so this sentinel is unreachable in any realistic run.
+const SHUTDOWN: u64 = u64::MAX;
+
+/// Spin iterations before a waiting worker parks (spin-then-park): long
+/// enough that back-to-back solver iterations never pay a park/unpark,
+/// short enough that an idle pool costs no measurable CPU. Used only
+/// when every worker (plus the driver) can own a hardware thread;
+/// oversubscribed pools skip spinning entirely — burning the one shared
+/// core in a spin loop would starve the very workers being waited on.
+const WORKER_SPINS: u32 = 1 << 14;
+
+/// Sched-yield rounds between the spin phase and the first park.
+const WORKER_YIELDS: u32 = 32;
+
+/// How long a parked worker sleeps before re-checking the epoch; parked
+/// workers are also explicitly unparked at every epoch, so this only
+/// bounds the recovery time from a lost wakeup.
+const PARK_INTERVAL: Duration = Duration::from_micros(200);
+
+/// Spin iterations before the driver starts yielding while waiting for
+/// strips to finish (again only when hardware threads are plentiful).
+const DRIVER_SPINS: u32 = 1 << 14;
+
+/// Per-strip timing samples kept for the median (a ring of the most
+/// recent iterations; min and count cover the whole history).
+const SAMPLE_CAP: usize = 512;
+
+/// The input-vector slot: a raw pointer + length published by the driver
+/// before each epoch and read by every worker during it.
+///
+/// Safety protocol: the driver writes the slot only while the pool is
+/// *quiescent* (all workers' `done` counters equal the current epoch),
+/// and workers read it only between the driver's `Release` store of the
+/// new epoch and their own `Release` store of `done` — so writes and
+/// reads are never concurrent, and the pointed-to slice outlives the
+/// epoch because the driver blocks until every worker reports done.
+struct XSlot<T> {
+    slot: UnsafeCell<(*const T, usize)>,
+}
+
+// SAFETY: access is serialized by the epoch protocol described above;
+// `T: Sync` lets many workers read the published slice concurrently.
+unsafe impl<T: Sync> Sync for XSlot<T> {}
+// SAFETY: the raw pointer is only a capability to read a `&[T]` that the
+// driver re-publishes each epoch; sending the slot between threads is
+// harmless for `T: Send + Sync`.
+unsafe impl<T: Send> Send for XSlot<T> {}
+
+impl<T> XSlot<T> {
+    fn new() -> Self {
+        XSlot {
+            slot: UnsafeCell::new((core::ptr::null(), 0)),
+        }
+    }
+
+    /// Publishes `x` for the coming epoch.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the driver lock with the pool quiescent.
+    unsafe fn set(&self, x: &[T]) {
+        *self.slot.get() = (x.as_ptr(), x.len());
+    }
+
+    /// The slice published for the current epoch.
+    ///
+    /// # Safety
+    ///
+    /// May only be called by a worker inside an epoch (after observing
+    /// the epoch store that happened-after [`XSlot::set`]).
+    unsafe fn get<'a>(&self) -> &'a [T] {
+        let (ptr, len) = *self.slot.get();
+        if len == 0 {
+            &[]
+        } else {
+            core::slice::from_raw_parts(ptr, len)
+        }
+    }
+}
+
+/// The shared output buffer: one `UnsafeCell` per element so disjoint
+/// row ranges can be written concurrently without aliasing a single
+/// `&mut` over the whole buffer.
+///
+/// The safe wrapper enforces disjointness structurally: strip row ranges
+/// are validated non-overlapping at pool construction, and each worker
+/// only ever derives a mutable slice over its own range.
+struct SharedOutput<T> {
+    buf: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: concurrent mutation is confined to disjoint element ranges by
+// the pool's strip validation; `T: Send` suffices because no element is
+// ever accessed from two threads at once.
+unsafe impl<T: Send> Sync for SharedOutput<T> {}
+
+impl<T: Scalar> SharedOutput<T> {
+    fn zeroed(n: usize) -> Self {
+        SharedOutput {
+            buf: (0..n).map(|_| UnsafeCell::new(T::ZERO)).collect(),
+        }
+    }
+
+    /// Mutable view of `rows`, for exactly one worker per epoch.
+    ///
+    /// # Safety
+    ///
+    /// `rows` must not overlap any range concurrently handed to another
+    /// thread (guaranteed by strip validation), and the caller must be
+    /// inside an epoch for that range.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, rows: Range<usize>) -> &mut [T] {
+        let cells = &self.buf[rows];
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`; the cells
+        // are contiguous, and the caller guarantees exclusive access.
+        core::slice::from_raw_parts_mut(UnsafeCell::raw_get(cells.as_ptr()), cells.len())
+    }
+
+    /// Read-only view of the whole buffer.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the driver lock with the pool quiescent.
+    unsafe fn as_slice(&self) -> &[T] {
+        // SAFETY: quiescence means no worker holds a `&mut` into the
+        // buffer; layout identity as in `slice_mut`.
+        core::slice::from_raw_parts(UnsafeCell::raw_get(self.buf.as_ptr()), self.buf.len())
+    }
+}
+
+/// Per-strip timing history, updated by its worker on every epoch.
+#[derive(Debug)]
+struct StripTiming {
+    count: u64,
+    min_ns: u64,
+    samples: Vec<u64>,
+    next: usize,
+    thread_ids: Vec<ThreadId>,
+}
+
+impl StripTiming {
+    fn new() -> Self {
+        StripTiming {
+            count: 0,
+            min_ns: u64::MAX,
+            samples: Vec::new(),
+            next: 0,
+            thread_ids: Vec::new(),
+        }
+    }
+
+    fn note_thread(&mut self, id: ThreadId) {
+        if !self.thread_ids.contains(&id) {
+            self.thread_ids.push(id);
+        }
+    }
+
+    fn record(&mut self, ns: u64, id: ThreadId) {
+        self.count += 1;
+        self.min_ns = self.min_ns.min(ns);
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(ns);
+        } else {
+            self.samples[self.next] = ns;
+            self.next = (self.next + 1) % SAMPLE_CAP;
+        }
+        self.note_thread(id);
+    }
+
+    fn median_ns(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+}
+
+/// Timing summary for one strip of a [`SpmvPool`].
+#[derive(Debug, Clone)]
+pub struct StripReport {
+    /// The rows this strip covers.
+    pub rows: Range<usize>,
+    /// Iterations executed by this strip's worker so far.
+    pub iterations: u64,
+    /// Fastest observed iteration, in nanoseconds (0 before the first).
+    pub min_ns: u64,
+    /// Median of the most recent iterations (≤ 512 samples; 0 before the
+    /// first).
+    pub median_ns: u64,
+    /// `true` if more than one OS thread ever served this strip — always
+    /// `false` for a healthy pool, since workers live for the pool's
+    /// whole lifetime.
+    pub respawned: bool,
+}
+
+/// One worker's synchronization + instrumentation state, cache-line
+/// padded so the per-worker `done` counters never false-share.
+#[repr(align(64))]
+struct WorkerState {
+    done: AtomicU64,
+    timing: Mutex<StripTiming>,
+}
+
+impl WorkerState {
+    fn new() -> Self {
+        WorkerState {
+            done: AtomicU64::new(0),
+            timing: Mutex::new(StripTiming::new()),
+        }
+    }
+}
+
+/// State shared between the driver and all workers.
+struct PoolShared<T> {
+    epoch: AtomicU64,
+    poisoned: AtomicBool,
+    /// Spin iterations granted to waiting threads: [`WORKER_SPINS`] /
+    /// [`DRIVER_SPINS`] when workers + driver fit the hardware threads,
+    /// 0 when oversubscribed (yield straight away so runnable workers
+    /// get the core).
+    spin_budget: u32,
+    x: XSlot<T>,
+    y: SharedOutput<T>,
+    workers: Vec<WorkerState>,
+}
+
+/// Driver-side epoch counter, behind a mutex so concurrent `spmv_into`
+/// calls on a shared pool serialize instead of racing on the x slot.
+struct DriverState {
+    epoch: u64,
+}
+
+/// A persistent worker pool executing row-partitioned SpMV.
+///
+/// Workers are spawned once at construction (optionally pinned per
+/// [`PinPolicy`]), each owning one row strip in the format under test;
+/// every [`SpMv::spmv_into`] call drives one epoch through a lightweight
+/// spin-then-park barrier. See the [module docs](self) for the protocol
+/// and a usage example.
+///
+/// The pool is format-erased: the strip format `F` is a construction
+/// parameter only, so heterogeneous pools can share one code path in
+/// harnesses. Dropping the pool shuts the workers down and joins them.
+pub struct SpmvPool<T: Scalar> {
+    shared: Arc<PoolShared<T>>,
+    driver: Mutex<DriverState>,
+    worker_threads: Vec<Thread>,
+    handles: Vec<JoinHandle<()>>,
+    strip_rows: Vec<Range<usize>>,
+    n_rows: usize,
+    n_cols: usize,
+    nnz_stored: usize,
+    matrix_bytes: usize,
+}
+
+impl<T: Scalar> SpmvPool<T> {
+    /// Builds a pool from explicit `(rows, strip)` pairs.
+    ///
+    /// Strips must be sorted, non-empty, mutually disjoint, and contained
+    /// in `0..n_rows`; rows not covered by any strip yield zeros. Use
+    /// [`SpmvPool::from_csr`] for the common weight-balanced path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a strip range is empty, out of bounds, or overlaps its
+    /// predecessor, or if a strip's shape disagrees with its range.
+    pub fn new<F>(strips: Vec<(Range<usize>, F)>, n_rows: usize, n_cols: usize, pin: PinPolicy) -> Self
+    where
+        F: SpMv<T> + Send + 'static,
+    {
+        let mut prev_end = 0usize;
+        for (rows, mat) in &strips {
+            assert!(!rows.is_empty(), "empty strip {rows:?}");
+            assert!(rows.start >= prev_end, "strips overlap or are unsorted at {rows:?}");
+            assert!(rows.end <= n_rows, "strip {rows:?} exceeds {n_rows} rows");
+            assert_eq!(mat.n_rows(), rows.len(), "strip shape disagrees with its range");
+            assert_eq!(mat.n_cols(), n_cols, "strip column count disagrees");
+            prev_end = rows.end;
+        }
+        let nnz_stored = strips.iter().map(|(_, m)| m.nnz_stored()).sum();
+        let matrix_bytes = strips.iter().map(|(_, m)| m.matrix_bytes()).sum();
+        let strip_rows: Vec<Range<usize>> = strips.iter().map(|(r, _)| r.clone()).collect();
+
+        // Workers + the driving thread all need their own hardware
+        // thread for busy-waiting to be profitable.
+        let oversubscribed = strips.len() + 1 > crate::affinity::available_cores();
+        let shared = Arc::new(PoolShared {
+            epoch: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            spin_budget: if oversubscribed { 0 } else { WORKER_SPINS },
+            x: XSlot::new(),
+            y: SharedOutput::zeroed(n_rows),
+            workers: strips.iter().map(|_| WorkerState::new()).collect(),
+        });
+
+        let mut handles = Vec::with_capacity(strips.len());
+        let mut worker_threads = Vec::with_capacity(strips.len());
+        for (idx, (rows, mat)) in strips.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let core = pin.core_for(idx);
+            let handle = thread::Builder::new()
+                .name(format!("spmv-pool-{idx}"))
+                .spawn(move || worker_loop(shared, idx, rows, mat, core))
+                .expect("spawn pool worker");
+            worker_threads.push(handle.thread().clone());
+            handles.push(handle);
+        }
+
+        SpmvPool {
+            shared,
+            driver: Mutex::new(DriverState { epoch: 0 }),
+            worker_threads,
+            handles,
+            strip_rows,
+            n_rows,
+            n_cols,
+            nnz_stored,
+            matrix_bytes,
+        }
+    }
+
+    /// Consumes a scoped-thread [`ParallelSpmv`] and re-hosts its strips
+    /// on a persistent pool.
+    pub fn from_parallel<F>(par: ParallelSpmv<F>, pin: PinPolicy) -> Self
+    where
+        F: SpMv<T> + Send + 'static,
+    {
+        let (strips, n_rows, n_cols) = par.into_parts();
+        Self::new(strips, n_rows, n_cols, pin)
+    }
+
+    /// Partitions `csr` into `n_threads` weight-balanced strips (same
+    /// rules as [`ParallelSpmv::from_csr`]) and hosts them on a pool.
+    pub fn from_csr<F>(
+        csr: &Csr<T>,
+        n_threads: usize,
+        unit_weights: &[u64],
+        unit_height: usize,
+        build: impl Fn(&Csr<T>) -> F,
+        pin: PinPolicy,
+    ) -> Self
+    where
+        F: SpMv<T> + Send + 'static,
+    {
+        Self::from_parallel(
+            ParallelSpmv::from_csr(csr, n_threads, unit_weights, unit_height, build),
+            pin,
+        )
+    }
+
+    /// Number of live workers (= non-empty strips, ≤ requested threads).
+    pub fn n_workers(&self) -> usize {
+        self.strip_rows.len()
+    }
+
+    /// The row ranges assigned to each worker.
+    pub fn strip_rows(&self) -> Vec<Range<usize>> {
+        self.strip_rows.clone()
+    }
+
+    /// Epochs (SpMV calls) completed by the pool so far.
+    pub fn iterations(&self) -> u64 {
+        self.driver.lock().unwrap_or_else(|e| e.into_inner()).epoch
+    }
+
+    /// Per-strip timing summaries (see [`StripReport`]).
+    pub fn strip_reports(&self) -> Vec<StripReport> {
+        self.strip_rows
+            .iter()
+            .zip(&self.shared.workers)
+            .map(|(rows, w)| {
+                let t = w.timing.lock().unwrap_or_else(|e| e.into_inner());
+                StripReport {
+                    rows: rows.clone(),
+                    iterations: t.count,
+                    min_ns: if t.count == 0 { 0 } else { t.min_ns },
+                    median_ns: t.median_ns(),
+                    respawned: t.thread_ids.len() > 1,
+                }
+            })
+            .collect()
+    }
+
+    /// The distinct OS thread ids that have served each strip, in order
+    /// of first observation. A healthy pool has exactly one per strip —
+    /// the respawn-detection hook used by the equivalence tests.
+    pub fn worker_thread_ids(&self) -> Vec<Vec<ThreadId>> {
+        self.shared
+            .workers
+            .iter()
+            .map(|w| {
+                w.timing
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .thread_ids
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Median measured seconds per iteration for every strip — the
+    /// measured-imbalance input to
+    /// `spmv_model::multicore::predict_threaded_measured`.
+    ///
+    /// Returns `None` until every strip has completed at least one
+    /// timed iteration (run a warm-up [`SpMv::spmv`] first).
+    pub fn measured_strip_seconds(&self) -> Option<Vec<f64>> {
+        let reports = self.strip_reports();
+        if reports.is_empty() || reports.iter().any(|r| r.iterations == 0) {
+            return None;
+        }
+        Some(reports.iter().map(|r| r.median_ns as f64 * 1e-9).collect())
+    }
+
+    /// Runs one epoch: publish `x`, wake the workers, wait for all
+    /// strips, and return the guard that keeps the pool quiescent while
+    /// the caller copies the output out.
+    fn run_epoch(&self, x: &[T]) -> MutexGuard<'_, DriverState> {
+        let mut st = self.driver.lock().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the driver lock is held and every worker's `done`
+        // equals `st.epoch`, so no worker is reading the slot.
+        unsafe { self.shared.x.set(x) };
+        st.epoch += 1;
+        self.shared.epoch.store(st.epoch, Ordering::Release);
+        for t in &self.worker_threads {
+            t.unpark();
+        }
+        let spin_budget = if self.shared.spin_budget == 0 {
+            0
+        } else {
+            DRIVER_SPINS
+        };
+        for w in &self.shared.workers {
+            let mut spins = 0u32;
+            while w.done.load(Ordering::Acquire) < st.epoch {
+                spins = spins.saturating_add(1);
+                if spins < spin_budget {
+                    core::hint::spin_loop();
+                } else {
+                    thread::yield_now();
+                }
+            }
+        }
+        assert!(
+            !self.shared.poisoned.load(Ordering::Acquire),
+            "a pool worker panicked during SpMV"
+        );
+        st
+    }
+}
+
+impl<T: Scalar> MatrixShape for SpmvPool<T> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+}
+
+impl<T: Scalar> SpMv<T> for SpmvPool<T> {
+    fn spmv_into(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        if self.n_rows == 0 {
+            return;
+        }
+        if self.shared.workers.is_empty() {
+            y.fill(T::ZERO);
+            return;
+        }
+        let guard = self.run_epoch(x);
+        // SAFETY: `guard` keeps the pool quiescent; uncovered rows were
+        // zero-initialized and are never written, so a straight copy is
+        // complete.
+        y.copy_from_slice(unsafe { self.shared.y.as_slice() });
+        drop(guard);
+    }
+
+    fn nnz_stored(&self) -> usize {
+        self.nnz_stored
+    }
+
+    fn matrix_bytes(&self) -> usize {
+        self.matrix_bytes
+    }
+}
+
+impl<T: Scalar> core::fmt::Debug for SpmvPool<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SpmvPool")
+            .field("n_rows", &self.n_rows)
+            .field("n_cols", &self.n_cols)
+            .field("strip_rows", &self.strip_rows)
+            .field("iterations", &self.iterations())
+            .finish()
+    }
+}
+
+impl<T: Scalar> Drop for SpmvPool<T> {
+    fn drop(&mut self) {
+        self.shared.epoch.store(SHUTDOWN, Ordering::Release);
+        for t in &self.worker_threads {
+            t.unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The body of one pool worker: pin, then serve epochs until shutdown.
+fn worker_loop<T: Scalar, F: SpMv<T>>(
+    shared: Arc<PoolShared<T>>,
+    idx: usize,
+    rows: Range<usize>,
+    mat: F,
+    core: Option<usize>,
+) {
+    if let Some(c) = core {
+        // Best-effort: a rejected mask (e.g. restricted cpuset) leaves
+        // the worker unpinned but fully functional.
+        let _ = crate::affinity::pin_current_thread(c);
+    }
+    let me = &shared.workers[idx];
+    me.timing
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .note_thread(thread::current().id());
+
+    let mut done = 0u64;
+    loop {
+        let target = done + 1;
+        let mut spins = 0u32;
+        loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e == SHUTDOWN {
+                return;
+            }
+            if e >= target {
+                break;
+            }
+            spins = spins.saturating_add(1);
+            if spins < shared.spin_budget {
+                core::hint::spin_loop();
+            } else if spins < shared.spin_budget + WORKER_YIELDS {
+                thread::yield_now();
+            } else {
+                thread::park_timeout(PARK_INTERVAL);
+            }
+        }
+
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: we are inside epoch `target`: the driver published
+            // `x` before the epoch store we just observed, blocks until
+            // our `done` store below, and `rows` is this worker's
+            // exclusive, validated-disjoint output range.
+            let x = unsafe { shared.x.get() };
+            let y = unsafe { shared.y.slice_mut(rows.clone()) };
+            mat.spmv_into(x, y);
+        }));
+        let ns = t0.elapsed().as_nanos() as u64;
+        match result {
+            Ok(()) => me
+                .timing
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(ns, thread::current().id()),
+            Err(_) => shared.poisoned.store(true, Ordering::Release),
+        }
+        done = target;
+        me.done.store(done, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::csr_unit_weights;
+    use spmv_core::Coo;
+
+    fn fixture(n: usize, m: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, m);
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            for _ in 0..1 + (next() as usize) % 4 {
+                let _ = coo.push(i, (next() as usize) % m, 1.0 + (next() % 5) as f64);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    fn pool_for(csr: &Csr<f64>, threads: usize) -> SpmvPool<f64> {
+        SpmvPool::from_csr(
+            csr,
+            threads,
+            &csr_unit_weights(csr),
+            1,
+            Csr::clone,
+            PinPolicy::None,
+        )
+    }
+
+    #[test]
+    fn pool_matches_sequential_csr_bitwise() {
+        let csr = fixture(113, 67);
+        let x: Vec<f64> = (0..67).map(|i| 1.0 + (i % 11) as f64).collect();
+        let want = csr.spmv(&x);
+        for threads in [1, 2, 4, 8] {
+            let pool = pool_for(&csr, threads);
+            assert_eq!(pool.spmv(&x), want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_same_threads() {
+        let csr = fixture(64, 64);
+        let x = vec![1.0; 64];
+        let pool = pool_for(&csr, 4);
+        let want = csr.spmv(&x);
+        let mut y = vec![0.0; 64];
+        for _ in 0..1000 {
+            pool.spmv_into(&x, &mut y);
+        }
+        assert_eq!(y, want);
+        assert_eq!(pool.iterations(), 1000);
+        let ids = pool.worker_thread_ids();
+        assert_eq!(ids.len(), pool.n_workers());
+        for per_strip in &ids {
+            assert_eq!(per_strip.len(), 1, "strip was served by more than one thread");
+        }
+        for report in pool.strip_reports() {
+            assert_eq!(report.iterations, 1000);
+            assert!(!report.respawned);
+            assert!(report.min_ns > 0);
+            assert!(report.median_ns >= report.min_ns);
+        }
+    }
+
+    #[test]
+    fn timings_become_available_after_first_call() {
+        let csr = fixture(40, 40);
+        let pool = pool_for(&csr, 2);
+        assert!(pool.measured_strip_seconds().is_none());
+        let _ = pool.spmv(&vec![1.0; 40]);
+        let t = pool.measured_strip_seconds().expect("timed after one call");
+        assert_eq!(t.len(), pool.n_workers());
+        assert!(t.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn empty_matrix_pool() {
+        let csr = Csr::<f64>::from_coo(&Coo::new(0, 5));
+        let pool = pool_for(&csr, 3);
+        assert_eq!(pool.n_workers(), 0);
+        assert_eq!(pool.spmv(&[1.0; 5]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn more_threads_than_rows_pool() {
+        let csr = fixture(3, 6);
+        let pool = pool_for(&csr, 16);
+        assert!(pool.n_workers() <= 3);
+        let x = vec![1.0; 6];
+        assert_eq!(pool.spmv(&x), csr.spmv(&x));
+    }
+
+    #[test]
+    fn pinned_pool_still_computes_correctly() {
+        let csr = fixture(50, 50);
+        let x = vec![2.0; 50];
+        let want = csr.spmv(&x);
+        let pool = SpmvPool::from_csr(
+            &csr,
+            2,
+            &csr_unit_weights(&csr),
+            1,
+            Csr::clone,
+            PinPolicy::Compact,
+        );
+        assert_eq!(pool.spmv(&x), want);
+    }
+
+    #[test]
+    fn nnz_and_bytes_aggregate_like_scoped_driver() {
+        let csr = fixture(60, 60);
+        let par = ParallelSpmv::from_csr(&csr, 4, &csr_unit_weights(&csr), 1, Csr::clone);
+        let (par_nnz, par_bytes) = (par.nnz_stored(), par.matrix_bytes());
+        let pool = SpmvPool::from_parallel(par, PinPolicy::None);
+        assert_eq!(pool.nnz_stored(), par_nnz);
+        assert_eq!(pool.matrix_bytes(), par_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "strips overlap")]
+    fn overlapping_strips_are_rejected() {
+        let csr = fixture(10, 10);
+        let a = csr.row_slice(0..6);
+        let b = csr.row_slice(4..10);
+        let _ = SpmvPool::new(vec![(0..6, a), (4..10, b)], 10, 10, PinPolicy::None);
+    }
+
+    #[test]
+    fn uncovered_rows_stay_zero() {
+        // A strip covering only the middle rows: everything else is 0.
+        let csr = fixture(9, 9);
+        let mid = csr.row_slice(3..6);
+        let pool = SpmvPool::new(vec![(3..6, mid)], 9, 9, PinPolicy::None);
+        let x = vec![1.0; 9];
+        let y = pool.spmv(&x);
+        let want = csr.spmv(&x);
+        for i in 0..9 {
+            let expect = if (3..6).contains(&i) { want[i] } else { 0.0 };
+            assert_eq!(y[i], expect, "row {i}");
+        }
+    }
+}

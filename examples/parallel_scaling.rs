@@ -1,11 +1,18 @@
-//! Multithreaded SpMV with padding-aware load balancing.
+//! Multithreaded SpMV with padding-aware load balancing on a persistent
+//! worker pool.
 //!
 //! Reproduces the paper's §V-A threading setup on one matrix: the rows
 //! are split into as many nnz-balanced strips as threads (counting
-//! padding for the padded formats), and every strip runs in its own
-//! thread. Prints the measured time per SpMV at 1, 2, and 4 threads for
-//! CSR and the best BCSR shape, plus the strip boundaries so the
-//! balancing is visible.
+//! padding for the padded formats), and every strip runs on its own
+//! long-lived, core-pinned worker (`SpmvPool`). Prints the measured time
+//! per SpMV at 1, 2, and 4 threads for CSR and the best BCSR shape, the
+//! strip boundaries so the balancing is visible, and each strip's
+//! measured per-iteration time — whose max/mean ratio is the measured
+//! imbalance the multicore model can consume
+//! (`spmv_model::multicore::predict_threaded_measured`).
+//!
+//! The scoped-thread driver (`ParallelSpmv`) is measured alongside at 4
+//! threads to show the per-call spawn overhead the pool eliminates.
 //!
 //! ```sh
 //! cargo run --release --example parallel_scaling
@@ -15,8 +22,11 @@ use blocked_spmv::core::{Csr, MatrixShape, SpMv};
 use blocked_spmv::formats::Bcsr;
 use blocked_spmv::gen::{random_vector, GenSpec};
 use blocked_spmv::kernels::{BlockShape, KernelImpl};
+use blocked_spmv::model::multicore::imbalance_factor;
 use blocked_spmv::model::timing::measure_spmv;
-use blocked_spmv::parallel::{bcsr_unit_weights, csr_unit_weights, ParallelSpmv};
+use blocked_spmv::parallel::{
+    bcsr_unit_weights, csr_unit_weights, ParallelSpmv, PinPolicy, SpmvPool,
+};
 
 fn main() {
     let csr: Csr<f64> = GenSpec::FemBlocks {
@@ -41,26 +51,29 @@ fn main() {
     let reference = csr.spmv(&x);
 
     for threads in [1, 2, 4] {
-        // CSR strips balanced by nonzeros per row.
-        let par_csr = ParallelSpmv::from_csr(
+        // CSR strips balanced by nonzeros per row, one persistent pinned
+        // worker per strip.
+        let pool_csr = SpmvPool::from_csr(
             &csr,
             threads,
             &csr_unit_weights(&csr),
             1,
             Csr::clone,
+            PinPolicy::Compact,
         );
         // BCSR strips balanced by stored elements (padding included),
         // boundaries aligned to block rows.
-        let par_bcsr = ParallelSpmv::from_csr(
+        let pool_bcsr = SpmvPool::from_csr(
             &csr,
             threads,
             &bcsr_unit_weights(&csr, shape),
             shape.rows(),
             |s| Bcsr::from_csr(s, shape, KernelImpl::Simd),
+            PinPolicy::Compact,
         );
 
         // Correctness across the strip boundaries.
-        let got = par_bcsr.spmv(&x);
+        let got = pool_bcsr.spmv(&x);
         let max_err = reference
             .iter()
             .zip(&got)
@@ -68,22 +81,53 @@ fn main() {
             .fold(0.0f64, f64::max);
         assert!(max_err < 1e-6, "parallel result diverged");
 
-        let t_csr = measure_spmv(&par_csr, &x, 5e-3, 3);
-        let t_bcsr = measure_spmv(&par_bcsr, &x, 5e-3, 3);
+        let t_csr = measure_spmv(&pool_csr, &x, 5e-3, 3);
+        let t_bcsr = measure_spmv(&pool_bcsr, &x, 5e-3, 3);
         println!(
             "{threads} thread(s): CSR {:>8.3} ms | BCSR {} simd {:>8.3} ms | strips: {:?}",
             t_csr * 1e3,
             shape,
             t_bcsr * 1e3,
-            par_bcsr
+            pool_bcsr
                 .strip_rows()
                 .iter()
                 .map(|r| format!("{}..{}", r.start, r.end))
                 .collect::<Vec<_>>()
         );
+        if let Some(per_strip) = pool_bcsr.measured_strip_seconds() {
+            let medians: Vec<String> = per_strip
+                .iter()
+                .map(|s| format!("{:.3} ms", s * 1e3))
+                .collect();
+            println!(
+                "            per-strip medians {:?} -> measured imbalance {:.3}",
+                medians,
+                imbalance_factor(&per_strip)
+            );
+        }
     }
+
+    // The pool's raison d'être: per-call cost vs freshly scoped threads.
+    let scoped = ParallelSpmv::from_csr(&csr, 4, &csr_unit_weights(&csr), 1, Csr::clone);
+    let pooled = SpmvPool::from_csr(
+        &csr,
+        4,
+        &csr_unit_weights(&csr),
+        1,
+        Csr::clone,
+        PinPolicy::Compact,
+    );
+    let t_scoped = measure_spmv(&scoped, &x, 5e-3, 3);
+    let t_pooled = measure_spmv(&pooled, &x, 5e-3, 3);
     println!(
-        "\nnote: speedups require real cores; on a single-core host the \
+        "\n4-thread CSR per call: scoped threads {:.3} ms | pooled {:.3} ms \
+         ({:.1}x per-call cost removed by the pool)",
+        t_scoped * 1e3,
+        t_pooled * 1e3,
+        t_scoped / t_pooled
+    );
+    println!(
+        "note: speedups require real cores; on a single-core host the \
          2- and 4-thread rows only demonstrate correctness of the partitioning."
     );
 }

@@ -1,12 +1,18 @@
 //! Property tests for the multithreaded driver: partitions are valid for
 //! arbitrary weights, and parallel SpMV equals sequential SpMV for every
 //! format and thread count.
+//!
+//! The deterministic tests at the bottom cover the persistent worker
+//! pool ([`SpmvPool`]): pooled results are bit-identical to serial
+//! `Csr::spmv` for every format, and the pool really does reuse its
+//! threads across thousands of calls instead of respawning.
 
-use blocked_spmv::core::{Coo, Csr, SpMv};
-use blocked_spmv::formats::{Bcsd, Bcsr};
+use blocked_spmv::core::{Coo, Csr, MatrixShape, SpMv};
+use blocked_spmv::formats::{Bcsd, BcsdDec, Bcsr, BcsrDec, Vbl};
 use blocked_spmv::kernels::{BlockShape, KernelImpl};
 use blocked_spmv::parallel::{
     bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, partition_units, ParallelSpmv,
+    PinPolicy, SpmvPool,
 };
 use proptest::prelude::*;
 
@@ -132,5 +138,164 @@ proptest! {
                 .sum();
             prop_assert!(wb >= nnz, "unit {}: weight {} < nnz {}", rb, wb, nnz);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic pool tests: exact equivalence and thread persistence.
+// ---------------------------------------------------------------------------
+
+/// Deterministic sparse fixture (xorshift-seeded, strictly positive
+/// values so every format sums the same terms and results compare
+/// bitwise equal).
+fn pool_fixture(n: usize, m: usize, seed: u64) -> Csr<f64> {
+    let mut coo = Coo::new(n, m);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..n {
+        for _ in 0..1 + (next() as usize) % 6 {
+            let _ = coo.push(i, (next() as usize) % m, 1.0 + (next() % 7) as f64);
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+/// Per-unit raw nonzero weights for the decomposed (padding-free)
+/// formats, aligned to `unit` rows.
+fn nnz_unit_weights(csr: &Csr<f64>, unit: usize) -> Vec<u64> {
+    let mut w = vec![0u64; csr.n_rows().div_ceil(unit)];
+    for i in 0..csr.n_rows() {
+        w[i / unit] += csr.row_nnz(i) as u64;
+    }
+    w
+}
+
+/// Asserts that a pool built over `build` strips reproduces serial
+/// `Csr::spmv` bit for bit at 1, 2, and 4 threads.
+fn assert_pool_matches_csr<F, B>(csr: &Csr<f64>, weights: &[u64], unit: usize, build: B)
+where
+    F: SpMv<f64> + Send + 'static,
+    B: Fn(&Csr<f64>) -> F,
+{
+    let x: Vec<f64> = (0..csr.n_cols())
+        .map(|i| 1.0 + (i % 4) as f64 * 0.5)
+        .collect();
+    let want = csr.spmv(&x);
+    for threads in [1usize, 2, 4] {
+        let pool = SpmvPool::from_csr(csr, threads, weights, unit, &build, PinPolicy::None);
+        // Twice: the second call reuses the already-hot epoch barrier.
+        assert_eq!(pool.spmv(&x), want, "{threads} threads, first call");
+        assert_eq!(pool.spmv(&x), want, "{threads} threads, second call");
+    }
+}
+
+#[test]
+fn pool_csr_is_bit_identical_to_serial() {
+    let csr = pool_fixture(97, 53, 0xABCD);
+    assert_pool_matches_csr(&csr, &csr_unit_weights(&csr), 1, Csr::clone);
+}
+
+#[test]
+fn pool_bcsr_is_bit_identical_to_serial() {
+    let csr = pool_fixture(97, 53, 0xBEEF);
+    let shape = BlockShape::new(2, 3).unwrap();
+    assert_pool_matches_csr(&csr, &bcsr_unit_weights(&csr, shape), shape.rows(), |s| {
+        Bcsr::from_csr(s, shape, KernelImpl::Scalar)
+    });
+}
+
+#[test]
+fn pool_bcsr_dec_is_bit_identical_to_serial() {
+    let csr = pool_fixture(90, 60, 0xC0FFEE);
+    let shape = BlockShape::new(2, 2).unwrap();
+    assert_pool_matches_csr(&csr, &nnz_unit_weights(&csr, shape.rows()), shape.rows(), |s| {
+        BcsrDec::from_csr(s, shape, KernelImpl::Scalar)
+    });
+}
+
+#[test]
+fn pool_bcsd_is_bit_identical_to_serial() {
+    let csr = pool_fixture(97, 53, 0xD00D);
+    let b = 4;
+    assert_pool_matches_csr(&csr, &bcsd_unit_weights(&csr, b), b, |s| {
+        Bcsd::from_csr(s, b, KernelImpl::Scalar)
+    });
+}
+
+#[test]
+fn pool_bcsd_dec_is_bit_identical_to_serial() {
+    let csr = pool_fixture(91, 47, 0xFACE);
+    let b = 3;
+    assert_pool_matches_csr(&csr, &nnz_unit_weights(&csr, b), b, |s| {
+        BcsdDec::from_csr(s, b, KernelImpl::Scalar)
+    });
+}
+
+#[test]
+fn pool_vbl_is_bit_identical_to_serial() {
+    let csr = pool_fixture(83, 59, 0xFEED);
+    assert_pool_matches_csr(&csr, &csr_unit_weights(&csr), 1, |s| {
+        Vbl::from_csr(s, KernelImpl::Scalar)
+    });
+}
+
+#[test]
+fn pool_simd_kernels_match_csr_closely() {
+    // The SIMD kernels may reassociate the per-row sums, so they get the
+    // tolerance check the scalar kernels do not need.
+    let csr = pool_fixture(120, 64, 0x5EED);
+    let shape = BlockShape::new(3, 2).unwrap();
+    let x: Vec<f64> = (0..csr.n_cols())
+        .map(|i| 1.0 + (i % 4) as f64 * 0.5)
+        .collect();
+    let want = csr.spmv(&x);
+    for threads in [1usize, 2, 4] {
+        let pool = SpmvPool::from_csr(
+            &csr,
+            threads,
+            &bcsr_unit_weights(&csr, shape),
+            shape.rows(),
+            |s| Bcsr::from_csr(s, shape, KernelImpl::Simd),
+            PinPolicy::None,
+        );
+        let got = pool.spmv(&x);
+        for (a, g) in want.iter().zip(&got) {
+            assert!((a - g).abs() < 1e-9, "{threads} threads: {a} vs {g}");
+        }
+    }
+}
+
+#[test]
+fn pool_survives_a_thousand_calls_without_respawning() {
+    let csr = pool_fixture(64, 64, 0x1CE);
+    let x: Vec<f64> = (0..csr.n_cols()).map(|i| 1.0 + (i % 3) as f64).collect();
+    let want = csr.spmv(&x);
+    let pool = SpmvPool::from_csr(
+        &csr,
+        4,
+        &csr_unit_weights(&csr),
+        1,
+        Csr::clone,
+        PinPolicy::None,
+    );
+    for call in 0..1000 {
+        assert_eq!(pool.spmv(&x), want, "call {call}");
+    }
+    assert_eq!(pool.iterations(), 1000);
+    // Every strip must have been served by exactly one OS thread for the
+    // whole run: the pool never respawned a worker.
+    let ids = pool.worker_thread_ids();
+    assert_eq!(ids.len(), pool.n_workers());
+    for (strip, ids) in ids.iter().enumerate() {
+        assert_eq!(ids.len(), 1, "strip {strip} saw threads {ids:?}");
+    }
+    for report in pool.strip_reports() {
+        assert!(!report.respawned);
+        assert_eq!(report.iterations, 1000);
     }
 }
