@@ -1,0 +1,104 @@
+//! Criterion benchmarks for the multi-vector (SpMM) path: one `k`-vector
+//! call vs `k` independent SpMV calls, per format.
+//!
+//! The matrix arrays stream once per call regardless of `k`, so on
+//! memory-bound matrices the batched call should approach `k`-fold
+//! amortization of the structure traffic — the effect the `spmm/...`
+//! groups quantify.
+//!
+//! Run: `cargo bench -p spmv-bench --bench spmm`
+//! (set `SPMV_BENCH_SCALE` to grow the matrices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::{Csr, MatrixShape, SpMv, SpMvMulti};
+use spmv_formats::{Bcsd, Bcsr, BcsrDec, Vbl};
+use spmv_gen::{random_vector, GenSpec};
+use spmv_kernels::{BlockShape, KernelImpl};
+
+const KS: [usize; 3] = [2, 4, 8];
+
+fn scale() -> f64 {
+    std::env::var("SPMV_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+fn workloads() -> Vec<(&'static str, Csr<f64>)> {
+    let s = scale();
+    let n = |base: usize| (base as f64 * s) as usize;
+    vec![
+        (
+            "fem3dof",
+            GenSpec::FemBlocks {
+                nodes: n(4000),
+                dof: 3,
+                neighbors: 9,
+            }
+            .build(1),
+        ),
+        (
+            "diag",
+            GenSpec::DiagRuns {
+                n: n(40_000),
+                n_diags: 8,
+            }
+            .build(2),
+        ),
+    ]
+}
+
+/// Benchmarks `mat` under the `k` single calls vs one `k`-vector call
+/// comparison, labeling rows `serial/<k>` and `multi/<k>`.
+fn bench_pair<M: SpMvMulti<f64>>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    label: &str,
+    mat: &M,
+    x: &[f64],
+) {
+    let (m, n) = (mat.n_cols(), mat.n_rows());
+    for k in KS {
+        let mut y = vec![0.0f64; n * k];
+        group.bench_function(BenchmarkId::new(format!("{label}-serial"), k), |b| {
+            b.iter(|| {
+                for t in 0..k {
+                    mat.spmv_into(&x[t * m..(t + 1) * m], &mut y[t * n..(t + 1) * n]);
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new(format!("{label}-multi"), k), |b| {
+            b.iter(|| mat.spmv_multi_into(x, &mut y, k))
+        });
+    }
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let kmax = *KS.iter().max().unwrap();
+    for (name, csr) in workloads() {
+        let x: Vec<f64> = random_vector(csr.n_cols() * kmax, 7);
+        let mut group = c.benchmark_group(format!("spmm/{name}"));
+        // Per-call matrix traffic: the quantity batching amortizes.
+        group.throughput(Throughput::Bytes(csr.matrix_bytes() as u64));
+
+        bench_pair(&mut group, "csr", &csr, &x);
+        let shape = BlockShape::new(3, 2).unwrap();
+        for imp in KernelImpl::ALL {
+            let bcsr = Bcsr::from_csr(&csr, shape, imp);
+            bench_pair(&mut group, &format!("bcsr-3x2-{imp}"), &bcsr, &x);
+        }
+        let dec = BcsrDec::from_csr(&csr, BlockShape::new(2, 2).unwrap(), KernelImpl::Scalar);
+        bench_pair(&mut group, "bcsr-dec-2x2", &dec, &x);
+        let bcsd = Bcsd::from_csr(&csr, 4, KernelImpl::Simd);
+        bench_pair(&mut group, "bcsd-4-simd", &bcsd, &x);
+        let vbl = Vbl::from_csr(&csr, KernelImpl::Scalar);
+        bench_pair(&mut group, "vbl", &vbl, &x);
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spmm
+}
+criterion_main!(benches);

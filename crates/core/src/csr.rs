@@ -355,6 +355,38 @@ impl<T: Scalar> SpMv<T> for Csr<T> {
     }
 }
 
+impl<T: Scalar> crate::traits::SpMvMulti<T> for Csr<T> {
+    /// Streams the matrix arrays once for up to 8 vectors at a time,
+    /// keeping one accumulator per vector in registers. Per output column
+    /// the accumulation order is identical to [`SpMv::spmv_into`], so a
+    /// `k`-vector call is bitwise-equal to `k` single calls.
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        crate::traits::check_spmv_multi_dims(self, x, y, k);
+        let (m, n) = (self.n_cols, self.n_rows);
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = (k - t0).min(8);
+            let xs = &x[t0 * m..(t0 + kc) * m];
+            let ys = &mut y[t0 * n..(t0 + kc) * n];
+            let mut acc = [T::ZERO; 8];
+            for i in 0..n {
+                let range = self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize;
+                acc[..kc].fill(T::ZERO);
+                for (&c, &v) in self.col_ind[range.clone()].iter().zip(&self.val[range]) {
+                    let c = c as usize;
+                    for (t, a) in acc[..kc].iter_mut().enumerate() {
+                        *a = v.mul_add(xs[t * m + c], *a);
+                    }
+                }
+                for (t, &a) in acc[..kc].iter().enumerate() {
+                    ys[t * n + i] = a;
+                }
+            }
+            t0 += kc;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -136,6 +136,10 @@ impl<T: Scalar> SpMv<T> for DenseMatrix<T> {
     }
 }
 
+// The dense reference is not on any hot path; the default per-column loop
+// is all it needs.
+impl<T: Scalar> crate::traits::SpMvMulti<T> for DenseMatrix<T> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,7 +46,7 @@ pub use csr::Csr;
 pub use dense::DenseMatrix;
 pub use error::{Error, Result};
 pub use scalar::{Precision, Scalar};
-pub use traits::{MatrixShape, SpMv};
+pub use traits::{MatrixShape, SpMv, SpMvMulti};
 
 /// The index type used by every storage format's indexing structures.
 ///

@@ -1,11 +1,11 @@
 //! Blocked Compressed Sparse Diagonal (BCSD) with zero padding.
 
-use crate::SpMvAcc;
-use spmv_core::{Csr, Error, Index, MatrixShape, Result, SpMv, MAX_INDEX};
-use spmv_kernels::registry::{bcsd_seg_kernel, BcsdSegKernel};
-use spmv_kernels::scalar::bcsd_segment_clipped;
+use crate::{SpMvAcc, SpMvMultiAcc};
+use spmv_core::{Csr, Error, Index, MatrixShape, Result, SpMv, SpMvMulti, MAX_INDEX};
+use spmv_kernels::registry::{bcsd_seg_kernel, bcsd_seg_multi_kernel, BcsdSegKernel};
+use spmv_kernels::scalar::{bcsd_segment_clipped, bcsd_segment_multi_clipped};
 use spmv_kernels::simd::SimdScalar;
-use spmv_kernels::KernelImpl;
+use spmv_kernels::{multi_chunk, KernelImpl};
 
 /// BCSD: fixed-size diagonal blocks with zero padding (§II-A).
 ///
@@ -309,6 +309,98 @@ impl<T: SimdScalar> Bcsd<T> {
             }
         }
     }
+
+    /// Shared implementation of `spmv_multi_acc` (greedy chunking, as in
+    /// BCSR).
+    fn spmv_multi_acc_impl(&self, x: &[T], y: &mut [T], k: usize) {
+        let (m, n) = (self.n_cols, self.n_rows);
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = multi_chunk(k - t0);
+            self.multi_acc_chunk(&x[t0 * m..(t0 + kc) * m], &mut y[t0 * n..(t0 + kc) * n], kc);
+            t0 += kc;
+        }
+    }
+
+    /// One `kc`-vector pass, mirroring the interior/clipped split of
+    /// `spmv_acc_impl`.
+    fn multi_acc_chunk(&self, x: &[T], y: &mut [T], kc: usize) {
+        let b = self.b;
+        let kern = bcsd_seg_multi_kernel::<T>(b, kc, self.imp)
+            .expect("chunked to a specialized vector count");
+        let (m, n) = (self.n_cols, self.n_rows);
+        let n_segs = self.brow_ptr.len() - 1;
+        for s in 0..n_segs {
+            let start = self.brow_ptr[s] as usize;
+            let end = self.brow_ptr[s + 1] as usize;
+            if start == end {
+                continue;
+            }
+            let y0 = s * b;
+            if y0 + b <= n {
+                let mut lo = start;
+                while lo < end && (self.bcol_biased[lo] as usize) < b {
+                    lo += 1;
+                }
+                let mut hi = end;
+                while hi > lo && self.bcol_biased[hi - 1] as usize > m {
+                    hi -= 1;
+                }
+                if lo > start {
+                    bcsd_segment_multi_clipped(
+                        b,
+                        kc,
+                        &self.bval[start * b..lo * b],
+                        &self.bcol_biased[start..lo],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                        b,
+                    );
+                }
+                if hi > lo {
+                    kern(
+                        &self.bval[lo * b..hi * b],
+                        &self.bcol_biased[lo..hi],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                    );
+                }
+                if end > hi {
+                    bcsd_segment_multi_clipped(
+                        b,
+                        kc,
+                        &self.bval[hi * b..end * b],
+                        &self.bcol_biased[hi..end],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                        b,
+                    );
+                }
+            } else {
+                bcsd_segment_multi_clipped(
+                    b,
+                    kc,
+                    &self.bval[start * b..end * b],
+                    &self.bcol_biased[start..end],
+                    x,
+                    m,
+                    y,
+                    n,
+                    y0,
+                    n - y0,
+                );
+            }
+        }
+    }
 }
 
 impl<T> MatrixShape for Bcsd<T> {
@@ -342,6 +434,21 @@ impl<T: SimdScalar> SpMvAcc<T> for Bcsd<T> {
     fn spmv_acc(&self, x: &[T], y: &mut [T]) {
         spmv_core::traits::check_spmv_dims(self, x, y);
         self.spmv_acc_impl(x, y);
+    }
+}
+
+impl<T: SimdScalar> SpMvMulti<T> for Bcsd<T> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        y.fill(T::ZERO);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+impl<T: SimdScalar> SpMvMultiAcc<T> for Bcsd<T> {
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        self.spmv_multi_acc_impl(x, y, k);
     }
 }
 
@@ -465,6 +572,24 @@ mod tests {
         bcsd.spmv_acc(&x, &mut y);
         for (a, b) in y.iter().zip(&base) {
             assert!((a - 2.0 * b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_matches_per_column_spmv() {
+        let csr = fixture_csr(23, 19, 11);
+        for b in [3, 4, 8] {
+            for imp in KernelImpl::ALL {
+                let bcsd = Bcsd::from_csr(&csr, b, imp);
+                for k in [1, 2, 5, 8] {
+                    let x: Vec<f64> = (0..19 * k).map(|i| 1.0 + (i % 7) as f64).collect();
+                    let got = bcsd.spmv_multi(&x, k);
+                    for t in 0..k {
+                        let want = bcsd.spmv(&x[t * 19..(t + 1) * 19]);
+                        assert_eq!(got[t * 23..(t + 1) * 23], want, "b={b} k={k} t={t}");
+                    }
+                }
+            }
         }
     }
 

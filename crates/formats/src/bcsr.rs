@@ -1,11 +1,11 @@
 //! Blocked Compressed Sparse Row (BCSR) with zero padding.
 
-use crate::SpMvAcc;
-use spmv_core::{Csr, Error, Index, MatrixShape, Result, SpMv, MAX_INDEX};
-use spmv_kernels::registry::{bcsr_row_kernel, BcsrRowKernel};
-use spmv_kernels::scalar::bcsr_block_row_clipped;
+use crate::{SpMvAcc, SpMvMultiAcc};
+use spmv_core::{Csr, Error, Index, MatrixShape, Result, SpMv, SpMvMulti, MAX_INDEX};
+use spmv_kernels::registry::{bcsr_row_kernel, bcsr_row_multi_kernel, BcsrRowKernel};
+use spmv_kernels::scalar::{bcsr_block_row_clipped, bcsr_block_row_multi_clipped};
 use spmv_kernels::simd::SimdScalar;
-use spmv_kernels::{BlockShape, KernelImpl};
+use spmv_kernels::{multi_chunk, BlockShape, KernelImpl};
 
 /// BCSR: fixed-size `r x c` blocks with aggressive zero padding (§II-A).
 ///
@@ -372,6 +372,85 @@ impl<T: SimdScalar> Bcsr<T> {
             }
         }
     }
+
+    /// Shared implementation of `spmv_multi_acc`: greedy chunking of `k`
+    /// into the specialized kernel counts, each chunk streaming the block
+    /// arrays once for its whole batch of vectors.
+    fn spmv_multi_acc_impl(&self, x: &[T], y: &mut [T], k: usize) {
+        let (m, n) = (self.n_cols, self.n_rows);
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = multi_chunk(k - t0);
+            self.multi_acc_chunk(&x[t0 * m..(t0 + kc) * m], &mut y[t0 * n..(t0 + kc) * n], kc);
+            t0 += kc;
+        }
+    }
+
+    /// One `kc`-vector pass over the matrix; `kc` must be a specialized
+    /// count. Mirrors the interior/clipped split of `spmv_acc_impl`, with
+    /// whole column blocks of `x`/`y` in place of single vectors.
+    fn multi_acc_chunk(&self, x: &[T], y: &mut [T], kc: usize) {
+        let (r, c) = (self.shape.rows(), self.shape.cols());
+        let kern = bcsr_row_multi_kernel::<T>(self.shape, kc, self.imp)
+            .expect("chunked to a specialized vector count");
+        let (m, n) = (self.n_cols, self.n_rows);
+        let n_brows = self.brow_ptr.len() - 1;
+        let rc = r * c;
+        for rb in 0..n_brows {
+            let start = self.brow_ptr[rb] as usize;
+            let end = self.brow_ptr[rb + 1] as usize;
+            if start == end {
+                continue;
+            }
+            let y0 = rb * r;
+            if y0 + r <= n {
+                let mut fast_end = end;
+                while fast_end > start && self.bcol_start[fast_end - 1] as usize + c > m {
+                    fast_end -= 1;
+                }
+                if fast_end > start {
+                    kern(
+                        &self.bval[start * rc..fast_end * rc],
+                        &self.bcol_start[start..fast_end],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                    );
+                }
+                if fast_end < end {
+                    bcsr_block_row_multi_clipped(
+                        r,
+                        c,
+                        kc,
+                        &self.bval[fast_end * rc..end * rc],
+                        &self.bcol_start[fast_end..end],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                        r,
+                    );
+                }
+            } else {
+                bcsr_block_row_multi_clipped(
+                    r,
+                    c,
+                    kc,
+                    &self.bval[start * rc..end * rc],
+                    &self.bcol_start[start..end],
+                    x,
+                    m,
+                    y,
+                    n,
+                    y0,
+                    n - y0,
+                );
+            }
+        }
+    }
 }
 
 impl<T> MatrixShape for Bcsr<T> {
@@ -405,6 +484,21 @@ impl<T: SimdScalar> SpMvAcc<T> for Bcsr<T> {
     fn spmv_acc(&self, x: &[T], y: &mut [T]) {
         spmv_core::traits::check_spmv_dims(self, x, y);
         self.spmv_acc_impl(x, y);
+    }
+}
+
+impl<T: SimdScalar> SpMvMulti<T> for Bcsr<T> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        y.fill(T::ZERO);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+impl<T: SimdScalar> SpMvMultiAcc<T> for Bcsr<T> {
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        self.spmv_multi_acc_impl(x, y, k);
     }
 }
 
@@ -543,6 +637,25 @@ mod tests {
         let b = Bcsr::from_csr(&one, BlockShape::new(2, 4).unwrap(), KernelImpl::Simd);
         assert_eq!(b.spmv(&[2.0]), vec![10.0]);
         assert_eq!(b.padding(), 7);
+    }
+
+    #[test]
+    fn multi_matches_per_column_spmv() {
+        let csr = fixture_csr(23, 31, 7);
+        for shape in [BlockShape::new(2, 2).unwrap(), BlockShape::new(3, 2).unwrap()] {
+            for imp in KernelImpl::ALL {
+                let bcsr = Bcsr::from_csr(&csr, shape, imp);
+                // k = 7 exercises the 4 + 2 + 1 greedy chunking.
+                for k in [1, 3, 4, 7] {
+                    let x: Vec<f64> = (0..31 * k).map(|i| 1.0 + (i % 9) as f64).collect();
+                    let got = bcsr.spmv_multi(&x, k);
+                    for t in 0..k {
+                        let want = bcsr.spmv(&x[t * 31..(t + 1) * 31]);
+                        assert_eq!(got[t * 23..(t + 1) * 23], want, "shape {shape} k={k} t={t}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

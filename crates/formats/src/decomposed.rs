@@ -8,8 +8,8 @@
 //! (so it carries zero padding), the second every remaining nonzero in
 //! CSR.
 
-use crate::{Bcsd, Bcsr, SpMvAcc};
-use spmv_core::{Coo, Csr, Index, MatrixShape, Result, Scalar, SpMv};
+use crate::{Bcsd, Bcsr, SpMvAcc, SpMvMultiAcc};
+use spmv_core::{Coo, Csr, Index, MatrixShape, Result, Scalar, SpMv, SpMvMulti};
 use spmv_kernels::simd::SimdScalar;
 use spmv_kernels::{BlockShape, KernelImpl};
 
@@ -296,6 +296,29 @@ impl<T: Scalar, M: SpMvAcc<T>> SpMvAcc<T> for Decomposed<T, M> {
     }
 }
 
+impl<T: Scalar, M: SpMvMultiAcc<T>> SpMvMulti<T> for Decomposed<T, M> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        y.fill(T::ZERO);
+        self.main.spmv_multi_acc(x, y, k);
+        self.rest.spmv_multi_acc(x, y, k);
+    }
+
+    /// As in the single-vector case, each submatrix streams the vectors
+    /// again, so the k-vector working set is `Σ ws_i(k)`.
+    fn working_set_bytes_multi(&self, k: usize) -> usize {
+        self.main.working_set_bytes_multi(k) + self.rest.working_set_bytes_multi(k)
+    }
+}
+
+impl<T: Scalar, M: SpMvMultiAcc<T>> SpMvMultiAcc<T> for Decomposed<T, M> {
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        self.main.spmv_multi_acc(x, y, k);
+        self.rest.spmv_multi_acc(x, y, k);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +430,35 @@ mod tests {
         assert_eq!(dec.coverage(), 0.0);
         assert_eq!(dec.main().n_blocks(), 0);
         assert_eq!(dec.rest().nnz(), 3);
+    }
+
+    #[test]
+    fn multi_matches_per_column_spmv() {
+        let csr = fixture_csr(22, 27, 9);
+        for imp in KernelImpl::ALL {
+            let bdec = BcsrDec::from_csr(&csr, BlockShape::new(2, 2).unwrap(), imp);
+            let ddec = BcsdDec::from_csr(&csr, 4, imp);
+            for k in [1, 4, 6] {
+                let x: Vec<f64> = (0..27 * k).map(|i| 1.0 + (i % 5) as f64).collect();
+                let got_b = bdec.spmv_multi(&x, k);
+                let got_d = ddec.spmv_multi(&x, k);
+                for t in 0..k {
+                    let xs = &x[t * 27..(t + 1) * 27];
+                    assert_eq!(got_b[t * 22..(t + 1) * 22], bdec.spmv(xs), "bcsr k={k} t={t}");
+                    assert_eq!(got_d[t * 22..(t + 1) * 22], ddec.spmv(xs), "bcsd k={k} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_working_set_sums_submatrices() {
+        let csr = fixture_csr(16, 16, 2);
+        let dec = BcsrDec::from_csr(&csr, BlockShape::new(2, 2).unwrap(), KernelImpl::Scalar);
+        assert_eq!(
+            dec.working_set_bytes_multi(4),
+            dec.main().working_set_bytes_multi(4) + dec.rest().working_set_bytes_multi(4)
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! | [`Vbr`] | VBR | variable-size 2-D blocks (described in §II, not in the model study) |
 //!
 //! Every format implements [`spmv_core::SpMv`] plus the accumulate variant
-//! [`SpMvAcc`] that decomposed formats need, and exposes the block counts
-//! and byte totals the performance models consume. The [`stats`] module
+//! [`SpMvAcc`] that decomposed formats need, and the multi-vector (SpMM)
+//! counterparts [`spmv_core::SpMvMulti`] / [`SpMvMultiAcc`] that stream
+//! the matrix once for a whole batch of input vectors. They expose the
+//! block counts and byte totals the performance models consume. The [`stats`] module
 //! computes those same quantities *without* materializing a format — that
 //! is what makes model-driven format selection cheap.
 
@@ -38,7 +40,7 @@ pub use vbl::Vbl;
 pub use vbr::Vbr;
 
 use core::fmt;
-use spmv_core::{Csr, Scalar, SpMv};
+use spmv_core::{Csr, MatrixShape, Scalar, SpMv, SpMvMulti};
 
 /// Accumulating SpMV: `y += A * x`.
 ///
@@ -65,6 +67,46 @@ impl<T: Scalar> SpMvAcc<T> for Csr<T> {
                 acc = v.mul_add(x[c as usize], acc);
             }
             *yi += acc;
+        }
+    }
+}
+
+/// Accumulating multi-vector SpMV: `Y += A * X` for `k` column-major
+/// vectors (the SpMM counterpart of [`SpMvAcc`]).
+///
+/// Decomposed formats zero the output block once and then run both
+/// submatrices through this trait, so each part streams its arrays once
+/// per `k`-vector call.
+pub trait SpMvMultiAcc<T: Scalar>: SpMvAcc<T> + SpMvMulti<T> {
+    /// Computes `Y += A * X`; layout and panics as in
+    /// [`SpMvMulti::spmv_multi_into`].
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize);
+}
+
+impl<T: Scalar> SpMvMultiAcc<T> for Csr<T> {
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        let (m, n) = (self.n_cols(), self.n_rows());
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = (k - t0).min(8);
+            let xs = &x[t0 * m..(t0 + kc) * m];
+            let ys = &mut y[t0 * n..(t0 + kc) * n];
+            let mut acc = [T::ZERO; 8];
+            for i in 0..n {
+                let (cols, vals) = self.row(i);
+                acc[..kc].fill(T::ZERO);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let c = c as usize;
+                    for (t, a) in acc[..kc].iter_mut().enumerate() {
+                        *a = v.mul_add(xs[t * m + c], *a);
+                    }
+                }
+                for (t, &a) in acc[..kc].iter().enumerate() {
+                    ys[t * n + i] += a;
+                }
+            }
+            t0 += kc;
         }
     }
 }
@@ -150,6 +192,16 @@ mod tests {
         let mut y = vec![10.0, 10.0];
         csr.spmv_acc(&[1.0, 1.0], &mut y);
         assert_eq!(y, vec![12.0, 13.0]);
+    }
+
+    #[test]
+    fn csr_spmv_multi_acc_adds() {
+        let csr = Csr::from_coo(
+            &Coo::from_triplets(2, 2, vec![(0, 0, 2.0), (1, 1, 3.0)]).unwrap(),
+        );
+        let mut y = vec![10.0, 10.0, 20.0, 20.0];
+        csr.spmv_multi_acc(&[1.0, 1.0, 2.0, 2.0], &mut y, 2);
+        assert_eq!(y, vec![12.0, 13.0, 24.0, 26.0]);
     }
 
     #[test]

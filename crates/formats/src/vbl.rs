@@ -1,8 +1,8 @@
 //! One-dimensional Variable Block Length (1D-VBL) storage.
 
-use crate::SpMvAcc;
-use spmv_core::{Csr, Error, Index, MatrixShape, Result, SpMv};
-use spmv_kernels::registry::dot_run;
+use crate::{SpMvAcc, SpMvMultiAcc};
+use spmv_core::{Csr, Error, Index, MatrixShape, Result, SpMv, SpMvMulti};
+use spmv_kernels::registry::{dot_run, dot_run_multi};
 use spmv_kernels::simd::SimdScalar;
 use spmv_kernels::KernelImpl;
 
@@ -216,6 +216,37 @@ impl<T: SimdScalar> Vbl<T> {
             *yi += acc;
         }
     }
+
+    /// Shared implementation of `spmv_multi_acc`: the run kernel is
+    /// runtime-`k`, so chunks of up to 8 vectors reuse each run's values
+    /// while they are hot and the matrix streams once per chunk.
+    fn spmv_multi_acc_impl(&self, x: &[T], y: &mut [T], k: usize) {
+        let (m, n) = (self.n_cols, self.n_rows);
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = (k - t0).min(8);
+            let xs = &x[t0 * m..(t0 + kc) * m];
+            let ys = &mut y[t0 * n..(t0 + kc) * n];
+            let mut blk = 0usize;
+            let mut v = 0usize;
+            let mut acc = [T::ZERO; 8];
+            for i in 0..n {
+                let row_end = self.row_ptr[i + 1] as usize;
+                acc[..kc].fill(T::ZERO);
+                while v < row_end {
+                    let len = self.blk_size[blk] as usize;
+                    let j0 = self.bcol_ind[blk] as usize;
+                    dot_run_multi(&self.val[v..v + len], xs, m, j0, &mut acc[..kc], self.imp);
+                    v += len;
+                    blk += 1;
+                }
+                for (t, &a) in acc[..kc].iter().enumerate() {
+                    ys[t * n + i] += a;
+                }
+            }
+            t0 += kc;
+        }
+    }
 }
 
 impl<T> MatrixShape for Vbl<T> {
@@ -250,6 +281,21 @@ impl<T: SimdScalar> SpMvAcc<T> for Vbl<T> {
     fn spmv_acc(&self, x: &[T], y: &mut [T]) {
         spmv_core::traits::check_spmv_dims(self, x, y);
         self.spmv_acc_impl(x, y);
+    }
+}
+
+impl<T: SimdScalar> SpMvMulti<T> for Vbl<T> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        y.fill(T::ZERO);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+impl<T: SimdScalar> SpMvMultiAcc<T> for Vbl<T> {
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        self.spmv_multi_acc_impl(x, y, k);
     }
 }
 
@@ -352,6 +398,36 @@ mod tests {
         let vempty = Vbl::from_csr(&empty, KernelImpl::Simd);
         vempty.validate().unwrap();
         assert_eq!(vempty.spmv(&[1.0, 1.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn multi_matches_per_column_spmv() {
+        let mut coo = Coo::new(17, 23);
+        let mut state = 0x9abcdu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..17 {
+            let start = (next() as usize) % 20;
+            for j in start..(start + 1 + (next() as usize) % 4).min(23) {
+                let _ = coo.push(i, j, 1.0 + (next() % 9) as f64);
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        for imp in KernelImpl::ALL {
+            let vbl = Vbl::from_csr(&csr, imp);
+            for k in [1, 2, 4, 9] {
+                let x: Vec<f64> = (0..23 * k).map(|i| 1.0 + (i % 6) as f64).collect();
+                let got = vbl.spmv_multi(&x, k);
+                for t in 0..k {
+                    let want = vbl.spmv(&x[t * 23..(t + 1) * 23]);
+                    assert_eq!(got[t * 17..(t + 1) * 17], want, "imp {imp} k={k} t={t}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! here as the §II completeness extension and exercised by the variable-
 //! block ablation bench.
 
-use crate::SpMvAcc;
-use spmv_core::{Csr, Error, Index, MatrixShape, Result, Scalar, SpMv};
+use crate::{SpMvAcc, SpMvMultiAcc};
+use spmv_core::{Csr, Error, Index, MatrixShape, Result, Scalar, SpMv, SpMvMulti};
 
 /// VBR: variable two-dimensional blocks from conforming row/column
 /// partitions.
@@ -258,6 +258,43 @@ impl<T: Scalar> Vbr<T> {
             }
         }
     }
+
+    /// Shared implementation of `spmv_multi_acc`: each dense block row is
+    /// re-applied to every vector of a chunk while it is hot in cache, so
+    /// the block values stream from memory once per chunk of up to 8
+    /// vectors.
+    fn spmv_multi_acc_impl(&self, x: &[T], y: &mut [T], k: usize) {
+        let (m, n) = (self.n_cols, self.n_rows);
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = (k - t0).min(8);
+            let xb = &x[t0 * m..(t0 + kc) * m];
+            let yb = &mut y[t0 * n..(t0 + kc) * n];
+            for bi in 0..self.n_block_rows() {
+                let r0 = self.rpntr[bi] as usize;
+                let r1 = self.rpntr[bi + 1] as usize;
+                let height = r1 - r0;
+                for kb in self.brow_ptr[bi] as usize..self.brow_ptr[bi + 1] as usize {
+                    let bc = self.bcol_ind[kb] as usize;
+                    let c0 = self.cpntr[bc] as usize;
+                    let width = (self.cpntr[bc + 1] as usize) - c0;
+                    let block = &self.val[self.indx[kb] as usize..self.indx[kb + 1] as usize];
+                    for i in 0..height {
+                        let row = &block[i * width..(i + 1) * width];
+                        for t in 0..kc {
+                            let xs = &xb[t * m + c0..t * m + c0 + width];
+                            let mut acc = T::ZERO;
+                            for (&v, &xj) in row.iter().zip(xs) {
+                                acc = v.mul_add(xj, acc);
+                            }
+                            yb[t * n + r0 + i] += acc;
+                        }
+                    }
+                }
+            }
+            t0 += kc;
+        }
+    }
 }
 
 impl<T> MatrixShape for Vbr<T> {
@@ -295,6 +332,21 @@ impl<T: Scalar> SpMvAcc<T> for Vbr<T> {
     fn spmv_acc(&self, x: &[T], y: &mut [T]) {
         spmv_core::traits::check_spmv_dims(self, x, y);
         self.spmv_acc_impl(x, y);
+    }
+}
+
+impl<T: Scalar> SpMvMulti<T> for Vbr<T> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        y.fill(T::ZERO);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+impl<T: Scalar> SpMvMultiAcc<T> for Vbr<T> {
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        self.spmv_multi_acc_impl(x, y, k);
     }
 }
 
@@ -345,6 +397,33 @@ mod tests {
         let want = csr.spmv(&x);
         for (a, g) in want.iter().zip(vbr.spmv(&x)) {
             assert!((a - g).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_matches_per_column_spmv() {
+        let mut coo = Coo::new(13, 11);
+        let mut state = 0xF00Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..13 {
+            for _ in 0..1 + (next() as usize) % 4 {
+                let _ = coo.push(i, (next() as usize) % 11, 1.0 + (next() % 5) as f64);
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        let vbr = Vbr::from_csr(&csr);
+        for k in [1, 3, 8, 10] {
+            let x: Vec<f64> = (0..11 * k).map(|i| 1.0 + (i % 4) as f64).collect();
+            let got = vbr.spmv_multi(&x, k);
+            for t in 0..k {
+                let want = vbr.spmv(&x[t * 11..(t + 1) * 11]);
+                assert_eq!(got[t * 13..(t + 1) * 13], want, "k={k} t={t}");
+            }
         }
     }
 

@@ -27,5 +27,26 @@ pub mod scalar;
 pub mod shapes;
 pub mod simd;
 
-pub use registry::{bcsd_seg_kernel, bcsr_row_kernel, dot_run, BcsdSegKernel, BcsrRowKernel};
+pub use registry::{
+    bcsd_seg_kernel, bcsd_seg_multi_kernel, bcsr_row_kernel, bcsr_row_multi_kernel, dot_run,
+    dot_run_multi, BcsdSegKernel, BcsdSegMultiKernel, BcsrRowKernel, BcsrRowMultiKernel,
+};
 pub use shapes::{BlockShape, KernelImpl, BCSD_SIZES, MAX_BLOCK_ELEMS};
+
+/// The vector counts with dedicated multi-vector kernel specializations;
+/// other counts are served by greedy chunking into these sizes.
+pub const MULTI_KS: [usize; 4] = [1, 2, 4, 8];
+
+/// Largest specialized vector count not exceeding `rem` — the greedy
+/// chunking rule formats use to cover an arbitrary `k` with the
+/// [`MULTI_KS`] kernel specializations (e.g. `k = 7` runs as `4 + 2 + 1`).
+#[inline]
+pub fn multi_chunk(rem: usize) -> usize {
+    debug_assert!(rem > 0);
+    match rem {
+        1 => 1,
+        2..=3 => 2,
+        4..=7 => 4,
+        _ => 8,
+    }
+}

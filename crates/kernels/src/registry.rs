@@ -2,7 +2,7 @@
 
 use crate::scalar;
 use crate::shapes::{BlockShape, KernelImpl};
-use crate::simd::{dispatch_shape, dispatch_size, SimdScalar};
+use crate::simd::{dispatch_k, dispatch_shape, dispatch_size, SimdScalar};
 use spmv_core::Index;
 
 /// A kernel processing one BCSR block row:
@@ -72,6 +72,100 @@ pub fn dot_run<T: SimdScalar>(vals: &[T], x: &[T], imp: KernelImpl) -> T {
     }
 }
 
+/// A kernel processing one BCSR block row against several input vectors:
+/// `kernel(bvals, bcols, x, xstride, y, ystride, y0)` accumulates into the
+/// `K` output columns of `y` starting at row `y0`. `x`/`y` hold `K`
+/// concatenated vectors of stride `xstride`/`ystride` (column-major
+/// blocks).
+pub type BcsrRowMultiKernel<T> = fn(&[T], &[Index], &[T], usize, &mut [T], usize, usize);
+
+/// A kernel processing one BCSD segment against several input vectors;
+/// same signature convention as [`BcsrRowMultiKernel`].
+pub type BcsdSegMultiKernel<T> = fn(&[T], &[Index], &[T], usize, &mut [T], usize, usize);
+
+/// Scalar multi-vector BCSR block-row kernel for `(shape, k)`, if `k` is
+/// one of the specialized counts `{1, 2, 4, 8}`.
+///
+/// Returns `None` for other counts (callers chunk `k` greedily into the
+/// specialized sizes) — but panics on an unsupported *shape*, which
+/// [`BlockShape::new`] prevents constructing.
+pub fn bcsr_row_multi_kernel_scalar<T: SimdScalar>(
+    shape: BlockShape,
+    k: usize,
+) -> Option<BcsrRowMultiKernel<T>> {
+    macro_rules! apply {
+        ($r:literal, $c:literal) => {
+            dispatch_k!(k, [scalar::bcsr_block_row_multi], BcsrRowMultiKernel<T>, T, $r, $c)
+        };
+    }
+    dispatch_shape!(shape, apply)
+}
+
+/// Scalar multi-vector BCSD segment kernel for `(b, k)`; `None` for
+/// non-specialized `k` as in [`bcsr_row_multi_kernel_scalar`].
+pub fn bcsd_seg_multi_kernel_scalar<T: SimdScalar>(
+    b: usize,
+    k: usize,
+) -> Option<BcsdSegMultiKernel<T>> {
+    macro_rules! apply {
+        ($b:literal) => {
+            dispatch_k!(k, [scalar::bcsd_segment_multi], BcsdSegMultiKernel<T>, T, $b)
+        };
+    }
+    dispatch_size!(b, apply)
+}
+
+/// Multi-vector BCSR block-row kernel for `(shape, k, imp)`, with the same
+/// transparent SIMD→scalar fallback as [`bcsr_row_kernel`]. `None` when
+/// `k` is not a specialized count.
+pub fn bcsr_row_multi_kernel<T: SimdScalar>(
+    shape: BlockShape,
+    k: usize,
+    imp: KernelImpl,
+) -> Option<BcsrRowMultiKernel<T>> {
+    match imp {
+        KernelImpl::Scalar => bcsr_row_multi_kernel_scalar(shape, k),
+        KernelImpl::Simd => {
+            T::bcsr_row_multi_simd(shape, k).or_else(|| bcsr_row_multi_kernel_scalar(shape, k))
+        }
+    }
+}
+
+/// Multi-vector BCSD segment kernel for `(b, k, imp)`, with SIMD→scalar
+/// fallback; `None` when `k` is not a specialized count.
+pub fn bcsd_seg_multi_kernel<T: SimdScalar>(
+    b: usize,
+    k: usize,
+    imp: KernelImpl,
+) -> Option<BcsdSegMultiKernel<T>> {
+    match imp {
+        KernelImpl::Scalar => bcsd_seg_multi_kernel_scalar(b, k),
+        KernelImpl::Simd => {
+            T::bcsd_seg_multi_simd(b, k).or_else(|| bcsd_seg_multi_kernel_scalar(b, k))
+        }
+    }
+}
+
+/// Dot product of one contiguous value run against `acc.len()` input
+/// columns (the 1D-VBL multi-vector inner kernel): for each vector `t`,
+/// adds `vals · x[t*xstride + j0 ..]` into `acc[t]`. The run values are
+/// hot in cache across columns, so the matrix is streamed from memory once
+/// regardless of the vector count.
+#[inline]
+pub fn dot_run_multi<T: SimdScalar>(
+    vals: &[T],
+    x: &[T],
+    xstride: usize,
+    j0: usize,
+    acc: &mut [T],
+    imp: KernelImpl,
+) {
+    for (t, a) in acc.iter_mut().enumerate() {
+        let xr = &x[t * xstride + j0..t * xstride + j0 + vals.len()];
+        *a = *a + dot_run(vals, xr, imp);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +208,38 @@ mod tests {
         let mut y = [0.0];
         kern(&vals, &cols, &x, &mut y);
         assert_eq!(y[0], 2.0 * 10.0 + 3.0 * 1000.0);
+    }
+
+    #[test]
+    fn multi_kernels_dispatch_for_specialized_ks() {
+        for shape in BlockShape::search_space() {
+            for imp in KernelImpl::ALL {
+                for k in crate::MULTI_KS {
+                    assert!(bcsr_row_multi_kernel::<f64>(shape, k, imp).is_some());
+                    assert!(bcsr_row_multi_kernel::<f32>(shape, k, imp).is_some());
+                }
+                assert!(bcsr_row_multi_kernel::<f64>(shape, 3, imp).is_none());
+            }
+        }
+        for b in 1..=8 {
+            for imp in KernelImpl::ALL {
+                for k in crate::MULTI_KS {
+                    assert!(bcsd_seg_multi_kernel::<f64>(b, k, imp).is_some());
+                    assert!(bcsd_seg_multi_kernel::<f32>(b, k, imp).is_some());
+                }
+                assert!(bcsd_seg_multi_kernel::<f64>(b, 5, imp).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_run_multi_accumulates_per_column() {
+        let vals = [1.0f64, 2.0];
+        // Two columns of stride 4, run starts at j0 = 1.
+        let x = [0.0, 1.0, 1.0, 0.0, 0.0, 10.0, 10.0, 0.0];
+        let mut acc = [5.0, 7.0];
+        dot_run_multi(&vals, &x, 4, 1, &mut acc, KernelImpl::Scalar);
+        assert_eq!(acc, [5.0 + 3.0, 7.0 + 30.0]);
     }
 
     #[test]

@@ -149,6 +149,162 @@ pub fn bcsd_segment_clipped<T: Scalar>(
     }
 }
 
+/// Multi-vector BCSR block-row kernel: one block row against `K` input
+/// vectors at once.
+///
+/// `x` holds `K` concatenated input vectors of length `xs` each (column
+/// stride `xs`), `y` holds `K` concatenated output vectors of stride `ys`;
+/// the block row's first output row is `y0`. The matrix block values are
+/// loaded once and reused across all `K` columns, keeping an `R × K`
+/// accumulator tile in registers — this is the amortization that makes
+/// SpMM cheaper than `K` SpMV calls.
+///
+/// Per output column the accumulation order is identical to
+/// [`bcsr_block_row`], so a `K`-vector call is bitwise-equal to `K`
+/// single-vector calls.
+#[inline]
+pub fn bcsr_block_row_multi<T: Scalar, const R: usize, const C: usize, const K: usize>(
+    bvals: &[T],
+    bcols: &[Index],
+    x: &[T],
+    xs: usize,
+    y: &mut [T],
+    ys: usize,
+    y0: usize,
+) {
+    debug_assert_eq!(bvals.len(), bcols.len() * R * C);
+    debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
+    let mut acc = [[T::ZERO; K]; R];
+    for (kb, &bc) in bcols.iter().enumerate() {
+        let x0 = bc as usize;
+        let b = &bvals[kb * (R * C)..kb * (R * C) + R * C];
+        for t in 0..K {
+            let xb = &x[t * xs + x0..t * xs + x0 + C];
+            for i in 0..R {
+                for j in 0..C {
+                    acc[i][t] = b[i * C + j].mul_add(xb[j], acc[i][t]);
+                }
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        for (t, &a) in row.iter().enumerate() {
+            y[t * ys + y0 + i] += a;
+        }
+    }
+}
+
+/// Boundary-safe multi-vector BCSR block-row kernel with runtime shape and
+/// vector count.
+///
+/// `rows_valid` is the number of in-matrix rows of this block row (may be
+/// less than `r` for the clipped final block row); blocks may extend past
+/// the last column (`xs` = matrix columns). Mirrors
+/// [`bcsr_block_row_clipped`] per output column.
+#[allow(clippy::too_many_arguments)]
+pub fn bcsr_block_row_multi_clipped<T: Scalar>(
+    r: usize,
+    c: usize,
+    k: usize,
+    bvals: &[T],
+    bcols: &[Index],
+    x: &[T],
+    xs: usize,
+    y: &mut [T],
+    ys: usize,
+    y0: usize,
+    rows_valid: usize,
+) {
+    debug_assert!(rows_valid <= r);
+    debug_assert_eq!(bvals.len(), bcols.len() * r * c);
+    for (kb, &bc) in bcols.iter().enumerate() {
+        let x0 = bc as usize;
+        let b = &bvals[kb * r * c..(kb + 1) * r * c];
+        let c_valid = c.min(xs.saturating_sub(x0));
+        for t in 0..k {
+            let xcol = &x[t * xs..(t + 1) * xs];
+            for i in 0..rows_valid {
+                let mut acc = T::ZERO;
+                for j in 0..c_valid {
+                    acc = b[i * c + j].mul_add(xcol[x0 + j], acc);
+                }
+                y[t * ys + y0 + i] += acc;
+            }
+        }
+    }
+}
+
+/// Multi-vector BCSD segment kernel: one segment of diagonal blocks
+/// against `K` input vectors, with the same stride/offset convention as
+/// [`bcsr_block_row_multi`] and the `+B` column bias of [`bcsd_segment`].
+///
+/// Per output column the accumulation order is identical to
+/// [`bcsd_segment`].
+#[inline]
+pub fn bcsd_segment_multi<T: Scalar, const B: usize, const K: usize>(
+    bvals: &[T],
+    bcols: &[Index],
+    x: &[T],
+    xs: usize,
+    y: &mut [T],
+    ys: usize,
+    y0: usize,
+) {
+    debug_assert_eq!(bvals.len(), bcols.len() * B);
+    debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
+    let mut acc = [[T::ZERO; K]; B];
+    for (kb, &j0) in bcols.iter().enumerate() {
+        let v = &bvals[kb * B..kb * B + B];
+        debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
+        let j0 = j0 as usize - B;
+        for t in 0..K {
+            let xb = &x[t * xs + j0..t * xs + j0 + B];
+            for (s, a) in acc.iter_mut().enumerate() {
+                a[t] = v[s].mul_add(xb[s], a[t]);
+            }
+        }
+    }
+    for (s, row) in acc.iter().enumerate() {
+        for (t, &a) in row.iter().enumerate() {
+            y[t * ys + y0 + s] += a;
+        }
+    }
+}
+
+/// Boundary-safe multi-vector BCSD segment kernel with runtime block size
+/// and vector count; `rows_valid` rows of the segment are inside the
+/// matrix. Mirrors [`bcsd_segment_clipped`] per output column.
+#[allow(clippy::too_many_arguments)]
+pub fn bcsd_segment_multi_clipped<T: Scalar>(
+    b: usize,
+    k: usize,
+    bvals: &[T],
+    bcols: &[Index],
+    x: &[T],
+    xs: usize,
+    y: &mut [T],
+    ys: usize,
+    y0: usize,
+    rows_valid: usize,
+) {
+    debug_assert!(rows_valid <= b);
+    debug_assert_eq!(bvals.len(), bcols.len() * b);
+    let n_cols = xs as isize;
+    for (kb, &biased) in bcols.iter().enumerate() {
+        let j0 = biased as isize - b as isize;
+        let v = &bvals[kb * b..(kb + 1) * b];
+        let t_min = (-j0).max(0) as usize;
+        let t_max = rows_valid.min((n_cols - j0).max(0) as usize);
+        for t in 0..k {
+            let xcol = &x[t * xs..(t + 1) * xs];
+            for s in t_min..t_max {
+                let yi = t * ys + y0 + s;
+                y[yi] = v[s].mul_add(xcol[(j0 + s as isize) as usize], y[yi]);
+            }
+        }
+    }
+}
+
 /// Dot product of a contiguous value run against the matching slice of the
 /// input vector — the inner kernel of the 1D-VBL format.
 #[inline]
@@ -355,5 +511,70 @@ mod tests {
         let x = [4.0, 5.0, 6.0];
         assert_eq!(dot_run_scalar(&v, &x), 32.0);
         assert_eq!(dot_run_scalar::<f64>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn bcsr_multi_matches_per_column_single() {
+        let bvals = test_vectors(3 * 6); // three 2x3 blocks
+        let bcols = [0u32, 3, 6];
+        let xs = 12; // columns
+        let ys = 5; // rows
+        let x: Vec<f64> = test_vectors(4 * xs);
+        let mut y = vec![0.0; 4 * ys];
+        bcsr_block_row_multi::<f64, 2, 3, 4>(&bvals, &bcols, &x, xs, &mut y, ys, 2);
+        for t in 0..4 {
+            let mut yref = [0.0; 2];
+            bcsr_block_row::<f64, 2, 3>(&bvals, &bcols, &x[t * xs..(t + 1) * xs], &mut yref);
+            assert_eq!(&y[t * ys + 2..t * ys + 4], &yref, "column {t}");
+            assert_eq!(y[t * ys], 0.0, "rows outside the block row stay untouched");
+        }
+    }
+
+    #[test]
+    fn bcsr_multi_clipped_matches_per_column_single() {
+        let bvals = test_vectors(2 * 6);
+        let bcols = [2u32, 4]; // second block clips at column 6 of 7
+        let xs = 7;
+        let ys = 3;
+        let x: Vec<f64> = test_vectors(2 * xs);
+        let mut y = vec![0.0; 2 * ys];
+        bcsr_block_row_multi_clipped(2, 3, 2, &bvals, &bcols, &x, xs, &mut y, ys, 1, 2);
+        for t in 0..2 {
+            let mut yref = [0.0; 2];
+            bcsr_block_row_clipped(2, 3, &bvals, &bcols, &x[t * xs..(t + 1) * xs], &mut yref);
+            assert_eq!(&y[t * ys + 1..t * ys + 3], &yref, "column {t}");
+        }
+    }
+
+    #[test]
+    fn bcsd_multi_matches_per_column_single() {
+        let bvals = test_vectors(2 * 3); // two size-3 diagonal blocks
+        let bcols = biased(3, &[0, 4]);
+        let xs = 8;
+        let ys = 6;
+        let x: Vec<f64> = test_vectors(4 * xs);
+        let mut y = vec![0.0; 4 * ys];
+        bcsd_segment_multi::<f64, 3, 4>(&bvals, &bcols, &x, xs, &mut y, ys, 1);
+        for t in 0..4 {
+            let mut yref = [0.0; 3];
+            bcsd_segment::<f64, 3>(&bvals, &bcols, &x[t * xs..(t + 1) * xs], &mut yref);
+            assert_eq!(&y[t * ys + 1..t * ys + 4], &yref, "column {t}");
+        }
+    }
+
+    #[test]
+    fn bcsd_multi_clipped_matches_per_column_single() {
+        let bvals = test_vectors(3 * 4);
+        let bcols = biased(4, &[-2, 1, 4]); // left-clipped and right-clipped
+        let xs = 6;
+        let ys = 4;
+        let x: Vec<f64> = test_vectors(2 * xs);
+        let mut y = vec![0.0; 2 * ys];
+        bcsd_segment_multi_clipped(4, 2, &bvals, &bcols, &x, xs, &mut y, ys, 0, 3);
+        for t in 0..2 {
+            let mut yref = [0.0; 3];
+            bcsd_segment_clipped(4, &bvals, &bcols, &x[t * xs..(t + 1) * xs], &mut yref);
+            assert_eq!(&y[t * ys..t * ys + 3], &yref, "column {t}");
+        }
     }
 }

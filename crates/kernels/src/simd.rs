@@ -34,6 +34,12 @@ pub type BcsrRowKernel<T> = fn(&[T], &[Index], &[T], &mut [T]);
 /// Kernel function type for one BCSD segment (see
 /// [`crate::registry::BcsdSegKernel`]).
 pub type BcsdSegKernel<T> = fn(&[T], &[Index], &[T], &mut [T]);
+/// Multi-vector BCSR block-row kernel type (see
+/// [`crate::registry::BcsrRowMultiKernel`]).
+pub type BcsrRowMultiKernel<T> = fn(&[T], &[Index], &[T], usize, &mut [T], usize, usize);
+/// Multi-vector BCSD segment kernel type (see
+/// [`crate::registry::BcsdSegMultiKernel`]).
+pub type BcsdSegMultiKernel<T> = fn(&[T], &[Index], &[T], usize, &mut [T], usize, usize);
 
 /// Scalars that may provide SIMD kernel variants.
 ///
@@ -58,6 +64,19 @@ pub trait SimdScalar: Scalar {
     /// the default is the scalar implementation.
     fn dot_run_simd(vals: &[Self], x: &[Self]) -> Self {
         scalar::dot_run_scalar(vals, x)
+    }
+
+    /// SSE2 multi-vector BCSR block-row kernel for `(shape, k)`, if one
+    /// exists (`k ∈ {1, 2, 4, 8}`).
+    fn bcsr_row_multi_simd(shape: BlockShape, k: usize) -> Option<BcsrRowMultiKernel<Self>> {
+        let _ = (shape, k);
+        None
+    }
+
+    /// SSE2 multi-vector BCSD segment kernel for `(b, k)`, if one exists.
+    fn bcsd_seg_multi_simd(b: usize, k: usize) -> Option<BcsdSegMultiKernel<Self>> {
+        let _ = (b, k);
+        None
     }
 }
 
@@ -265,6 +284,211 @@ mod x86 {
         }
     }
 
+    /// SSE2 multi-vector BCSR block-row kernel, `f64`, monomorphized per
+    /// `(shape, K)`.
+    ///
+    /// Each block-value vector is loaded once and multiplied against the
+    /// `K` input columns, keeping an `R × K` tile of 2-lane accumulators
+    /// in registers. Per output column the vector-op sequence matches
+    /// [`bcsr_row_f64`] exactly, so results are bitwise-equal to `K`
+    /// single-vector SIMD calls.
+    pub fn bcsr_row_multi_f64<const R: usize, const C: usize, const K: usize>(
+        bvals: &[f64],
+        bcols: &[Index],
+        x: &[f64],
+        xs: usize,
+        y: &mut [f64],
+        ys: usize,
+        y0: usize,
+    ) {
+        debug_assert_eq!(bvals.len(), bcols.len() * R * C);
+        debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
+        // SAFETY: pointer offsets stay inside length-checked subslices.
+        unsafe {
+            let mut accv = [[_mm_setzero_pd(); K]; R];
+            let mut accs = [[0.0f64; K]; R];
+            for (kb, &bc) in bcols.iter().enumerate() {
+                let x0 = bc as usize;
+                let b = &bvals[kb * (R * C)..kb * (R * C) + R * C];
+                for i in 0..R {
+                    let row = &b[i * C..i * C + C];
+                    let mut j = 0;
+                    while j + 2 <= C {
+                        let bv = _mm_loadu_pd(row.as_ptr().add(j));
+                        for t in 0..K {
+                            let xb = &x[t * xs + x0..t * xs + x0 + C];
+                            let xv = _mm_loadu_pd(xb.as_ptr().add(j));
+                            accv[i][t] = _mm_add_pd(accv[i][t], _mm_mul_pd(bv, xv));
+                        }
+                        j += 2;
+                    }
+                    if j < C {
+                        for t in 0..K {
+                            accs[i][t] += row[j] * x[t * xs + x0 + j];
+                        }
+                    }
+                }
+            }
+            for i in 0..R {
+                for t in 0..K {
+                    y[t * ys + y0 + i] += hsum_pd(accv[i][t]) + accs[i][t];
+                }
+            }
+        }
+    }
+
+    /// SSE2 multi-vector BCSR block-row kernel, `f32`; see
+    /// [`bcsr_row_multi_f64`].
+    pub fn bcsr_row_multi_f32<const R: usize, const C: usize, const K: usize>(
+        bvals: &[f32],
+        bcols: &[Index],
+        x: &[f32],
+        xs: usize,
+        y: &mut [f32],
+        ys: usize,
+        y0: usize,
+    ) {
+        debug_assert_eq!(bvals.len(), bcols.len() * R * C);
+        debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
+        // SAFETY: as in `bcsr_row_multi_f64`.
+        unsafe {
+            let mut accv = [[_mm_setzero_ps(); K]; R];
+            let mut accs = [[0.0f32; K]; R];
+            for (kb, &bc) in bcols.iter().enumerate() {
+                let x0 = bc as usize;
+                let b = &bvals[kb * (R * C)..kb * (R * C) + R * C];
+                for i in 0..R {
+                    let row = &b[i * C..i * C + C];
+                    let mut j = 0;
+                    while j + 4 <= C {
+                        let bv = _mm_loadu_ps(row.as_ptr().add(j));
+                        for t in 0..K {
+                            let xb = &x[t * xs + x0..t * xs + x0 + C];
+                            let xv = _mm_loadu_ps(xb.as_ptr().add(j));
+                            accv[i][t] = _mm_add_ps(accv[i][t], _mm_mul_ps(bv, xv));
+                        }
+                        j += 4;
+                    }
+                    while j < C {
+                        for t in 0..K {
+                            accs[i][t] += row[j] * x[t * xs + x0 + j];
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            for i in 0..R {
+                for t in 0..K {
+                    y[t * ys + y0 + i] += hsum_ps(accv[i][t]) + accs[i][t];
+                }
+            }
+        }
+    }
+
+    /// SSE2 multi-vector BCSD segment kernel, `f64`; per output column the
+    /// vector-op sequence matches [`bcsd_seg_f64`] exactly.
+    pub fn bcsd_seg_multi_f64<const B: usize, const K: usize>(
+        bvals: &[f64],
+        bcols: &[Index],
+        x: &[f64],
+        xs: usize,
+        y: &mut [f64],
+        ys: usize,
+        y0: usize,
+    ) {
+        debug_assert_eq!(bvals.len(), bcols.len() * B);
+        debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
+        // SAFETY: `v` and `xb` are length-B checked subslices.
+        unsafe {
+            let mut accv = [[_mm_setzero_pd(); K]; 4]; // B <= 8 => at most 4 pairs
+            let mut acct = [0.0f64; K];
+            let pairs = B / 2;
+            for (kb, &j0) in bcols.iter().enumerate() {
+                let v = &bvals[kb * B..kb * B + B];
+                debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
+                let j0 = j0 as usize - B;
+                for (q, acc) in accv.iter_mut().enumerate().take(pairs) {
+                    let bv = _mm_loadu_pd(v.as_ptr().add(2 * q));
+                    for t in 0..K {
+                        let xb = &x[t * xs + j0..t * xs + j0 + B];
+                        let xv = _mm_loadu_pd(xb.as_ptr().add(2 * q));
+                        acc[t] = _mm_add_pd(acc[t], _mm_mul_pd(bv, xv));
+                    }
+                }
+                if B % 2 == 1 {
+                    for t in 0..K {
+                        acct[t] += v[B - 1] * x[t * xs + j0 + B - 1];
+                    }
+                }
+            }
+            for (q, acc) in accv.iter().enumerate().take(pairs) {
+                for t in 0..K {
+                    y[t * ys + y0 + 2 * q] += _mm_cvtsd_f64(acc[t]);
+                    y[t * ys + y0 + 2 * q + 1] += _mm_cvtsd_f64(_mm_unpackhi_pd(acc[t], acc[t]));
+                }
+            }
+            if B % 2 == 1 {
+                for t in 0..K {
+                    y[t * ys + y0 + B - 1] += acct[t];
+                }
+            }
+        }
+    }
+
+    /// SSE2 multi-vector BCSD segment kernel, `f32`; see
+    /// [`bcsd_seg_multi_f64`].
+    pub fn bcsd_seg_multi_f32<const B: usize, const K: usize>(
+        bvals: &[f32],
+        bcols: &[Index],
+        x: &[f32],
+        xs: usize,
+        y: &mut [f32],
+        ys: usize,
+        y0: usize,
+    ) {
+        debug_assert_eq!(bvals.len(), bcols.len() * B);
+        debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
+        // SAFETY: as in `bcsd_seg_multi_f64`.
+        unsafe {
+            let mut accv = [[_mm_setzero_ps(); K]; 2]; // B <= 8 => at most 2 quads
+            let mut acct = [[0.0f32; K]; 3]; // at most 3 tail lanes
+            let quads = B / 4;
+            let tail = B % 4;
+            for (kb, &j0) in bcols.iter().enumerate() {
+                let v = &bvals[kb * B..kb * B + B];
+                debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
+                let j0 = j0 as usize - B;
+                for (q, acc) in accv.iter_mut().enumerate().take(quads) {
+                    let bv = _mm_loadu_ps(v.as_ptr().add(4 * q));
+                    for t in 0..K {
+                        let xb = &x[t * xs + j0..t * xs + j0 + B];
+                        let xv = _mm_loadu_ps(xb.as_ptr().add(4 * q));
+                        acc[t] = _mm_add_ps(acc[t], _mm_mul_ps(bv, xv));
+                    }
+                }
+                for (s, at) in acct.iter_mut().enumerate().take(tail) {
+                    for (t, a) in at.iter_mut().enumerate().take(K) {
+                        *a += v[4 * quads + s] * x[t * xs + j0 + 4 * quads + s];
+                    }
+                }
+            }
+            for (q, acc) in accv.iter().enumerate().take(quads) {
+                for t in 0..K {
+                    let mut lanes = [0.0f32; 4];
+                    _mm_storeu_ps(lanes.as_mut_ptr(), acc[t]);
+                    for (s, lane) in lanes.iter().enumerate() {
+                        y[t * ys + y0 + 4 * q + s] += lane;
+                    }
+                }
+            }
+            for (s, at) in acct.iter().enumerate().take(tail) {
+                for (t, &a) in at.iter().enumerate().take(K) {
+                    y[t * ys + y0 + 4 * quads + s] += a;
+                }
+            }
+        }
+    }
+
     /// Runtime-length SSE2 dot product, `f32` (1D-VBL runs).
     pub fn dot_run_f32(vals: &[f32], x: &[f32]) -> f32 {
         debug_assert_eq!(vals.len(), x.len());
@@ -343,6 +567,24 @@ macro_rules! dispatch_size {
     };
 }
 
+/// Expands to a `match` mapping a runtime vector count `k` onto a
+/// monomorphized kernel whose **last** const parameter is `K`; the leading
+/// const parameters (shape dims or BCSD size) are passed through as
+/// literals. Only the specialized counts `k ∈ {1, 2, 4, 8}` exist — other
+/// counts return `None` and callers chunk `k` greedily (8, 4, 2, 1).
+macro_rules! dispatch_k {
+    ($k:expr, [$($kern:tt)+], $ty:ty, $($dims:tt),+) => {
+        match $k {
+            1 => Some($($kern)+::<$($dims),+, 1> as $ty),
+            2 => Some($($kern)+::<$($dims),+, 2> as $ty),
+            4 => Some($($kern)+::<$($dims),+, 4> as $ty),
+            8 => Some($($kern)+::<$($dims),+, 8> as $ty),
+            _ => None,
+        }
+    };
+}
+
+pub(crate) use dispatch_k;
 pub(crate) use dispatch_shape;
 pub(crate) use dispatch_size;
 
@@ -369,6 +611,24 @@ impl SimdScalar for f64 {
     fn dot_run_simd(vals: &[f64], x: &[f64]) -> f64 {
         x86::dot_run_f64(vals, x)
     }
+
+    fn bcsr_row_multi_simd(shape: BlockShape, k: usize) -> Option<BcsrRowMultiKernel<f64>> {
+        macro_rules! apply {
+            ($r:literal, $c:literal) => {
+                dispatch_k!(k, [x86::bcsr_row_multi_f64], BcsrRowMultiKernel<f64>, $r, $c)
+            };
+        }
+        dispatch_shape!(shape, apply)
+    }
+
+    fn bcsd_seg_multi_simd(b: usize, k: usize) -> Option<BcsdSegMultiKernel<f64>> {
+        macro_rules! apply {
+            ($b:literal) => {
+                dispatch_k!(k, [x86::bcsd_seg_multi_f64], BcsdSegMultiKernel<f64>, $b)
+            };
+        }
+        dispatch_size!(b, apply)
+    }
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -393,6 +653,24 @@ impl SimdScalar for f32 {
 
     fn dot_run_simd(vals: &[f32], x: &[f32]) -> f32 {
         x86::dot_run_f32(vals, x)
+    }
+
+    fn bcsr_row_multi_simd(shape: BlockShape, k: usize) -> Option<BcsrRowMultiKernel<f32>> {
+        macro_rules! apply {
+            ($r:literal, $c:literal) => {
+                dispatch_k!(k, [x86::bcsr_row_multi_f32], BcsrRowMultiKernel<f32>, $r, $c)
+            };
+        }
+        dispatch_shape!(shape, apply)
+    }
+
+    fn bcsd_seg_multi_simd(b: usize, k: usize) -> Option<BcsdSegMultiKernel<f32>> {
+        macro_rules! apply {
+            ($b:literal) => {
+                dispatch_k!(k, [x86::bcsd_seg_multi_f32], BcsdSegMultiKernel<f32>, $b)
+            };
+        }
+        dispatch_size!(b, apply)
     }
 }
 

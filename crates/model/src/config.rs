@@ -2,7 +2,7 @@
 //! search.
 
 use core::fmt;
-use spmv_core::{Csr, Index, MatrixShape, Scalar, SpMv};
+use spmv_core::{Csr, Index, MatrixShape, Scalar, SpMv, SpMvMulti};
 use spmv_formats::{
     bcsd_dec_stats, bcsd_stats, bcsr_dec_stats, bcsr_stats, Bcsd, BcsdDec, Bcsr, BcsrDec,
     FormatKind,
@@ -134,6 +134,7 @@ impl Config {
         match self.block {
             BlockConfig::Csr => vec![SubStat {
                 ws_bytes: csr_bytes(csr.nnz()) + vecs,
+                vec_bytes: vecs,
                 nb: csr.nnz(),
                 key: KernelKey::Csr,
             }],
@@ -141,6 +142,7 @@ impl Config {
                 let st = bcsr_stats(csr, shape);
                 vec![SubStat {
                     ws_bytes: main_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                    vec_bytes: vecs,
                     nb: st.nb,
                     key: self.kernel_key(),
                 }]
@@ -149,6 +151,7 @@ impl Config {
                 let st = bcsd_stats(csr, b);
                 vec![SubStat {
                     ws_bytes: main_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                    vec_bytes: vecs,
                     nb: st.nb,
                     key: self.kernel_key(),
                 }]
@@ -158,11 +161,13 @@ impl Config {
                 vec![
                     SubStat {
                         ws_bytes: main_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                        vec_bytes: vecs,
                         nb: st.nb,
                         key: self.kernel_key(),
                     },
                     SubStat {
                         ws_bytes: csr_bytes(st.rest_nnz) + vecs,
+                        vec_bytes: vecs,
                         nb: st.rest_nnz,
                         key: KernelKey::Csr,
                     },
@@ -173,11 +178,13 @@ impl Config {
                 vec![
                     SubStat {
                         ws_bytes: main_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                        vec_bytes: vecs,
                         nb: st.nb,
                         key: self.kernel_key(),
                     },
                     SubStat {
                         ws_bytes: csr_bytes(st.rest_nnz) + vecs,
+                        vec_bytes: vecs,
                         nb: st.rest_nnz,
                         key: KernelKey::Csr,
                     },
@@ -208,6 +215,12 @@ impl fmt::Display for Config {
 pub struct SubStat {
     /// Working set of this submatrix's SpMV pass (arrays + vectors).
     pub ws_bytes: usize,
+    /// The vector portion of [`ws_bytes`](Self::ws_bytes): `x` plus `y`
+    /// bytes for a single right-hand side. A `k`-vector call streams the
+    /// matrix arrays (`ws_bytes - vec_bytes`) once but this much vector
+    /// traffic `k` times — the split [`crate::Model::predict_multi`]
+    /// needs.
+    pub vec_bytes: usize,
     /// Number of blocks (`nnz` for CSR submatrices).
     pub nb: usize,
     /// Which profiled kernel executes this submatrix.
@@ -309,6 +322,15 @@ impl<T: SimdScalar> SpMv<T> for BuiltFormat<T> {
     }
 }
 
+impl<T: SimdScalar> SpMvMulti<T> for BuiltFormat<T> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        delegate!(self, spmv_multi_into(x, y, k))
+    }
+    fn working_set_bytes_multi(&self, k: usize) -> usize {
+        delegate!(self, working_set_bytes_multi(k))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +414,43 @@ mod tests {
             let got = built.spmv(&x);
             for (a, g) in want.iter().zip(&got) {
                 assert!((a - g).abs() < 1e-9, "{config}");
+            }
+        }
+    }
+
+    #[test]
+    fn substats_multi_bytes_match_materialized_formats() {
+        // Matrix traffic once plus vector traffic k times must reproduce
+        // the materialized formats' working_set_bytes_multi exactly.
+        let csr = fixture();
+        for config in Config::enumerate(true) {
+            let stats = config.substats(&csr);
+            let built = config.build(&csr);
+            for k in [1usize, 2, 4, 9] {
+                let est: usize = stats
+                    .iter()
+                    .map(|s| s.ws_bytes - s.vec_bytes + k * s.vec_bytes)
+                    .sum();
+                assert_eq!(
+                    est,
+                    built.working_set_bytes_multi(k),
+                    "multi ws mismatch for {config} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn built_formats_all_multiply_multi_correctly() {
+        let csr = fixture();
+        let k = 3;
+        let x: Vec<f64> = (0..31 * k).map(|i| 1.0 + (i % 5) as f64).collect();
+        for config in Config::enumerate(true) {
+            let built = config.build(&csr);
+            let got = built.spmv_multi(&x, k);
+            for t in 0..k {
+                let want = built.spmv(&x[t * 31..(t + 1) * 31]);
+                assert_eq!(want, &got[t * 29..(t + 1) * 29], "{config} col {t}");
             }
         }
     }

@@ -25,6 +25,12 @@
 //!    using only `O(nnz)` structure statistics (no format is
 //!    materialized) and returns the predicted-fastest configuration.
 //!
+//! For batched right-hand sides (SpMM), [`Model::predict_multi`] extends
+//! each model to `k`-vector calls — matrix traffic is paid once, vector
+//! traffic and compute `k` times — and [`select_multi`] ranks
+//! (format, block, implementation, `k`) candidates by predicted time per
+//! vector.
+//!
 //! ```no_run
 //! use spmv_gen::GenSpec;
 //! use spmv_model::{profile_kernels, select, MachineProfile, Model, ProfileOptions};
@@ -58,4 +64,6 @@ pub use models::Model;
 pub use multicore::{predict_threaded, predicted_saturation_point};
 pub use persist::{load_profile, read_profile, save_profile, write_profile};
 pub use profile::{profile_kernels, BlockTimes, KernelProfile, ProfileOptions};
-pub use select::{candidate_configs, rank, select, Candidate};
+pub use select::{
+    candidate_configs, rank, rank_multi, select, select_multi, Candidate, MultiCandidate,
+};

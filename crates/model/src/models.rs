@@ -61,6 +61,46 @@ impl Model {
             })
             .sum()
     }
+
+    /// Predicted execution time in seconds for one `k`-vector
+    /// (multi-vector / SpMM) call.
+    ///
+    /// Extends the single-vector forms to batched right-hand sides: the
+    /// matrix arrays (`ws_bytes - vec_bytes`) stream once per call, the
+    /// vector traffic (`vec_bytes`) and the computational part both scale
+    /// by `k`. With `k = 1` this reduces exactly to [`Model::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn predict_multi(
+        self,
+        stats: &[SubStat],
+        k: usize,
+        machine: &MachineProfile,
+        profile: &KernelProfile,
+    ) -> f64 {
+        assert!(k > 0, "predict_multi requires k >= 1");
+        stats
+            .iter()
+            .map(|s| {
+                let bytes = (s.ws_bytes - s.vec_bytes) + k * s.vec_bytes;
+                let t_mem = bytes as f64 / machine.bandwidth;
+                let compute = k as f64 * s.nb as f64;
+                match self {
+                    Model::Mem => t_mem,
+                    Model::MemComp => {
+                        let t = profile.get(s.key);
+                        t_mem + compute * t.t_b
+                    }
+                    Model::Overlap => {
+                        let t = profile.get(s.key);
+                        t_mem + t.nof * compute * t.t_b
+                    }
+                }
+            })
+            .sum()
+    }
 }
 
 impl fmt::Display for Model {
@@ -86,8 +126,16 @@ mod tests {
     fn stat(ws: usize, nb: usize) -> SubStat {
         SubStat {
             ws_bytes: ws,
+            vec_bytes: 0,
             nb,
             key: KernelKey::Csr,
+        }
+    }
+
+    fn stat_vec(ws: usize, vec: usize, nb: usize) -> SubStat {
+        SubStat {
+            vec_bytes: vec,
+            ..stat(ws, nb)
         }
     }
 
@@ -157,6 +205,56 @@ mod tests {
             Model::Overlap.predict(&stats, &m, &p),
             Model::Mem.predict(&stats, &m, &p)
         );
+    }
+
+    #[test]
+    fn predict_multi_with_k1_equals_predict() {
+        let p = KernelProfile::uniform(1e-8, 0.5);
+        let stats = [stat_vec(1_000_000, 16_000, 700)];
+        let m = machine();
+        for model in Model::ALL {
+            assert_eq!(
+                model.predict_multi(&stats, 1, &m, &p),
+                model.predict(&stats, &m, &p),
+                "{model}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_amortizes_matrix_traffic() {
+        // 1 MB working set of which 16 KB is vectors: a 4-vector call
+        // pays the matrix once, so it must be far cheaper than 4 calls.
+        let p = KernelProfile::uniform(1e-8, 0.5);
+        let stats = [stat_vec(1_000_000, 16_000, 0)];
+        let m = machine();
+        let one = Model::Mem.predict(&stats, &m, &p);
+        let four = Model::Mem.predict_multi(&stats, 4, &m, &p);
+        assert!(four < 4.0 * one);
+        // Exact form: (ws - vec + 4*vec)/BW.
+        assert!((four - (1_000_000.0 - 16_000.0 + 4.0 * 16_000.0) / 1e9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multi_compute_scales_with_k() {
+        // Pure-compute check: with vec_bytes == ws_bytes == 0 bytes of
+        // matrix amortization at play, the compute term is linear in k.
+        let p = KernelProfile::uniform(1e-8, 0.5);
+        let stats = [stat(0, 1000)];
+        let m = machine();
+        let t1 = Model::MemComp.predict_multi(&stats, 1, &m, &p);
+        let t8 = Model::MemComp.predict_multi(&stats, 8, &m, &p);
+        assert!((t8 - 8.0 * t1).abs() < 1e-15);
+        let o1 = Model::Overlap.predict_multi(&stats, 1, &m, &p);
+        let o8 = Model::Overlap.predict_multi(&stats, 8, &m, &p);
+        assert!((o8 - 8.0 * o1).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn predict_multi_rejects_zero_k() {
+        let p = KernelProfile::uniform(1e-8, 0.5);
+        Model::Mem.predict_multi(&[stat(1_000, 10)], 0, &machine(), &p);
     }
 
     #[test]

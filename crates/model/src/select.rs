@@ -71,6 +71,74 @@ pub fn select<T: Scalar>(
         .expect("candidate set is never empty")
 }
 
+/// One ranked multi-vector candidate: a configuration paired with a
+/// vector count `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiCandidate {
+    /// The configuration.
+    pub config: Config,
+    /// Number of simultaneous right-hand sides.
+    pub k: usize,
+    /// Predicted execution time of one `k`-vector call, seconds.
+    pub predicted: f64,
+    /// Predicted time amortized per vector: `predicted / k`. The ranking
+    /// key — it is what decides whether batching pays off.
+    pub per_vector: f64,
+}
+
+/// Ranks every (config, k) pair by predicted time *per vector*,
+/// ascending.
+///
+/// The matrix streams once per call regardless of `k`, so larger batches
+/// amortize the dominant traffic term; ranking per vector makes batched
+/// and single-vector candidates directly comparable.
+///
+/// # Panics
+///
+/// Panics if any entry of `ks` is zero.
+pub fn rank_multi<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    configs: &[Config],
+    ks: &[usize],
+) -> Vec<MultiCandidate> {
+    let mut out = Vec::with_capacity(configs.len() * ks.len());
+    for &config in configs {
+        let stats = config.substats(csr);
+        for &k in ks {
+            let predicted = model.predict_multi(&stats, k, machine, profile);
+            out.push(MultiCandidate {
+                config,
+                k,
+                predicted,
+                per_vector: predicted / k as f64,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.per_vector.total_cmp(&b.per_vector));
+    out
+}
+
+/// Returns the model's multi-vector selection: the (config, k) pair with
+/// the minimum predicted time per vector over the model-appropriate
+/// candidate set.
+pub fn select_multi<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    include_simd: bool,
+    ks: &[usize],
+) -> MultiCandidate {
+    let configs = candidate_configs(model, include_simd);
+    rank_multi(model, csr, machine, profile, &configs, ks)
+        .into_iter()
+        .next()
+        .expect("candidate set is never empty")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +252,54 @@ mod tests {
         assert_eq!(ranked.len(), configs.len());
         for w in ranked.windows(2) {
             assert!(w[0].predicted <= w[1].predicted);
+        }
+    }
+
+    #[test]
+    fn rank_multi_is_sorted_and_complete() {
+        let csr = GenSpec::Stencil2d { nx: 12, ny: 12 }.build(0);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let configs = Config::enumerate(true);
+        let ks = [1usize, 2, 4, 8];
+        let ranked = rank_multi(Model::Overlap, &csr, &machine(), &profile, &configs, &ks);
+        assert_eq!(ranked.len(), configs.len() * ks.len());
+        for w in ranked.windows(2) {
+            assert!(w[0].per_vector <= w[1].per_vector);
+        }
+        for c in &ranked {
+            assert!((c.per_vector - c.predicted / c.k as f64).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn mem_prefers_larger_batches() {
+        // Under MEM the per-vector cost strictly decreases with k for any
+        // matrix with nonzero structure bytes, so the selection must take
+        // the largest offered k.
+        let csr = GenSpec::Stencil2d { nx: 16, ny: 16 }.build(0);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let best = select_multi(Model::Mem, &csr, &machine(), &profile, false, &[1, 2, 4, 8]);
+        assert_eq!(best.k, 8);
+        // And for a fixed config, per-vector time is non-increasing in k.
+        let stats = Config::CSR.substats(&csr);
+        let mut prev = f64::INFINITY;
+        for k in [1usize, 2, 4, 8] {
+            let t = Model::Mem.predict_multi(&stats, k, &machine(), &profile) / k as f64;
+            assert!(t <= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn multi_rank_agrees_with_single_at_k1() {
+        let csr = GenSpec::Stencil2d { nx: 10, ny: 10 }.build(0);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let configs = Config::enumerate(false);
+        let single = rank(Model::MemComp, &csr, &machine(), &profile, &configs);
+        let multi = rank_multi(Model::MemComp, &csr, &machine(), &profile, &configs, &[1]);
+        for (s, m) in single.iter().zip(&multi) {
+            assert_eq!(s.config, m.config);
+            assert_eq!(s.predicted, m.predicted);
         }
     }
 

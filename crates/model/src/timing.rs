@@ -68,6 +68,26 @@ where
     t
 }
 
+/// Mean seconds per `k`-vector call of `mat` over `x` (which holds `k`
+/// concatenated input vectors), with one warm-up pass.
+pub fn measure_spmv_multi<T, M>(
+    mat: &M,
+    x: &[T],
+    k: usize,
+    min_time: f64,
+    batches: usize,
+) -> f64
+where
+    T: spmv_core::Scalar,
+    M: spmv_core::SpMvMulti<T>,
+{
+    let mut y = vec![T::ZERO; mat.n_rows() * k];
+    mat.spmv_multi_into(x, &mut y, k); // warm-up: faults pages, fills caches
+    let t = measure(|| mat.spmv_multi_into(x, &mut y, k), min_time, batches);
+    std::hint::black_box(&y);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +113,19 @@ mod tests {
         );
         assert!(t > 0.0);
         assert!(t < 0.005, "per-call time {t} should be far below the window");
+    }
+
+    #[test]
+    fn measure_spmv_multi_times_batched_calls() {
+        use spmv_core::{Coo, Csr};
+        let mut coo = Coo::new(100, 100);
+        for i in 0..100 {
+            coo.push(i, i, 1.0).unwrap();
+        }
+        let csr = Csr::from_coo(&coo);
+        let x = vec![1.0f64; 400];
+        let t = measure_spmv_multi(&csr, &x, 4, 0.002, 2);
+        assert!(t > 0.0 && t < 0.002);
     }
 
     #[test]

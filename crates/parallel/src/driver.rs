@@ -8,7 +8,7 @@
 //! eliminates the per-call spawn/join cost.
 
 use core::ops::Range;
-use spmv_core::{Csr, MatrixShape, Scalar, SpMv};
+use spmv_core::{Csr, MatrixShape, Scalar, SpMv, SpMvMulti};
 
 /// One thread's share of the matrix: a contiguous row strip converted to
 /// the format under test.
@@ -172,6 +172,54 @@ impl<T: Scalar, F: SpMv<T> + Sync> SpMv<T> for ParallelSpmv<F> {
     }
 }
 
+impl<T: Scalar, F: SpMvMulti<T> + Sync> SpMvMulti<T> for ParallelSpmv<F> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        let n = self.n_rows;
+        match self.strips.as_slice() {
+            [] => y.fill(T::ZERO),
+            // Single strip: run inline into a strip-local block, then
+            // scatter its columns into the full-height output.
+            [strip] => {
+                y.fill(T::ZERO);
+                let h = strip.rows.len();
+                let mut tmp = vec![T::ZERO; h * k];
+                strip.mat.spmv_multi_into(x, &mut tmp, k);
+                for t in 0..k {
+                    y[t * n + strip.rows.start..t * n + strip.rows.end]
+                        .copy_from_slice(&tmp[t * h..(t + 1) * h]);
+                }
+            }
+            strips => {
+                // Each strip's k output columns interleave in y, so the
+                // threads compute into private strip-local blocks and the
+                // driver scatters them after the join.
+                y.fill(T::ZERO);
+                let blocks: Vec<Vec<T>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = strips
+                        .iter()
+                        .map(|strip| {
+                            scope.spawn(move || {
+                                let mut tmp = vec![T::ZERO; strip.rows.len() * k];
+                                strip.mat.spmv_multi_into(x, &mut tmp, k);
+                                tmp
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("strip thread")).collect()
+                });
+                for (strip, tmp) in strips.iter().zip(&blocks) {
+                    let h = strip.rows.len();
+                    for t in 0..k {
+                        y[t * n + strip.rows.start..t * n + strip.rows.end]
+                            .copy_from_slice(&tmp[t * h..(t + 1) * h]);
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +357,23 @@ mod tests {
         let want = csr.spmv(&x);
         for (a, g) in want.iter().zip(par.spmv(&x).iter()) {
             assert!((a - g).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_matches_per_column_spmv() {
+        let csr = fixture(101, 77);
+        for threads in [1, 2, 4] {
+            let par =
+                ParallelSpmv::from_csr(&csr, threads, &csr_unit_weights(&csr), 1, Csr::clone);
+            for k in [1, 4, 9] {
+                let x: Vec<f64> = (0..77 * k).map(|i| 1.0 + (i % 9) as f64).collect();
+                let got = par.spmv_multi(&x, k);
+                for t in 0..k {
+                    let want = csr.spmv(&x[t * 77..(t + 1) * 77]);
+                    assert_eq!(got[t * 101..(t + 1) * 101], want, "threads={threads} k={k} t={t}");
+                }
+            }
         }
     }
 

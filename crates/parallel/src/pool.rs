@@ -52,7 +52,7 @@ use std::time::{Duration, Instant};
 
 use crate::affinity::PinPolicy;
 use crate::driver::ParallelSpmv;
-use spmv_core::{Csr, MatrixShape, Scalar, SpMv};
+use spmv_core::{Csr, MatrixShape, Scalar, SpMv, SpMvMulti};
 
 /// Epoch value ordering workers to exit. Driver epochs count up from 1,
 /// so this sentinel is unreachable in any realistic run.
@@ -82,6 +82,12 @@ const DRIVER_SPINS: u32 = 1 << 14;
 /// recent iterations; min and count cover the whole history).
 const SAMPLE_CAP: usize = 512;
 
+/// Maximum vectors per multi-vector epoch. Larger `k` is chunked into
+/// epochs of this size, bounding the standing multi-output slab at
+/// `n_rows * POOL_EPOCH_K` elements and matching the specialized kernel
+/// counts downstream.
+const POOL_EPOCH_K: usize = 8;
+
 /// The input-vector slot: a raw pointer + length published by the driver
 /// before each epoch and read by every worker during it.
 ///
@@ -92,7 +98,7 @@ const SAMPLE_CAP: usize = 512;
 /// reads are never concurrent, and the pointed-to slice outlives the
 /// epoch because the driver blocks until every worker reports done.
 struct XSlot<T> {
-    slot: UnsafeCell<(*const T, usize)>,
+    slot: UnsafeCell<(*const T, usize, usize)>,
 }
 
 // SAFETY: access is serialized by the epoch protocol described above;
@@ -106,31 +112,32 @@ unsafe impl<T: Send> Send for XSlot<T> {}
 impl<T> XSlot<T> {
     fn new() -> Self {
         XSlot {
-            slot: UnsafeCell::new((core::ptr::null(), 0)),
+            slot: UnsafeCell::new((core::ptr::null(), 0, 1)),
         }
     }
 
-    /// Publishes `x` for the coming epoch.
+    /// Publishes `x` (holding `k` concatenated input vectors) for the
+    /// coming epoch.
     ///
     /// # Safety
     ///
     /// Caller must hold the driver lock with the pool quiescent.
-    unsafe fn set(&self, x: &[T]) {
-        *self.slot.get() = (x.as_ptr(), x.len());
+    unsafe fn set(&self, x: &[T], k: usize) {
+        *self.slot.get() = (x.as_ptr(), x.len(), k);
     }
 
-    /// The slice published for the current epoch.
+    /// The slice and vector count published for the current epoch.
     ///
     /// # Safety
     ///
     /// May only be called by a worker inside an epoch (after observing
     /// the epoch store that happened-after [`XSlot::set`]).
-    unsafe fn get<'a>(&self) -> &'a [T] {
-        let (ptr, len) = *self.slot.get();
+    unsafe fn get<'a>(&self) -> (&'a [T], usize) {
+        let (ptr, len, k) = *self.slot.get();
         if len == 0 {
-            &[]
+            (&[], k)
         } else {
-            core::slice::from_raw_parts(ptr, len)
+            (core::slice::from_raw_parts(ptr, len), k)
         }
     }
 }
@@ -280,6 +287,11 @@ struct PoolShared<T> {
     spin_budget: u32,
     x: XSlot<T>,
     y: SharedOutput<T>,
+    /// Output slab for multi-vector epochs: each strip owns the region
+    /// `[rows.start * POOL_EPOCH_K, rows.end * POOL_EPOCH_K)` and lays its
+    /// `k ≤ POOL_EPOCH_K` output columns out contiguously at its base —
+    /// disjointness follows from strip disjointness, as for `y`.
+    y_multi: SharedOutput<T>,
     workers: Vec<WorkerState>,
 }
 
@@ -325,7 +337,7 @@ impl<T: Scalar> SpmvPool<T> {
     /// predecessor, or if a strip's shape disagrees with its range.
     pub fn new<F>(strips: Vec<(Range<usize>, F)>, n_rows: usize, n_cols: usize, pin: PinPolicy) -> Self
     where
-        F: SpMv<T> + Send + 'static,
+        F: SpMvMulti<T> + Send + 'static,
     {
         let mut prev_end = 0usize;
         for (rows, mat) in &strips {
@@ -349,6 +361,7 @@ impl<T: Scalar> SpmvPool<T> {
             spin_budget: if oversubscribed { 0 } else { WORKER_SPINS },
             x: XSlot::new(),
             y: SharedOutput::zeroed(n_rows),
+            y_multi: SharedOutput::zeroed(n_rows * POOL_EPOCH_K),
             workers: strips.iter().map(|_| WorkerState::new()).collect(),
         });
 
@@ -382,7 +395,7 @@ impl<T: Scalar> SpmvPool<T> {
     /// on a persistent pool.
     pub fn from_parallel<F>(par: ParallelSpmv<F>, pin: PinPolicy) -> Self
     where
-        F: SpMv<T> + Send + 'static,
+        F: SpMvMulti<T> + Send + 'static,
     {
         let (strips, n_rows, n_cols) = par.into_parts();
         Self::new(strips, n_rows, n_cols, pin)
@@ -399,7 +412,7 @@ impl<T: Scalar> SpmvPool<T> {
         pin: PinPolicy,
     ) -> Self
     where
-        F: SpMv<T> + Send + 'static,
+        F: SpMvMulti<T> + Send + 'static,
     {
         Self::from_parallel(
             ParallelSpmv::from_csr(csr, n_threads, unit_weights, unit_height, build),
@@ -471,14 +484,14 @@ impl<T: Scalar> SpmvPool<T> {
         Some(reports.iter().map(|r| r.median_ns as f64 * 1e-9).collect())
     }
 
-    /// Runs one epoch: publish `x`, wake the workers, wait for all
-    /// strips, and return the guard that keeps the pool quiescent while
-    /// the caller copies the output out.
-    fn run_epoch(&self, x: &[T]) -> MutexGuard<'_, DriverState> {
+    /// Runs one epoch: publish `x` (holding `k` input vectors), wake the
+    /// workers, wait for all strips, and return the guard that keeps the
+    /// pool quiescent while the caller copies the output out.
+    fn run_epoch(&self, x: &[T], k: usize) -> MutexGuard<'_, DriverState> {
         let mut st = self.driver.lock().unwrap_or_else(|e| e.into_inner());
         // SAFETY: the driver lock is held and every worker's `done`
         // equals `st.epoch`, so no worker is reading the slot.
-        unsafe { self.shared.x.set(x) };
+        unsafe { self.shared.x.set(x, k) };
         st.epoch += 1;
         self.shared.epoch.store(st.epoch, Ordering::Release);
         for t in &self.worker_threads {
@@ -527,7 +540,7 @@ impl<T: Scalar> SpMv<T> for SpmvPool<T> {
             y.fill(T::ZERO);
             return;
         }
-        let guard = self.run_epoch(x);
+        let guard = self.run_epoch(x, 1);
         // SAFETY: `guard` keeps the pool quiescent; uncovered rows were
         // zero-initialized and are never written, so a straight copy is
         // complete.
@@ -541,6 +554,43 @@ impl<T: Scalar> SpMv<T> for SpmvPool<T> {
 
     fn matrix_bytes(&self) -> usize {
         self.matrix_bytes
+    }
+}
+
+impl<T: Scalar> SpMvMulti<T> for SpmvPool<T> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        if self.n_rows == 0 {
+            return;
+        }
+        y.fill(T::ZERO); // rows not covered by any strip stay zero
+        if self.shared.workers.is_empty() {
+            return;
+        }
+        let (m, n) = (self.n_cols, self.n_rows);
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = (k - t0).min(POOL_EPOCH_K);
+            let guard = self.run_epoch(&x[t0 * m..(t0 + kc) * m], kc);
+            // SAFETY (both arms): `guard` keeps the pool quiescent while
+            // the epoch's output is copied out.
+            if kc == 1 {
+                let src = unsafe { self.shared.y.as_slice() };
+                y[t0 * n..(t0 + 1) * n].copy_from_slice(src);
+            } else {
+                let slab = unsafe { self.shared.y_multi.as_slice() };
+                for rows in &self.strip_rows {
+                    let h = rows.len();
+                    let base = rows.start * POOL_EPOCH_K;
+                    for t in 0..kc {
+                        y[(t0 + t) * n + rows.start..(t0 + t) * n + rows.end]
+                            .copy_from_slice(&slab[base + t * h..base + (t + 1) * h]);
+                    }
+                }
+            }
+            drop(guard);
+            t0 += kc;
+        }
     }
 }
 
@@ -568,7 +618,7 @@ impl<T: Scalar> Drop for SpmvPool<T> {
 }
 
 /// The body of one pool worker: pin, then serve epochs until shutdown.
-fn worker_loop<T: Scalar, F: SpMv<T>>(
+fn worker_loop<T: Scalar, F: SpMvMulti<T>>(
     shared: Arc<PoolShared<T>>,
     idx: usize,
     rows: Range<usize>,
@@ -612,11 +662,18 @@ fn worker_loop<T: Scalar, F: SpMv<T>>(
         let result = catch_unwind(AssertUnwindSafe(|| {
             // SAFETY: we are inside epoch `target`: the driver published
             // `x` before the epoch store we just observed, blocks until
-            // our `done` store below, and `rows` is this worker's
-            // exclusive, validated-disjoint output range.
-            let x = unsafe { shared.x.get() };
-            let y = unsafe { shared.y.slice_mut(rows.clone()) };
-            mat.spmv_into(x, y);
+            // our `done` store below, and `rows` (resp. this strip's
+            // region of the multi slab) is this worker's exclusive,
+            // validated-disjoint output range.
+            let (x, k) = unsafe { shared.x.get() };
+            if k <= 1 {
+                let y = unsafe { shared.y.slice_mut(rows.clone()) };
+                mat.spmv_into(x, y);
+            } else {
+                let base = rows.start * POOL_EPOCH_K;
+                let y = unsafe { shared.y_multi.slice_mut(base..base + rows.len() * k) };
+                mat.spmv_multi_into(x, y, k);
+            }
         }));
         let ns = t0.elapsed().as_nanos() as u64;
         match result {
@@ -699,6 +756,55 @@ mod tests {
             assert!(!report.respawned);
             assert!(report.min_ns > 0);
             assert!(report.median_ns >= report.min_ns);
+        }
+    }
+
+    #[test]
+    fn pool_multi_matches_sequential_csr_bitwise() {
+        let csr = fixture(113, 67);
+        for threads in [1, 2, 4] {
+            let pool = pool_for(&csr, threads);
+            // k = 9 exercises an 8-vector epoch plus a single-vector one.
+            for k in [1, 2, 4, 9] {
+                let x: Vec<f64> = (0..67 * k).map(|i| 1.0 + (i % 11) as f64).collect();
+                let got = pool.spmv_multi(&x, k);
+                for t in 0..k {
+                    let want = csr.spmv(&x[t * 67..(t + 1) * 67]);
+                    assert_eq!(got[t * 113..(t + 1) * 113], want, "threads={threads} k={k} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_interleaves_single_and_multi_epochs() {
+        let csr = fixture(48, 48);
+        let pool = pool_for(&csr, 2);
+        let x1 = vec![1.0; 48];
+        let want1 = csr.spmv(&x1);
+        let x4: Vec<f64> = (0..48 * 4).map(|i| 0.5 + (i % 5) as f64).collect();
+        for _ in 0..3 {
+            assert_eq!(pool.spmv(&x1), want1);
+            let got = pool.spmv_multi(&x4, 4);
+            for t in 0..4 {
+                assert_eq!(got[t * 48..(t + 1) * 48], csr.spmv(&x4[t * 48..(t + 1) * 48]));
+            }
+        }
+    }
+
+    #[test]
+    fn uncovered_rows_stay_zero_in_multi() {
+        let csr = fixture(9, 9);
+        let mid = csr.row_slice(3..6);
+        let pool = SpmvPool::new(vec![(3..6, mid)], 9, 9, PinPolicy::None);
+        let x: Vec<f64> = (0..18).map(|i| 1.0 + i as f64).collect();
+        let got = pool.spmv_multi(&x, 2);
+        for t in 0..2 {
+            let want = csr.spmv(&x[t * 9..(t + 1) * 9]);
+            for i in 0..9 {
+                let expect = if (3..6).contains(&i) { want[i] } else { 0.0 };
+                assert_eq!(got[t * 9 + i], expect, "t={t} row {i}");
+            }
         }
     }
 

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Tier-1 verify loop.
+#
+# Preferred path: `cargo build` + `cargo test` for the whole workspace.
+# Sandboxed containers often cannot reach the crates.io registry, and
+# cargo needs it even for `--offline` builds here (no vendored deps);
+# when cargo fails this script falls back to hand-compiling the crate
+# chain with rustc and running every unit-test binary, the integration
+# tests that don't need proptest, and the runtime example surfaces.
+# See docs/TESTING.md for what each tier covers.
+#
+# Usage: scripts/check.sh            # auto-detect
+#        SPMV_CHECK_OFFLINE=1 scripts/check.sh   # force the fallback
+
+set -u
+cd "$(dirname "$0")/.."
+
+if [ -z "${SPMV_CHECK_OFFLINE:-}" ]; then
+    if cargo build --release --workspace && cargo test --workspace --quiet; then
+        echo "check.sh: cargo build + test OK"
+        exit 0
+    fi
+    echo "check.sh: cargo path failed -- falling back to offline rustc chain" >&2
+fi
+
+set -e
+B="${SPMV_CHECK_DIR:-target/offline-check}"
+mkdir -p "$B"
+
+# Minimal stand-in for the `rand` crate: only the surface this workspace
+# uses (StdRng/SmallRng + seed_from_u64 + gen/gen_range/gen_bool).
+# Deterministic splitmix64, so generated fixtures are stable.
+cat > "$B/rand_stub.rs" <<'EOF'
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+pub mod rngs {
+    pub struct SmallRng(pub u64);
+    pub struct StdRng(pub u64);
+}
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self { Self(seed ^ 0xA076_1D64_78BD_642F) }
+}
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self { Self(seed ^ 0xE703_7ED1_A0B4_28DB) }
+}
+pub trait Sample { fn from_u64(v: u64) -> Self; }
+impl Sample for f64 { fn from_u64(v: u64) -> f64 { (v >> 11) as f64 / (1u64 << 53) as f64 } }
+impl Sample for u64 { fn from_u64(v: u64) -> u64 { v } }
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+    fn gen<T: Sample>(&mut self) -> T { T::from_u64(self.next_u64()) }
+    fn gen_range(&mut self, r: core::ops::Range<usize>) -> usize {
+        assert!(r.start < r.end, "empty range");
+        r.start + (self.next_u64() % (r.end - r.start) as u64) as usize
+    }
+    fn gen_bool(&mut self, p: f64) -> bool { self.gen::<f64>() < p }
+}
+impl Rng for rngs::SmallRng { fn next_u64(&mut self) -> u64 { splitmix(&mut self.0) } }
+impl Rng for rngs::StdRng { fn next_u64(&mut self) -> u64 { splitmix(&mut self.0) } }
+EOF
+
+R="rustc --edition 2021 -O -L dependency=$B"
+
+echo "== building crate chain (rustc, no cargo)"
+$R --crate-type lib --crate-name rand "$B/rand_stub.rs" -o "$B/librand.rlib"
+$R --crate-type lib --crate-name spmv_core crates/core/src/lib.rs -o "$B/libspmv_core.rlib"
+$R --crate-type lib --crate-name spmv_kernels crates/kernels/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" -o "$B/libspmv_kernels.rlib"
+$R --crate-type lib --crate-name spmv_formats crates/formats/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" -o "$B/libspmv_formats.rlib"
+$R --crate-type lib --crate-name spmv_gen crates/gen/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern rand="$B/librand.rlib" -o "$B/libspmv_gen.rlib"
+$R --crate-type lib --crate-name spmv_parallel crates/parallel/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" -o "$B/libspmv_parallel.rlib"
+$R --crate-type lib --crate-name spmv_model crates/model/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_gen="$B/libspmv_gen.rlib" -o "$B/libspmv_model.rlib"
+$R --crate-type lib --crate-name spmv_bench crates/bench/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_gen="$B/libspmv_gen.rlib" \
+    --extern spmv_model="$B/libspmv_model.rlib" \
+    --extern spmv_parallel="$B/libspmv_parallel.rlib" -o "$B/libspmv_bench.rlib"
+$R --crate-type lib --crate-name blocked_spmv src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_gen="$B/libspmv_gen.rlib" \
+    --extern spmv_model="$B/libspmv_model.rlib" \
+    --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+    --extern spmv_bench="$B/libspmv_bench.rlib" -o "$B/libblocked_spmv.rlib"
+
+echo "== crate unit tests"
+$R --test --crate-name spmv_core crates/core/src/lib.rs -o "$B/t_core"
+"$B/t_core" -q
+$R --test --crate-name spmv_kernels crates/kernels/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" -o "$B/t_kernels"
+"$B/t_kernels" -q
+$R --test --crate-name spmv_formats crates/formats/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" -o "$B/t_formats"
+"$B/t_formats" -q
+$R --test --crate-name spmv_gen crates/gen/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" --extern rand="$B/librand.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" -o "$B/t_gen"
+"$B/t_gen" -q
+$R --test --crate-name spmv_parallel crates/parallel/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" -o "$B/t_parallel"
+"$B/t_parallel" -q
+$R --test --crate-name spmv_model crates/model/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_gen="$B/libspmv_gen.rlib" -o "$B/t_model"
+"$B/t_model" -q
+$R --test --crate-name spmv_bench crates/bench/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_gen="$B/libspmv_gen.rlib" \
+    --extern spmv_model="$B/libspmv_model.rlib" \
+    --extern spmv_parallel="$B/libspmv_parallel.rlib" -o "$B/t_bench"
+"$B/t_bench" -q
+
+echo "== integration tests (proptest-based suites need cargo; see docs/TESTING.md)"
+for t in differential_equivalence edge_cases kernel_shapes \
+         extensions_integration paper_shapes; do
+    $R --test "tests/$t.rs" \
+        --extern blocked_spmv="$B/libblocked_spmv.rlib" \
+        --extern rand="$B/librand.rlib" -o "$B/t_$t"
+    "$B/t_$t" -q
+done
+$R --test tests/suite_integration.rs \
+    --extern blocked_spmv="$B/libblocked_spmv.rlib" \
+    --extern spmv_bench="$B/libspmv_bench.rlib" \
+    --extern rand="$B/librand.rlib" -o "$B/t_suite_integration"
+"$B/t_suite_integration" -q
+
+echo "== runtime surfaces"
+$R examples/parallel_scaling.rs \
+    --extern blocked_spmv="$B/libblocked_spmv.rlib" -o "$B/parallel_scaling"
+"$B/parallel_scaling" > /dev/null
+$R examples/batched.rs \
+    --extern blocked_spmv="$B/libblocked_spmv.rlib" -o "$B/batched"
+"$B/batched" 0.1 > /dev/null
+
+echo "check.sh: offline fallback OK"

@@ -1,0 +1,141 @@
+//! Degenerate-shape and boundary coverage for every format, single- and
+//! multi-vector: empty matrices, single-row / single-column matrices, a
+//! fully dense row, and the 1D-VBL `u8` run-length boundary (a dense row
+//! wider than 255 columns must split into multiple runs).
+
+use blocked_spmv::core::{Coo, Csr, MatrixShape, SpMvMulti};
+use blocked_spmv::formats::{Bcsd, BcsdDec, Bcsr, BcsrDec, Vbl, Vbr};
+use blocked_spmv::kernels::{BlockShape, KernelImpl};
+
+const K: usize = 4;
+
+/// Checks every format built from `coo` against the triplet reference,
+/// for k = 1 and k = 4, both kernel implementations.
+fn check_all(coo: &Coo<f64>, what: &str) {
+    let (n, m) = (coo.n_rows(), coo.n_cols());
+    let csr = Csr::from_coo(coo);
+    let x: Vec<f64> = (0..m * K).map(|i| 1.0 + (i % 7) as f64 * 0.5).collect();
+
+    // Reference straight off CSR rows in plain order.
+    let mut yref = vec![0.0; n * K];
+    for t in 0..K {
+        for i in 0..n {
+            let (cols, vals) = csr.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                yref[t * n + i] += v * x[t * m + c as usize];
+            }
+        }
+    }
+
+    let shape = BlockShape::new(2, 2).unwrap();
+    for imp in KernelImpl::ALL {
+        let formats: Vec<(String, Box<dyn SpMvMulti<f64>>)> = vec![
+            (format!("csr"), Box::new(csr.clone())),
+            (
+                format!("bcsr {imp}"),
+                Box::new(Bcsr::from_csr(&csr, shape, imp)),
+            ),
+            (
+                format!("bcsr-dec {imp}"),
+                Box::new(BcsrDec::from_csr(&csr, shape, imp)),
+            ),
+            (format!("bcsd {imp}"), Box::new(Bcsd::from_csr(&csr, 4, imp))),
+            (
+                format!("bcsd-dec {imp}"),
+                Box::new(BcsdDec::from_csr(&csr, 4, imp)),
+            ),
+            (format!("vbl {imp}"), Box::new(Vbl::from_csr(&csr, imp))),
+            (format!("vbr"), Box::new(Vbr::from_csr(&csr))),
+        ];
+        for (label, mat) in &formats {
+            assert_eq!((mat.n_rows(), mat.n_cols()), (n, m), "{what} {label}");
+            let single = mat.spmv(&x[..m]);
+            let multi = mat.spmv_multi(&x, K);
+            for i in 0..n {
+                assert!(
+                    (single[i] - yref[i]).abs() <= 1e-9 * (1.0 + yref[i].abs()),
+                    "{what} {label}: row {i}"
+                );
+            }
+            for (idx, g) in multi.iter().enumerate() {
+                assert!(
+                    (g - yref[idx]).abs() <= 1e-9 * (1.0 + yref[idx].abs()),
+                    "{what} {label}: multi entry {idx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_matrix_all_nnz_zero() {
+    check_all(&Coo::new(5, 7), "5x7 no entries");
+}
+
+#[test]
+fn single_row_matrix() {
+    let mut coo = Coo::new(1, 23);
+    for j in (0..23).step_by(3) {
+        coo.push(0, j, 1.0 + j as f64).unwrap();
+    }
+    check_all(&coo, "1x23");
+}
+
+#[test]
+fn single_column_matrix() {
+    let mut coo = Coo::new(23, 1);
+    for i in (0..23).step_by(2) {
+        coo.push(i, 0, 1.0 + i as f64).unwrap();
+    }
+    check_all(&coo, "23x1");
+}
+
+#[test]
+fn one_by_one() {
+    let mut coo = Coo::new(1, 1);
+    coo.push(0, 0, 3.5).unwrap();
+    check_all(&coo, "1x1");
+}
+
+#[test]
+fn fully_dense_row_among_sparse_rows() {
+    let mut coo = Coo::new(9, 40);
+    for j in 0..40 {
+        coo.push(4, j, 0.25 * (j + 1) as f64).unwrap();
+    }
+    for i in 0..9 {
+        coo.push(i, (i * 5) % 40, 1.0).unwrap();
+    }
+    check_all(&coo, "dense row 4");
+}
+
+#[test]
+fn vbl_run_longer_than_255_columns_splits() {
+    // One 300-wide dense row: 1D-VBL stores run lengths in u8, so this
+    // must split into ceil(300/255) = 2 runs and still multiply exactly.
+    let mut coo = Coo::new(3, 300);
+    for j in 0..300 {
+        coo.push(1, j, 1.0 + (j % 11) as f64).unwrap();
+    }
+    coo.push(0, 299, 2.0).unwrap();
+    coo.push(2, 0, 3.0).unwrap();
+    let csr = Csr::from_coo(&coo);
+    for imp in KernelImpl::ALL {
+        let vbl = Vbl::from_csr(&csr, imp);
+        assert!(
+            vbl.n_blocks() >= 3,
+            "300-wide run must split at the u8 boundary ({imp})"
+        );
+    }
+    check_all(&coo, "vbl >255 run");
+}
+
+#[test]
+fn multi_with_zero_rows_or_cols() {
+    // Degenerate extents: the only observable effect is a zeroed output.
+    let wide: Csr<f64> = Csr::from_coo(&Coo::new(0, 6));
+    assert!(wide.spmv_multi(&vec![1.0; 6 * K], K).is_empty());
+    let tall: Csr<f64> = Csr::from_coo(&Coo::new(6, 0));
+    let y = tall.spmv_multi(&[], K);
+    assert_eq!(y, vec![0.0; 6 * K]);
+}
