@@ -1,0 +1,109 @@
+//! Criterion benchmarks for the index-compression extension: each
+//! compressed format head-to-head against its full-width baseline on the
+//! same workloads as the formats bench.
+//!
+//! Run: `cargo bench -p spmv-bench --bench compression`
+//! (set `SPMV_BENCH_SCALE` to grow the matrices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::{Csr, MatrixShape, SpMv};
+use spmv_formats::{Bcsd, Bcsr, CsrDelta, Vbl};
+use spmv_gen::{random_vector, GenSpec};
+use spmv_kernels::{BlockShape, KernelImpl};
+
+fn scale() -> f64 {
+    std::env::var("SPMV_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+fn workloads() -> Vec<(&'static str, Csr<f64>)> {
+    let s = scale();
+    let n = |base: usize| (base as f64 * s) as usize;
+    vec![
+        (
+            "fem3dof",
+            GenSpec::FemBlocks {
+                nodes: n(4000),
+                dof: 3,
+                neighbors: 9,
+            }
+            .build(1),
+        ),
+        (
+            "diag",
+            GenSpec::DiagRuns {
+                n: n(40_000),
+                n_diags: 8,
+            }
+            .build(2),
+        ),
+        (
+            "graph",
+            GenSpec::PowerLaw {
+                n: n(30_000),
+                avg_deg: 8,
+                alpha: 1.7,
+            }
+            .build(3),
+        ),
+    ]
+}
+
+fn bench_compression(c: &mut Criterion) {
+    for (name, csr) in workloads() {
+        let x: Vec<f64> = random_vector(csr.n_cols(), 7);
+        let mut y = vec![0.0f64; csr.n_rows()];
+        let mut group = c.benchmark_group(format!("compression/{name}"));
+        group.throughput(Throughput::Bytes(csr.working_set_bytes() as u64));
+
+        group.bench_function(BenchmarkId::new("csr", ""), |b| {
+            b.iter(|| csr.spmv_into(&x, &mut y))
+        });
+        for imp in KernelImpl::ALL {
+            let delta = CsrDelta::from_csr(&csr, imp);
+            group.bench_function(BenchmarkId::new("csr-delta", imp.to_string()), |b| {
+                b.iter(|| delta.spmv_into(&x, &mut y))
+            });
+        }
+
+        let shape = BlockShape::new(2, 2).unwrap();
+        for imp in KernelImpl::ALL {
+            let wide = Bcsr::from_csr(&csr, shape, imp);
+            let narrow = Bcsr::from_csr_narrow(&csr, shape, imp);
+            group.bench_function(BenchmarkId::new("bcsr-2x2", imp.to_string()), |b| {
+                b.iter(|| wide.spmv_into(&x, &mut y))
+            });
+            group.bench_function(BenchmarkId::new("bcsr16-2x2", imp.to_string()), |b| {
+                b.iter(|| narrow.spmv_into(&x, &mut y))
+            });
+        }
+
+        let wide = Bcsd::from_csr(&csr, 4, KernelImpl::Scalar);
+        let narrow = Bcsd::from_csr_narrow(&csr, 4, KernelImpl::Scalar);
+        group.bench_function(BenchmarkId::new("bcsd-4", "scalar"), |b| {
+            b.iter(|| wide.spmv_into(&x, &mut y))
+        });
+        group.bench_function(BenchmarkId::new("bcsd16-4", "scalar"), |b| {
+            b.iter(|| narrow.spmv_into(&x, &mut y))
+        });
+
+        let vbl_wide = Vbl::from_csr(&csr, KernelImpl::Scalar);
+        let vbl_narrow = Vbl::from_csr_narrow(&csr, KernelImpl::Scalar);
+        group.bench_function(BenchmarkId::new("vbl", "scalar"), |b| {
+            b.iter(|| vbl_wide.spmv_into(&x, &mut y))
+        });
+        group.bench_function(BenchmarkId::new("vbl16", "scalar"), |b| {
+            b.iter(|| vbl_narrow.spmv_into(&x, &mut y))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compression
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Index-compression report: regenerates `results/compression.txt` —
+//! measured index-byte reduction and measured-vs-predicted times for
+//! CSR-Δ and the narrow-index blocked formats, per suite matrix.
+
+use spmv_bench::experiments::compression;
+use spmv_bench::Args;
+
+fn main() {
+    let opts = Args::from_env().experiment_opts("compression", "");
+    eprintln!("calibrating and sweeping single precision ...");
+    let sp = compression::run::<f32>(&opts);
+    eprintln!("calibrating and sweeping double precision ...");
+    let dp = compression::run::<f64>(&opts);
+    println!("{}", compression::render(&sp));
+    println!("{}", compression::render(&dp));
+    println!(
+        "machine: {:.2} GiB/s triad, L1 {} KiB, LLC {} MiB",
+        dp.machine.bandwidth / (1u64 << 30) as f64,
+        dp.machine.l1_bytes / 1024,
+        dp.machine.llc_bytes / (1024 * 1024)
+    );
+}

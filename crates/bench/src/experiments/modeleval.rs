@@ -22,7 +22,7 @@ use spmv_gen::{random_vector, suite, Geometry};
 use spmv_kernels::simd::SimdScalar;
 use spmv_model::timing::measure_spmv;
 use spmv_model::{
-    profile_kernels, select, Config, MachineProfile, Model, ProfileOptions,
+    profile_kernels, select_extended, BlockConfig, Config, MachineProfile, Model, ProfileOptions,
 };
 
 /// Per-matrix, per-model evaluation record.
@@ -44,7 +44,54 @@ pub struct MatrixEval {
     /// Whether the selection was exactly the measured optimum, per model
     /// (Table IV's `#correct`).
     pub sel_correct: [bool; 3],
+    /// Index-compression records: the fastest measured configuration per
+    /// format family, with its streamed index footprint (extension).
+    pub compression: Vec<CompressionStat>,
 }
+
+/// One family row of the index-compression report.
+#[derive(Debug, Clone)]
+pub struct CompressionStat {
+    /// Format family label (e.g. `BCSR16` for narrow-index BCSR).
+    pub family: &'static str,
+    /// Display label of the family's fastest measured configuration.
+    pub label: String,
+    /// Index-structure bytes streamed per nonzero (matrix bytes minus
+    /// the value array).
+    pub index_bytes_per_nnz: f64,
+    /// OVERLAP-model prediction for that configuration, seconds.
+    pub predicted: f64,
+    /// Measured time, seconds.
+    pub real: f64,
+}
+
+/// The format-family label of a block configuration: narrow-index and
+/// delta variants get their own bucket so the compression report can
+/// compare them against their full-width baselines.
+fn family(block: BlockConfig) -> &'static str {
+    match block {
+        BlockConfig::Csr => "CSR",
+        BlockConfig::CsrDelta => "CSR-DELTA",
+        BlockConfig::Bcsr(_) => "BCSR",
+        BlockConfig::BcsrNarrow(_) => "BCSR16",
+        BlockConfig::BcsrDec(_) => "BCSR-DEC",
+        BlockConfig::Bcsd(_) => "BCSD",
+        BlockConfig::BcsdNarrow(_) => "BCSD16",
+        BlockConfig::BcsdDec(_) => "BCSD-DEC",
+    }
+}
+
+/// Family display order of the compression report.
+const FAMILIES: [&str; 8] = [
+    "CSR",
+    "CSR-DELTA",
+    "BCSR",
+    "BCSR16",
+    "BCSR-DEC",
+    "BCSD",
+    "BCSD16",
+    "BCSD-DEC",
+];
 
 /// The full model-evaluation dataset for one precision.
 #[derive(Debug, Clone)]
@@ -130,22 +177,31 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
     let ws_hint = ws.get(ws.len() / 2).copied().unwrap_or(8 << 20);
     let (machine, profile) = calibrate::<T>(ws_hint, opts);
 
-    let configs = Config::enumerate(true);
+    // The extended space (index-compression configurations included) is
+    // both measured and offered to the models, so selections always have
+    // a matching measurement.
+    let configs = Config::enumerate_extended(true);
     let mut per_matrix = Vec::with_capacity(matrices.len());
     for (id, name, csr) in &matrices {
         let x: Vec<T> = random_vector(spmv_core::MatrixShape::n_cols(csr), opts.seed);
-        // Real times for the whole model-space.
-        let reals: Vec<(Config, f64)> = configs
+        // Real times and index footprints for the whole model-space.
+        let reals: Vec<(Config, f64, f64)> = configs
             .iter()
             .map(|&c| {
                 let built = c.build(csr);
-                (c, measure_spmv(&built, &x, opts.min_time, opts.batches))
+                let idx_pn = (built.matrix_bytes() - built.nnz_stored() * T::BYTES) as f64
+                    / csr.nnz().max(1) as f64;
+                (
+                    c,
+                    measure_spmv(&built, &x, opts.min_time, opts.batches),
+                    idx_pn,
+                )
             })
             .collect();
         let (best_config, best_real) = reals
             .iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|&(c, t)| (c, t))
+            .map(|&(c, t, _)| (c, t))
             .expect("non-empty");
 
         let mut avg_norm_pred = [0.0; 3];
@@ -156,7 +212,7 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
             // Prediction accuracy over every configuration.
             let mut norm_sum = 0.0;
             let mut dist_sum = 0.0;
-            for &(c, real) in &reals {
+            for &(c, real, _) in &reals {
                 let pred = model.predict(&c.substats(csr), &machine, &profile);
                 norm_sum += pred / real;
                 dist_sum += (pred - real).abs() / real;
@@ -164,16 +220,36 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
             avg_norm_pred[mi] = norm_sum / reals.len() as f64;
             avg_abs_dist[mi] = dist_sum / reals.len() as f64;
 
-            // Selection accuracy.
-            let chosen = select(model, csr, &machine, &profile, true).config;
+            // Selection accuracy over the same extended space.
+            let chosen = select_extended(model, csr, &machine, &profile, true).config;
             let real_of_chosen = reals
                 .iter()
-                .find(|(c, _)| *c == chosen)
-                .map(|&(_, t)| t)
+                .find(|(c, ..)| *c == chosen)
+                .map(|&(_, t, _)| t)
                 .expect("selection comes from the same space");
             sel_norm[mi] = real_of_chosen / best_real;
             sel_correct[mi] = chosen == best_config;
         }
+
+        // Index-compression report: fastest measured configuration per
+        // format family, with its index footprint and OVERLAP prediction.
+        let mut compression = Vec::new();
+        for fam in FAMILIES {
+            let best = reals
+                .iter()
+                .filter(|(c, ..)| family(c.block) == fam)
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some(&(c, real, idx_pn)) = best {
+                compression.push(CompressionStat {
+                    family: fam,
+                    label: c.to_string(),
+                    index_bytes_per_nnz: idx_pn,
+                    predicted: Model::Overlap.predict(&c.substats(csr), &machine, &profile),
+                    real,
+                });
+            }
+        }
+
         per_matrix.push(MatrixEval {
             id: *id,
             name,
@@ -181,6 +257,7 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
             avg_abs_dist,
             sel_norm,
             sel_correct,
+            compression,
         });
     }
 
@@ -233,6 +310,37 @@ pub fn render_figure4(result: &ModelEvalResult) -> Table {
     t
 }
 
+/// Renders the index-compression report: per matrix and format family,
+/// the fastest measured configuration with its index bytes per nonzero
+/// and its predicted vs. measured time.
+pub fn render_compression(result: &ModelEvalResult) -> Table {
+    let mut t = Table::new(vec![
+        "Matrix",
+        "Family",
+        "Best config",
+        "idx B/nnz",
+        "pred ms",
+        "real ms",
+    ])
+    .title(format!(
+        "Index compression ({}): per-family index footprint and times",
+        result.precision.label()
+    ));
+    for m in &result.per_matrix {
+        for c in &m.compression {
+            t.add_row(vec![
+                format!("{:02}.{}", m.id, m.name),
+                c.family.to_string(),
+                c.label.clone(),
+                f2(c.index_bytes_per_nnz),
+                format!("{:.4}", c.predicted * 1e3),
+                format!("{:.4}", c.real * 1e3),
+            ]);
+        }
+    }
+    t
+}
+
 /// Renders Table IV from one or two precisions' results.
 pub fn render_table4(results: &[&ModelEvalResult]) -> Table {
     let mut headers = vec!["Model".to_string()];
@@ -281,10 +389,24 @@ mod tests {
         }
         let t4 = res.table4_rows();
         assert!(t4.iter().all(|&(_, correct, off)| correct <= 2 && off >= -1e-12));
+        // Compression report: every family measured, and CSR-Δ must
+        // stream strictly fewer index bytes than CSR.
+        for m in &res.per_matrix {
+            assert_eq!(m.compression.len(), FAMILIES.len());
+            let idx_of = |fam: &str| {
+                m.compression
+                    .iter()
+                    .find(|c| c.family == fam)
+                    .map(|c| c.index_bytes_per_nnz)
+                    .expect("family present")
+            };
+            assert!(idx_of("CSR-DELTA") < idx_of("CSR"));
+        }
         // Render without panicking.
         let _ = render_figure3(&res).to_string();
         let _ = render_figure4(&res).to_string();
         let _ = render_table4(&[&res]).to_string();
+        let _ = render_compression(&res).to_string();
     }
 
     #[test]

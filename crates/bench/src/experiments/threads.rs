@@ -36,10 +36,12 @@ fn unit_nnz_weights<T: spmv_core::Scalar>(csr: &Csr<T>, unit: usize) -> Vec<u64>
 /// configuration (§V-A: padded methods weigh their padding zeros too).
 fn partition_inputs<T: SimdScalar>(csr: &Csr<T>, config: Config) -> (Vec<u64>, usize) {
     match config.block {
-        BlockConfig::Csr => (csr_unit_weights(csr), 1),
-        BlockConfig::Bcsr(shape) => (bcsr_unit_weights(csr, shape), shape.rows()),
+        BlockConfig::Csr | BlockConfig::CsrDelta => (csr_unit_weights(csr), 1),
+        BlockConfig::Bcsr(shape) | BlockConfig::BcsrNarrow(shape) => {
+            (bcsr_unit_weights(csr, shape), shape.rows())
+        }
         BlockConfig::BcsrDec(shape) => (unit_nnz_weights(csr, shape.rows()), shape.rows()),
-        BlockConfig::Bcsd(b) => (bcsd_unit_weights(csr, b), b),
+        BlockConfig::Bcsd(b) | BlockConfig::BcsdNarrow(b) => (bcsd_unit_weights(csr, b), b),
         BlockConfig::BcsdDec(b) => (unit_nnz_weights(csr, b), b),
     }
 }

@@ -14,6 +14,7 @@
 //! | Figure 2 | `... --bin figure2` |
 //! | Figure 3 | `... --bin figure3` |
 //! | Figure 4 | `... --bin figure4` |
+//! | `results/compression.txt` | `... --bin compression` |
 //!
 //! All binaries share the options parsed by [`cli::Args`]; run any of
 //! them with `--help` for the list. Criterion microbenchmarks live in

@@ -69,7 +69,7 @@ impl<T: Scalar> Csr<T> {
         }
         if row_ptr.len() != n_rows + 1
             || row_ptr.first() != Some(&0)
-            || *row_ptr.last().expect("non-empty") as usize != val.len()
+            || row_ptr.last().map(|&e| e as usize) != Some(val.len())
             || col_ind.len() != val.len()
             || row_ptr.windows(2).any(|w| w[0] > w[1])
         {
@@ -280,10 +280,10 @@ impl<T: Scalar> Csr<T> {
                 self.n_rows + 1
             )));
         }
-        if self.row_ptr[0] != 0 {
+        if self.row_ptr.first() != Some(&0) {
             return Err(Error::InvalidStructure("row_ptr[0] != 0".into()));
         }
-        if *self.row_ptr.last().expect("non-empty") as usize != self.val.len() {
+        if self.row_ptr.last().map(|&e| e as usize) != Some(self.val.len()) {
             return Err(Error::InvalidStructure(
                 "row_ptr does not terminate at nnz".into(),
             ));
@@ -521,6 +521,29 @@ mod tests {
         // Every row sums its values scaled by x[0].
         let y = probe.spmv(&[2.0, 9.0, 9.0]);
         assert_eq!(y, vec![2.0 * (1.0 + 2.0), 0.0, 2.0 * (3.0 + 4.0)]);
+    }
+
+    #[test]
+    fn validate_rejects_empty_row_ptr_without_panicking() {
+        // `row_ptr = []` must be a clean InvalidStructure error on every
+        // constructor path, never a panic — including the degenerate
+        // 0-row shape where `n_rows + 1 == 1 != 0`.
+        for n_rows in [0usize, 2] {
+            let bad = Csr::<f64>::from_raw(n_rows, 2, vec![], vec![], vec![]);
+            assert!(matches!(bad, Err(Error::InvalidStructure(_))), "{n_rows} rows");
+            let bad = Csr::<f64>::from_raw_unchecked(n_rows, 2, vec![], vec![], vec![]);
+            assert!(matches!(bad, Err(Error::InvalidStructure(_))), "{n_rows} rows");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_row_ptr_terminating_before_nnz() {
+        // Terminator mismatch must be reported even when the length check
+        // passes, on both the checked and unchecked paths.
+        let bad = Csr::from_raw(1, 3, vec![0, 1], vec![0, 2], vec![1.0, 2.0]);
+        assert!(matches!(bad, Err(Error::InvalidStructure(_))));
+        let bad = Csr::from_raw_unchecked(1, 3, vec![0, 1], vec![0, 2], vec![1.0, 2.0]);
+        assert!(matches!(bad, Err(Error::InvalidStructure(_))));
     }
 
     #[test]

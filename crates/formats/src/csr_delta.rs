@@ -1,0 +1,748 @@
+//! CSR-Δ: delta-encoded, narrow-width compressed column indices.
+//!
+//! The paper's models price SpMV by bytes streamed (§IV); CSR-Δ attacks
+//! the `col_ind` term directly. Column indices are strictly increasing
+//! within a row, so each index is stored as its gap from the previous one,
+//! run-classified into the narrowest width that fits — the same
+//! byte-stream trick 1D-VBL plays with its u8 run lengths, applied to the
+//! whole index structure (cf. Schubert et al., arXiv:0910.4836, on index
+//! traffic as a first-order term; Kreutzer et al., arXiv:1307.6209, on
+//! compacted layouts enabling SIMD).
+
+use crate::{SpMvAcc, SpMvMultiAcc};
+use spmv_core::{Csr, Error, Index, MatrixShape, Result, Scalar, SpMv, SpMvMulti};
+use spmv_kernels::registry::{dot_run, dot_run_multi};
+use spmv_kernels::simd::SimdScalar;
+use spmv_kernels::KernelImpl;
+
+/// Run tag: a stretch of consecutive columns (every gap is 1); the run
+/// stores no gap payload at all and SIMD kernels treat it like a 1D-VBL
+/// block.
+pub const TAG_UNIT: u8 = 0;
+/// Run tag: gaps stored as one byte each.
+pub const TAG_U8: u8 = 1;
+/// Run tag: gaps stored as two little-endian bytes each.
+pub const TAG_U16: u8 = 2;
+/// Run tag: gaps stored as four little-endian bytes each.
+pub const TAG_U32: u8 = 3;
+
+/// Maximum gaps per run: run lengths are stored in one byte, so longer
+/// class stretches are split into 255-gap chunks (mirroring
+/// [`crate::vbl::MAX_VBL_BLOCK`]).
+pub const MAX_DELTA_RUN: usize = u8::MAX as usize;
+
+/// Minimum length of a gap-1 stretch that is emitted as a [`TAG_UNIT`]
+/// run. A unit run saves its gap bytes but costs a 2-byte header and, on
+/// the SIMD path, a kernel dispatch; below this length the stretch is
+/// cheaper left inside a neighbouring [`TAG_U8`] run (gap 1 always fits).
+pub const UNIT_RUN_MIN: usize = 4;
+
+/// Byte size of the encoded column-index stream and its run count for a
+/// CSR matrix, computed by the *same* encoder [`CsrDelta::from_csr`] uses
+/// — the model's byte accounting can therefore never drift from the
+/// materialized format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Total bytes of the run stream (headers + gap payloads).
+    pub stream_bytes: usize,
+    /// Number of `(tag, len)` runs in the stream.
+    pub n_runs: usize,
+}
+
+/// Computes [`DeltaStats`] for `csr` without materializing the format.
+///
+/// Runs the row encoder into a reused scratch buffer, so the result is
+/// exact by construction (used by `spmv-model`'s `SubStat` accounting).
+pub fn csr_delta_stats<T: Scalar>(csr: &Csr<T>) -> DeltaStats {
+    let mut enc = RowEncoder::default();
+    let mut out = Vec::new();
+    let mut stats = DeltaStats {
+        stream_bytes: 0,
+        n_runs: 0,
+    };
+    for i in 0..csr.n_rows() {
+        out.clear();
+        let (cols, _) = csr.row(i);
+        stats.n_runs += enc.encode_row(cols, &mut out);
+        stats.stream_bytes += out.len();
+    }
+    stats
+}
+
+/// Gap width classes, ordered to match the tag values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Unit,
+    W8,
+    W16,
+    W32,
+}
+
+impl Class {
+    fn tag(self) -> u8 {
+        match self {
+            Class::Unit => TAG_UNIT,
+            Class::W8 => TAG_U8,
+            Class::W16 => TAG_U16,
+            Class::W32 => TAG_U32,
+        }
+    }
+
+    /// Narrowest non-unit class able to hold gap `g >= 1`.
+    fn of_gap(g: u32) -> Class {
+        if g <= u8::MAX as u32 {
+            Class::W8
+        } else if g <= u16::MAX as u32 {
+            Class::W16
+        } else {
+            Class::W32
+        }
+    }
+}
+
+/// Reusable per-row encoder scratch (gaps + classes).
+#[derive(Default)]
+struct RowEncoder {
+    gaps: Vec<u32>,
+    classes: Vec<Class>,
+}
+
+impl RowEncoder {
+    /// Appends the encoded run stream of one row (strictly increasing
+    /// `cols`) to `out`; returns the number of runs emitted.
+    fn encode_row(&mut self, cols: &[Index], out: &mut Vec<u8>) -> usize {
+        self.gaps.clear();
+        self.classes.clear();
+        let mut prev_plus_1: u32 = 0; // previous column + 1; g = col + 1 - that
+        for &c in cols {
+            let g = c + 1 - prev_plus_1;
+            self.gaps.push(g);
+            self.classes.push(Class::of_gap(g));
+            prev_plus_1 = c + 1;
+        }
+        // Promote long gap-1 stretches to payload-free unit runs.
+        let mut j = 0;
+        while j < self.gaps.len() {
+            if self.gaps[j] == 1 {
+                let mut end = j + 1;
+                while end < self.gaps.len() && self.gaps[end] == 1 {
+                    end += 1;
+                }
+                if end - j >= UNIT_RUN_MIN {
+                    for cls in &mut self.classes[j..end] {
+                        *cls = Class::Unit;
+                    }
+                }
+                j = end;
+            } else {
+                j += 1;
+            }
+        }
+        // Group consecutive same-class gaps, chunking at the u8 length cap.
+        let mut n_runs = 0;
+        let mut j = 0;
+        while j < self.gaps.len() {
+            let cls = self.classes[j];
+            let mut end = j + 1;
+            while end < self.gaps.len() && self.classes[end] == cls && end - j < MAX_DELTA_RUN {
+                end += 1;
+            }
+            out.push(cls.tag());
+            out.push((end - j) as u8);
+            match cls {
+                Class::Unit => {}
+                Class::W8 => out.extend(self.gaps[j..end].iter().map(|&g| g as u8)),
+                Class::W16 => {
+                    for &g in &self.gaps[j..end] {
+                        out.extend_from_slice(&(g as u16).to_le_bytes());
+                    }
+                }
+                Class::W32 => {
+                    for &g in &self.gaps[j..end] {
+                        out.extend_from_slice(&g.to_le_bytes());
+                    }
+                }
+            }
+            n_runs += 1;
+            j = end;
+        }
+        n_runs
+    }
+}
+
+/// CSR with delta-encoded column indices (CSR-Δ).
+///
+/// `val` and `row_ptr` are exactly CSR's arrays; `col_ind` is replaced by
+/// a byte `stream` of runs. Each run is a 2-byte header `(tag, len)`
+/// followed by `len` gap payloads of the tag's width (none for
+/// [`TAG_UNIT`]). Gaps reconstruct columns via a running cursor `s`
+/// (column + 1, reset to 0 per row): `col = s + g - 1`, then `s = col + 1`.
+/// Runs never straddle row boundaries.
+///
+/// The **scalar** kernels replay CSR's exact `mul_add` chain per row, so
+/// scalar CSR-Δ is *bitwise* equal to scalar CSR. The **SIMD** kernels
+/// additionally dispatch unit runs to the shared [`dot_run`] /
+/// [`dot_run_multi`] block kernels, like 1D-VBL.
+///
+/// ```
+/// use spmv_core::{Coo, Csr, SpMv};
+/// use spmv_formats::CsrDelta;
+/// use spmv_kernels::KernelImpl;
+///
+/// let csr = Csr::from_coo(&Coo::from_triplets(2, 600, vec![
+///     (0, 0, 1.0), (0, 1, 2.0), (0, 2, 3.0), (0, 3, 4.0), (0, 4, 5.0),
+///     (1, 599, 6.0),
+/// ]).unwrap());
+/// let cd = CsrDelta::from_csr(&csr, KernelImpl::Scalar);
+/// assert_eq!(cd.spmv(&vec![1.0; 600]), csr.spmv(&vec![1.0; 600]));
+/// assert!(cd.matrix_bytes() < csr.matrix_bytes());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrDelta<T> {
+    n_rows: usize,
+    n_cols: usize,
+    imp: KernelImpl,
+    /// Offsets into `val`, one per row plus one — identical role to CSR.
+    row_ptr: Vec<Index>,
+    /// Run-encoded column gaps, all rows concatenated.
+    stream: Vec<u8>,
+    /// The nonzero values, in CSR order.
+    val: Vec<T>,
+}
+
+impl<T: SimdScalar> CsrDelta<T> {
+    /// Converts `csr` to CSR-Δ (exact, no padding).
+    pub fn from_csr(csr: &Csr<T>, imp: KernelImpl) -> Self {
+        let n_rows = csr.n_rows();
+        let mut enc = RowEncoder::default();
+        let mut stream = Vec::new();
+        for i in 0..n_rows {
+            let (cols, _) = csr.row(i);
+            enc.encode_row(cols, &mut stream);
+        }
+        CsrDelta {
+            n_rows,
+            n_cols: csr.n_cols(),
+            imp,
+            row_ptr: csr.row_ptr().to_vec(),
+            stream,
+            val: csr.val().to_vec(),
+        }
+    }
+
+    /// The kernel implementation used by `spmv`.
+    pub fn kernel_impl(&self) -> KernelImpl {
+        self.imp
+    }
+
+    /// Switches between the scalar and SIMD decode kernels in place.
+    pub fn set_kernel_impl(&mut self, imp: KernelImpl) {
+        self.imp = imp;
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Bytes of the run-encoded column stream (CSR stores `4 * nnz`).
+    pub fn stream_bytes(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Total index bytes: run stream plus `row_ptr`, the quantity the
+    /// models charge against memory bandwidth.
+    pub fn index_bytes(&self) -> usize {
+        self.stream.len() + self.row_ptr.len() * core::mem::size_of::<Index>()
+    }
+
+    /// Number of `(tag, len)` runs in the stream.
+    pub fn n_runs(&self) -> usize {
+        self.run_counts().iter().sum()
+    }
+
+    /// Run counts by class, indexed `[unit, u8, u16, u32]`.
+    pub fn run_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        let mut p = 0;
+        while p < self.stream.len() {
+            let tag = self.stream[p];
+            let len = self.stream[p + 1] as usize;
+            counts[tag as usize] += 1;
+            p += 2 + len * payload_width(tag);
+        }
+        counts
+    }
+
+    /// Converts back to CSR (exact inverse of [`CsrDelta::from_csr`]).
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut col_ind = Vec::with_capacity(self.val.len());
+        let mut p = 0;
+        let mut v = 0;
+        for i in 0..self.n_rows {
+            let row_end = self.row_ptr[i + 1] as usize;
+            let mut s = 0usize;
+            while v < row_end {
+                let (tag, len) = (self.stream[p], self.stream[p + 1] as usize);
+                p += 2;
+                for j in 0..len {
+                    let g = read_gap(&self.stream, p, tag, j);
+                    s += g;
+                    col_ind.push((s - 1) as Index);
+                }
+                p += len * payload_width(tag);
+                v += len;
+            }
+        }
+        Csr::from_raw(
+            self.n_rows,
+            self.n_cols,
+            self.row_ptr.clone(),
+            col_ind,
+            self.val.clone(),
+        )
+        .expect("CSR-delta invariants imply CSR invariants")
+    }
+
+    /// Checks the structural invariants of the format.
+    pub fn validate(&self) -> Result<()> {
+        if self.row_ptr.len() != self.n_rows + 1 || self.row_ptr.first() != Some(&0) {
+            return Err(Error::InvalidStructure("row_ptr malformed".into()));
+        }
+        if self.row_ptr.last().map(|&e| e as usize) != Some(self.val.len()) {
+            return Err(Error::InvalidStructure(
+                "row_ptr does not terminate at nnz".into(),
+            ));
+        }
+        let mut p = 0;
+        let mut v = 0;
+        for i in 0..self.n_rows {
+            let row_end = self.row_ptr[i + 1] as usize;
+            if (self.row_ptr[i] as usize) > row_end {
+                return Err(Error::InvalidStructure("row_ptr not monotone".into()));
+            }
+            let mut s = 0usize;
+            while v < row_end {
+                if p + 2 > self.stream.len() {
+                    return Err(Error::InvalidStructure("truncated run header".into()));
+                }
+                let (tag, len) = (self.stream[p], self.stream[p + 1] as usize);
+                p += 2;
+                if tag > TAG_U32 {
+                    return Err(Error::InvalidStructure(format!("invalid run tag {tag}")));
+                }
+                if len == 0 {
+                    return Err(Error::InvalidStructure("zero-length run".into()));
+                }
+                if v + len > row_end {
+                    return Err(Error::InvalidStructure(format!(
+                        "row {i}: run straddles the row boundary"
+                    )));
+                }
+                if p + len * payload_width(tag) > self.stream.len() {
+                    return Err(Error::InvalidStructure("truncated run payload".into()));
+                }
+                for j in 0..len {
+                    let g = read_gap(&self.stream, p, tag, j);
+                    if g == 0 {
+                        return Err(Error::InvalidStructure(format!(
+                            "row {i}: zero gap (columns not strictly increasing)"
+                        )));
+                    }
+                    s += g;
+                    if s > self.n_cols {
+                        return Err(Error::OutOfBounds {
+                            row: i,
+                            col: s - 1,
+                            n_rows: self.n_rows,
+                            n_cols: self.n_cols,
+                        });
+                    }
+                }
+                p += len * payload_width(tag);
+                v += len;
+            }
+        }
+        if p != self.stream.len() {
+            return Err(Error::InvalidStructure("trailing stream bytes".into()));
+        }
+        Ok(())
+    }
+
+    fn spmv_acc_impl(&self, x: &[T], y: &mut [T]) {
+        let stream = &self.stream;
+        let mut p = 0usize;
+        let mut v = 0usize;
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row_end = self.row_ptr[i + 1] as usize;
+            let mut s = 0usize;
+            let mut acc = T::ZERO;
+            while v < row_end {
+                let (tag, len) = (stream[p], stream[p + 1] as usize);
+                p += 2;
+                match tag {
+                    TAG_UNIT => {
+                        // Consecutive columns x[s..s+len]: the SIMD path
+                        // reuses the shared block kernel; the scalar path
+                        // stays on CSR's exact mul_add chain so scalar
+                        // CSR-delta is bitwise-equal to scalar CSR.
+                        if self.imp == KernelImpl::Simd {
+                            acc += dot_run(&self.val[v..v + len], &x[s..s + len], self.imp);
+                            s += len;
+                        } else {
+                            for &w in &self.val[v..v + len] {
+                                acc = w.mul_add(x[s], acc);
+                                s += 1;
+                            }
+                        }
+                    }
+                    TAG_U8 => {
+                        for j in 0..len {
+                            s += stream[p + j] as usize;
+                            acc = self.val[v + j].mul_add(x[s - 1], acc);
+                        }
+                        p += len;
+                    }
+                    TAG_U16 => {
+                        for j in 0..len {
+                            let q = p + 2 * j;
+                            s += u16::from_le_bytes([stream[q], stream[q + 1]]) as usize;
+                            acc = self.val[v + j].mul_add(x[s - 1], acc);
+                        }
+                        p += 2 * len;
+                    }
+                    _ => {
+                        for j in 0..len {
+                            let q = p + 4 * j;
+                            let g = u32::from_le_bytes([
+                                stream[q],
+                                stream[q + 1],
+                                stream[q + 2],
+                                stream[q + 3],
+                            ]);
+                            s += g as usize;
+                            acc = self.val[v + j].mul_add(x[s - 1], acc);
+                        }
+                        p += 4 * len;
+                    }
+                }
+                v += len;
+            }
+            *yi += acc;
+        }
+    }
+
+    /// Shared `spmv_multi_acc` implementation: chunks of up to 8 vectors
+    /// stream the matrix once, with per-column accumulation order
+    /// identical to the single-vector kernel (bitwise per column).
+    fn spmv_multi_acc_impl(&self, x: &[T], y: &mut [T], k: usize) {
+        let (m, n) = (self.n_cols, self.n_rows);
+        let stream = &self.stream;
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = (k - t0).min(8);
+            let xs = &x[t0 * m..(t0 + kc) * m];
+            let ys = &mut y[t0 * n..(t0 + kc) * n];
+            let mut p = 0usize;
+            let mut v = 0usize;
+            let mut acc = [T::ZERO; 8];
+            for i in 0..n {
+                let row_end = self.row_ptr[i + 1] as usize;
+                let mut s = 0usize;
+                acc[..kc].fill(T::ZERO);
+                while v < row_end {
+                    let (tag, len) = (stream[p], stream[p + 1] as usize);
+                    p += 2;
+                    match tag {
+                        TAG_UNIT => {
+                            if self.imp == KernelImpl::Simd {
+                                dot_run_multi(
+                                    &self.val[v..v + len],
+                                    xs,
+                                    m,
+                                    s,
+                                    &mut acc[..kc],
+                                    self.imp,
+                                );
+                            } else {
+                                for (j, &w) in self.val[v..v + len].iter().enumerate() {
+                                    let c = s + j;
+                                    for (t, a) in acc[..kc].iter_mut().enumerate() {
+                                        *a = w.mul_add(xs[t * m + c], *a);
+                                    }
+                                }
+                            }
+                            s += len;
+                        }
+                        TAG_U8 => {
+                            for j in 0..len {
+                                s += stream[p + j] as usize;
+                                let w = self.val[v + j];
+                                for (t, a) in acc[..kc].iter_mut().enumerate() {
+                                    *a = w.mul_add(xs[t * m + s - 1], *a);
+                                }
+                            }
+                            p += len;
+                        }
+                        TAG_U16 => {
+                            for j in 0..len {
+                                let q = p + 2 * j;
+                                s += u16::from_le_bytes([stream[q], stream[q + 1]]) as usize;
+                                let w = self.val[v + j];
+                                for (t, a) in acc[..kc].iter_mut().enumerate() {
+                                    *a = w.mul_add(xs[t * m + s - 1], *a);
+                                }
+                            }
+                            p += 2 * len;
+                        }
+                        _ => {
+                            for j in 0..len {
+                                let q = p + 4 * j;
+                                let g = u32::from_le_bytes([
+                                    stream[q],
+                                    stream[q + 1],
+                                    stream[q + 2],
+                                    stream[q + 3],
+                                ]);
+                                s += g as usize;
+                                let w = self.val[v + j];
+                                for (t, a) in acc[..kc].iter_mut().enumerate() {
+                                    *a = w.mul_add(xs[t * m + s - 1], *a);
+                                }
+                            }
+                            p += 4 * len;
+                        }
+                    }
+                    v += len;
+                }
+                for (t, &a) in acc[..kc].iter().enumerate() {
+                    ys[t * n + i] += a;
+                }
+            }
+            t0 += kc;
+        }
+    }
+}
+
+/// Payload bytes per gap for a run tag.
+#[inline]
+fn payload_width(tag: u8) -> usize {
+    match tag {
+        TAG_UNIT => 0,
+        TAG_U8 => 1,
+        TAG_U16 => 2,
+        _ => 4,
+    }
+}
+
+/// Reads gap `j` of a run whose payload starts at `p` (gap 1 for unit
+/// runs). Decode helper for the non-kernel paths.
+#[inline]
+fn read_gap(stream: &[u8], p: usize, tag: u8, j: usize) -> usize {
+    match tag {
+        TAG_UNIT => 1,
+        TAG_U8 => stream[p + j] as usize,
+        TAG_U16 => {
+            let q = p + 2 * j;
+            u16::from_le_bytes([stream[q], stream[q + 1]]) as usize
+        }
+        _ => {
+            let q = p + 4 * j;
+            u32::from_le_bytes([stream[q], stream[q + 1], stream[q + 2], stream[q + 3]]) as usize
+        }
+    }
+}
+
+impl<T> MatrixShape for CsrDelta<T> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+}
+
+impl<T: SimdScalar> SpMv<T> for CsrDelta<T> {
+    fn spmv_into(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        y.fill(T::ZERO);
+        self.spmv_acc_impl(x, y);
+    }
+
+    fn nnz_stored(&self) -> usize {
+        self.val.len()
+    }
+
+    fn matrix_bytes(&self) -> usize {
+        self.val.len() * T::BYTES + self.index_bytes()
+    }
+}
+
+impl<T: SimdScalar> SpMvAcc<T> for CsrDelta<T> {
+    fn spmv_acc(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        self.spmv_acc_impl(x, y);
+    }
+}
+
+impl<T: SimdScalar> SpMvMulti<T> for CsrDelta<T> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        y.fill(T::ZERO);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+impl<T: SimdScalar> SpMvMultiAcc<T> for CsrDelta<T> {
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::Coo;
+
+    fn mixed_csr() -> Csr<f64> {
+        let mut coo = Coo::new(17, 400);
+        let mut state = 0x5eed5u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..17 {
+            let start = (next() as usize) % 100;
+            // A dense stretch (unit runs) ...
+            for j in start..(start + 3 + (next() as usize) % 8).min(400) {
+                let _ = coo.push(i, j, 1.0 + (next() % 9) as f64);
+            }
+            // ... and scattered entries (u8/u16 gaps).
+            for _ in 0..(next() as usize) % 4 {
+                let _ = coo.push(i, (next() as usize) % 400, 2.5);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn scalar_is_bitwise_equal_to_csr() {
+        let csr = mixed_csr();
+        let cd = CsrDelta::from_csr(&csr, KernelImpl::Scalar);
+        cd.validate().unwrap();
+        let x: Vec<f64> = (0..400).map(|i| 0.25 * (i % 9) as f64 - 1.0).collect();
+        assert_eq!(cd.spmv(&x), csr.spmv(&x));
+    }
+
+    #[test]
+    fn simd_matches_csr_within_tolerance() {
+        let csr = mixed_csr();
+        let cd = CsrDelta::from_csr(&csr, KernelImpl::Simd);
+        let x: Vec<f64> = (0..400).map(|i| 0.25 * (i % 9) as f64 - 1.0).collect();
+        for (a, g) in csr.spmv(&x).iter().zip(cd.spmv(&x)) {
+            assert!((a - g).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_csr() {
+        let csr = mixed_csr();
+        let cd = CsrDelta::from_csr(&csr, KernelImpl::Scalar);
+        assert_eq!(cd.to_csr(), csr);
+    }
+
+    #[test]
+    fn dense_row_is_one_unit_run_per_chunk() {
+        let mut coo = Coo::new(1, 600);
+        for j in 0..600 {
+            coo.push(0, j, 1.0).unwrap();
+        }
+        let cd = CsrDelta::from_csr(&Csr::from_coo(&coo), KernelImpl::Scalar);
+        cd.validate().unwrap();
+        // 600 unit gaps chunk at 255: 255 + 255 + 90.
+        assert_eq!(cd.run_counts(), [3, 0, 0, 0]);
+        // 3 headers, no payload — vs 2400 bytes of u32 col_ind.
+        assert_eq!(cd.stream_bytes(), 6);
+        assert_eq!(cd.spmv(&vec![1.0; 600]), vec![600.0]);
+    }
+
+    #[test]
+    fn short_dense_stretch_stays_u8() {
+        // 3 consecutive columns (< UNIT_RUN_MIN): one u8 run, no unit run.
+        let csr = Csr::from_coo(
+            &Coo::from_triplets(1, 10, vec![(0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]).unwrap(),
+        );
+        let cd = CsrDelta::from_csr(&csr, KernelImpl::Scalar);
+        assert_eq!(cd.run_counts(), [0, 1, 0, 0]);
+        assert_eq!(cd.stream_bytes(), 2 + 3);
+    }
+
+    #[test]
+    fn stats_match_materialized_format() {
+        let csr = mixed_csr();
+        let cd = CsrDelta::from_csr(&csr, KernelImpl::Scalar);
+        let stats = csr_delta_stats(&csr);
+        assert_eq!(stats.stream_bytes, cd.stream_bytes());
+        assert_eq!(stats.n_runs, cd.n_runs());
+    }
+
+    #[test]
+    fn empty_rows_and_empty_matrix() {
+        let csr = Csr::from_coo(&Coo::from_triplets(4, 4, vec![(1, 1, 5.0)]).unwrap());
+        let cd = CsrDelta::from_csr(&csr, KernelImpl::Scalar);
+        cd.validate().unwrap();
+        assert_eq!(cd.spmv(&[1.0; 4]), vec![0.0, 5.0, 0.0, 0.0]);
+
+        let empty = Csr::<f32>::from_coo(&Coo::new(2, 2));
+        let cempty = CsrDelta::from_csr(&empty, KernelImpl::Simd);
+        cempty.validate().unwrap();
+        assert_eq!(cempty.spmv(&[1.0, 1.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn multi_matches_per_column_spmv_bitwise() {
+        let csr = mixed_csr();
+        for imp in KernelImpl::ALL {
+            let cd = CsrDelta::from_csr(&csr, imp);
+            for k in [1, 2, 4, 9] {
+                let x: Vec<f64> = (0..400 * k).map(|i| 1.0 + (i % 6) as f64).collect();
+                let got = cd.spmv_multi(&x, k);
+                for t in 0..k {
+                    let want = cd.spmv(&x[t * 400..(t + 1) * 400]);
+                    assert_eq!(got[t * 17..(t + 1) * 17], want, "imp {imp} k={k} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_acc_accumulates() {
+        let csr = Csr::from_coo(
+            &Coo::from_triplets(2, 2, vec![(0, 0, 3.0), (1, 1, 4.0)]).unwrap(),
+        );
+        let cd = CsrDelta::from_csr(&csr, KernelImpl::Scalar);
+        let mut y = vec![1.0, 1.0];
+        cd.spmv_acc(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![4.0, 5.0]);
+
+        let mut y = vec![1.0, 1.0, 2.0, 2.0];
+        cd.spmv_multi_acc(&[1.0, 1.0, 1.0, 1.0], &mut y, 2);
+        assert_eq!(y, vec![4.0, 5.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let csr = mixed_csr();
+        let mut cd = CsrDelta::from_csr(&csr, KernelImpl::Scalar);
+        cd.stream.push(7); // trailing garbage
+        assert!(cd.validate().is_err());
+        cd.stream.pop();
+        cd.validate().unwrap();
+        // Corrupt a tag in place.
+        cd.stream[0] = 9;
+        assert!(cd.validate().is_err());
+    }
+}

@@ -13,6 +13,13 @@
 //! | [`BcsdDec`] | BCSD-DEC | decomposed: full BCSD blocks + CSR rest |
 //! | [`Vbl`] | 1D-VBL | variable-size 1-D blocks, no padding |
 //! | [`Vbr`] | VBR | variable-size 2-D blocks (described in §II, not in the model study) |
+//! | [`CsrDelta`] | CSR-Δ | delta-encoded, narrow-width column indices (extension) |
+//!
+//! As an index-compression extension beyond the paper, BCSR, BCSD, and
+//! 1D-VBL additionally offer `from_csr_narrow` constructors that store
+//! their block-column arrays at u16 width when the column space fits
+//! (see [`spmv_core::IndexWidth`]), and [`CsrDelta`] replaces CSR's
+//! `col_ind` with a run-classified byte stream of per-row column deltas.
 //!
 //! Every format implements [`spmv_core::SpMv`] plus the accumulate variant
 //! [`SpMvAcc`] that decomposed formats need, and the multi-vector (SpMM)
@@ -24,13 +31,16 @@
 
 pub mod bcsd;
 pub mod bcsr;
+pub mod csr_delta;
 pub mod decomposed;
+mod narrow;
 pub mod stats;
 pub mod vbl;
 pub mod vbr;
 
 pub use bcsd::Bcsd;
 pub use bcsr::Bcsr;
+pub use csr_delta::{csr_delta_stats, CsrDelta, DeltaStats};
 pub use decomposed::{BcsdDec, BcsrDec, Decomposed};
 pub use stats::{
     bcsd_dec_stats, bcsd_stats, bcsr_dec_stats, bcsr_stats, bcsr_stats_sampled, vbl_stats,
@@ -129,6 +139,8 @@ pub enum FormatKind {
     Vbl,
     /// Variable Block Row (§II extension; not part of the model study).
     Vbr,
+    /// Delta-encoded CSR (index-compression extension beyond the paper).
+    CsrDelta,
 }
 
 impl FormatKind {
@@ -142,6 +154,7 @@ impl FormatKind {
             FormatKind::BcsdDec => "BCSD-DEC",
             FormatKind::Vbl => "1D-VBL",
             FormatKind::Vbr => "VBR",
+            FormatKind::CsrDelta => "CSR-DELTA",
         }
     }
 

@@ -1,0 +1,131 @@
+//! Narrow-index storage for block-column arrays.
+//!
+//! The blocked formats keep one start column per block; for matrices whose
+//! column space fits [`IndexWidth::U16`] (the common case in the paper's
+//! suite) those arrays can be stored at half width, halving their share of
+//! the streamed working set. The enum dispatch here keeps the existing
+//! `&[Index]` kernel registry untouched: U32 arrays hand out zero-copy
+//! slices, U16 arrays widen into a reusable per-call scratch buffer that
+//! stays cache-resident while the half-width array is what streams from
+//! memory.
+
+use core::ops::Range;
+use spmv_core::{Index, IndexWidth};
+
+/// A block-column index array stored at its chosen width.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ColIdx {
+    /// Half-width storage; only valid when every value fits `u16`.
+    U16(Vec<u16>),
+    /// Full-width baseline storage.
+    U32(Vec<Index>),
+}
+
+impl ColIdx {
+    /// Wraps a freshly built full-width array (the default constructors).
+    pub(crate) fn wide(v: Vec<Index>) -> ColIdx {
+        ColIdx::U32(v)
+    }
+
+    /// Re-stores the array at `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is [`IndexWidth::U16`] and a value exceeds
+    /// `u16::MAX` — callers gate on [`IndexWidth::for_cols`], which keeps
+    /// every stored value (including BCSD's `+b <= +8` bias) in range.
+    pub(crate) fn with_width(self, width: IndexWidth) -> ColIdx {
+        match (self, width) {
+            (ColIdx::U32(v), IndexWidth::U16) => ColIdx::U16(
+                v.into_iter()
+                    .map(|c| u16::try_from(c).expect("index fits the narrow width"))
+                    .collect(),
+            ),
+            (ColIdx::U16(v), IndexWidth::U32) => {
+                ColIdx::U32(v.into_iter().map(Index::from).collect())
+            }
+            (same, _) => same,
+        }
+    }
+
+    /// The storage width.
+    pub(crate) fn width(&self) -> IndexWidth {
+        match self {
+            ColIdx::U16(_) => IndexWidth::U16,
+            ColIdx::U32(_) => IndexWidth::U32,
+        }
+    }
+
+    /// Number of stored indices.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ColIdx::U16(v) => v.len(),
+            ColIdx::U32(v) => v.len(),
+        }
+    }
+
+    /// Total bytes of the array.
+    pub(crate) fn bytes(&self) -> usize {
+        self.len() * self.width().bytes()
+    }
+
+    /// Element `i`, widened.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Index {
+        match self {
+            ColIdx::U16(v) => v[i] as Index,
+            ColIdx::U32(v) => v[i],
+        }
+    }
+
+    /// A full-width view of `range` for the `&[Index]` kernels: zero-copy
+    /// for U32, widened into `scratch` for U16.
+    #[inline]
+    pub(crate) fn slice<'a>(
+        &'a self,
+        range: Range<usize>,
+        scratch: &'a mut Vec<Index>,
+    ) -> &'a [Index] {
+        match self {
+            ColIdx::U32(v) => &v[range],
+            ColIdx::U16(v) => {
+                scratch.clear();
+                scratch.extend(v[range].iter().map(|&c| c as Index));
+                scratch
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_roundtrip_preserves_values() {
+        let wide = ColIdx::wide(vec![0, 7, 65_000]);
+        let narrow = wide.clone().with_width(IndexWidth::U16);
+        assert_eq!(narrow.width(), IndexWidth::U16);
+        assert_eq!(narrow.bytes(), 6);
+        assert_eq!(wide.bytes(), 12);
+        for i in 0..3 {
+            assert_eq!(narrow.get(i), wide.get(i));
+        }
+        assert_eq!(narrow.with_width(IndexWidth::U32), wide);
+    }
+
+    #[test]
+    fn slice_is_width_transparent() {
+        let wide = ColIdx::wide(vec![3, 5, 9, 12]);
+        let narrow = wide.clone().with_width(IndexWidth::U16);
+        let mut scratch = Vec::new();
+        assert_eq!(wide.slice(1..3, &mut scratch), &[5, 9]);
+        assert_eq!(narrow.slice(1..3, &mut scratch), &[5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "narrow width")]
+    fn narrowing_oversized_values_panics() {
+        ColIdx::wide(vec![70_000]).with_width(IndexWidth::U16);
+    }
+}

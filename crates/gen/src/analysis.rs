@@ -85,7 +85,7 @@ pub fn analyze<T: Scalar>(csr: &Csr<T>) -> MatrixAnalysis {
             if j as usize == i {
                 diag += 1;
             }
-            if prev.map_or(true, |p| j != p + 1) {
+            if prev.is_none_or(|p| j != p + 1) {
                 runs += 1;
             }
             prev = Some(j);

@@ -162,7 +162,7 @@ pub fn dot_run_multi<T: SimdScalar>(
 ) {
     for (t, a) in acc.iter_mut().enumerate() {
         let xr = &x[t * xstride + j0..t * xstride + j0 + vals.len()];
-        *a = *a + dot_run(vals, xr, imp);
+        *a += dot_run(vals, xr, imp);
     }
 }
 

@@ -2,10 +2,10 @@
 //! search.
 
 use core::fmt;
-use spmv_core::{Csr, Index, MatrixShape, Scalar, SpMv, SpMvMulti};
+use spmv_core::{Csr, Index, IndexWidth, MatrixShape, Scalar, SpMv, SpMvMulti};
 use spmv_formats::{
-    bcsd_dec_stats, bcsd_stats, bcsr_dec_stats, bcsr_stats, Bcsd, BcsdDec, Bcsr, BcsrDec,
-    FormatKind,
+    bcsd_dec_stats, bcsd_stats, bcsr_dec_stats, bcsr_stats, csr_delta_stats, Bcsd, BcsdDec, Bcsr,
+    BcsrDec, CsrDelta, FormatKind,
 };
 use spmv_kernels::simd::SimdScalar;
 use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES};
@@ -23,6 +23,14 @@ pub enum BlockConfig {
     Bcsd(usize),
     /// BCSD-DEC with the given diagonal size.
     BcsdDec(usize),
+    /// Delta-encoded CSR (index-compression extension).
+    CsrDelta,
+    /// BCSR whose block-column array is stored at the narrowest index
+    /// width that fits the column space (index-compression extension).
+    BcsrNarrow(BlockShape),
+    /// BCSD with a narrow-width block-column array (index-compression
+    /// extension).
+    BcsdNarrow(usize),
 }
 
 impl BlockConfig {
@@ -30,10 +38,11 @@ impl BlockConfig {
     pub fn kind(self) -> FormatKind {
         match self {
             BlockConfig::Csr => FormatKind::Csr,
-            BlockConfig::Bcsr(_) => FormatKind::Bcsr,
+            BlockConfig::Bcsr(_) | BlockConfig::BcsrNarrow(_) => FormatKind::Bcsr,
             BlockConfig::BcsrDec(_) => FormatKind::BcsrDec,
-            BlockConfig::Bcsd(_) => FormatKind::Bcsd,
+            BlockConfig::Bcsd(_) | BlockConfig::BcsdNarrow(_) => FormatKind::Bcsd,
             BlockConfig::BcsdDec(_) => FormatKind::BcsdDec,
+            BlockConfig::CsrDelta => FormatKind::CsrDelta,
         }
     }
 }
@@ -92,18 +101,64 @@ impl Config {
         out
     }
 
+    /// Enumerates the *extended* search space: everything in
+    /// [`Config::enumerate`] plus the index-compression configurations —
+    /// CSR-Δ and the narrow-index variants of every BCSR shape and BCSD
+    /// size. Kept separate from the paper's base space so the original
+    /// experiments are unchanged.
+    pub fn enumerate_extended(include_simd: bool) -> Vec<Config> {
+        let imps: &[KernelImpl] = if include_simd {
+            &[KernelImpl::Scalar, KernelImpl::Simd]
+        } else {
+            &[KernelImpl::Scalar]
+        };
+        let mut out = Config::enumerate(include_simd);
+        for &imp in imps {
+            out.push(Config {
+                block: BlockConfig::CsrDelta,
+                imp,
+            });
+        }
+        for shape in BlockShape::search_space() {
+            for &imp in imps {
+                out.push(Config {
+                    block: BlockConfig::BcsrNarrow(shape),
+                    imp,
+                });
+            }
+        }
+        for b in BCSD_SIZES {
+            for &imp in imps {
+                out.push(Config {
+                    block: BlockConfig::BcsdNarrow(b),
+                    imp,
+                });
+            }
+        }
+        out
+    }
+
     /// The profiling key of the blocked (main) submatrix's kernel.
+    ///
+    /// The narrow-index variants reuse their full-width kernels: the
+    /// scratch-widened index slice feeds the very same block routines, so
+    /// `t_b` and `nof` carry over.
     pub fn kernel_key(&self) -> KernelKey {
         match self.block {
             BlockConfig::Csr => KernelKey::Csr,
-            BlockConfig::Bcsr(shape) | BlockConfig::BcsrDec(shape) => KernelKey::Bcsr {
+            BlockConfig::CsrDelta => KernelKey::CsrDelta { imp: self.imp },
+            BlockConfig::Bcsr(shape)
+            | BlockConfig::BcsrDec(shape)
+            | BlockConfig::BcsrNarrow(shape) => KernelKey::Bcsr {
                 shape,
                 imp: self.imp,
             },
-            BlockConfig::Bcsd(b) | BlockConfig::BcsdDec(b) => KernelKey::Bcsd {
-                b: b as u8,
-                imp: self.imp,
-            },
+            BlockConfig::Bcsd(b) | BlockConfig::BcsdDec(b) | BlockConfig::BcsdNarrow(b) => {
+                KernelKey::Bcsd {
+                    b: b as u8,
+                    imp: self.imp,
+                }
+            }
         }
     }
 
@@ -117,6 +172,13 @@ impl Config {
             }
             BlockConfig::Bcsd(b) => BuiltFormat::Bcsd(Bcsd::from_csr(csr, b, self.imp)),
             BlockConfig::BcsdDec(b) => BuiltFormat::BcsdDec(BcsdDec::from_csr(csr, b, self.imp)),
+            BlockConfig::CsrDelta => BuiltFormat::CsrDelta(CsrDelta::from_csr(csr, self.imp)),
+            BlockConfig::BcsrNarrow(shape) => {
+                BuiltFormat::Bcsr(Bcsr::from_csr_narrow(csr, shape, self.imp))
+            }
+            BlockConfig::BcsdNarrow(b) => {
+                BuiltFormat::Bcsd(Bcsd::from_csr_narrow(csr, b, self.imp))
+            }
         }
     }
 
@@ -131,6 +193,12 @@ impl Config {
         let main_bytes = |stored: usize, nb: usize, index_rows: usize| {
             stored * T::BYTES + nb * idx + (index_rows + 1) * idx
         };
+        // Narrow variants shrink only the per-block column array; the row
+        // index stays full-width.
+        let narrow_bytes = |stored: usize, nb: usize, index_rows: usize| {
+            let bw = IndexWidth::for_cols(csr.n_cols()).bytes();
+            stored * T::BYTES + nb * bw + (index_rows + 1) * idx
+        };
         match self.block {
             BlockConfig::Csr => vec![SubStat {
                 ws_bytes: csr_bytes(csr.nnz()) + vecs,
@@ -138,6 +206,36 @@ impl Config {
                 nb: csr.nnz(),
                 key: KernelKey::Csr,
             }],
+            BlockConfig::CsrDelta => {
+                let st = csr_delta_stats(csr);
+                vec![SubStat {
+                    ws_bytes: csr.nnz() * T::BYTES
+                        + st.stream_bytes
+                        + (csr.n_rows() + 1) * idx
+                        + vecs,
+                    vec_bytes: vecs,
+                    nb: csr.nnz(),
+                    key: self.kernel_key(),
+                }]
+            }
+            BlockConfig::BcsrNarrow(shape) => {
+                let st = bcsr_stats(csr, shape);
+                vec![SubStat {
+                    ws_bytes: narrow_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                    vec_bytes: vecs,
+                    nb: st.nb,
+                    key: self.kernel_key(),
+                }]
+            }
+            BlockConfig::BcsdNarrow(b) => {
+                let st = bcsd_stats(csr, b);
+                vec![SubStat {
+                    ws_bytes: narrow_bytes(st.stored, st.nb, st.index_rows) + vecs,
+                    vec_bytes: vecs,
+                    nb: st.nb,
+                    key: self.kernel_key(),
+                }]
+            }
             BlockConfig::Bcsr(shape) => {
                 let st = bcsr_stats(csr, shape);
                 vec![SubStat {
@@ -202,6 +300,9 @@ impl fmt::Display for Config {
             BlockConfig::BcsrDec(s) => write!(f, "BCSR-DEC {s}")?,
             BlockConfig::Bcsd(b) => write!(f, "BCSD b={b}")?,
             BlockConfig::BcsdDec(b) => write!(f, "BCSD-DEC b={b}")?,
+            BlockConfig::CsrDelta => write!(f, "CSR-DELTA")?,
+            BlockConfig::BcsrNarrow(s) => write!(f, "BCSR16 {s}")?,
+            BlockConfig::BcsdNarrow(b) => write!(f, "BCSD16 b={b}")?,
         }
         if self.imp == KernelImpl::Simd {
             write!(f, " simd")?;
@@ -246,6 +347,11 @@ pub enum KernelKey {
         /// Kernel implementation.
         imp: KernelImpl,
     },
+    /// The CSR-Δ row kernel (decodes the delta stream while multiplying).
+    CsrDelta {
+        /// Kernel implementation (SIMD accelerates unit runs).
+        imp: KernelImpl,
+    },
 }
 
 impl KernelKey {
@@ -253,7 +359,7 @@ impl KernelKey {
     /// degenerate case).
     pub fn block_elems(self) -> usize {
         match self {
-            KernelKey::Csr => 1,
+            KernelKey::Csr | KernelKey::CsrDelta { .. } => 1,
             KernelKey::Bcsr { shape, .. } => shape.elems(),
             KernelKey::Bcsd { b, .. } => b as usize,
         }
@@ -266,6 +372,7 @@ impl fmt::Display for KernelKey {
             KernelKey::Csr => write!(f, "csr"),
             KernelKey::Bcsr { shape, imp } => write!(f, "bcsr-{shape}{}", imp.suffix()),
             KernelKey::Bcsd { b, imp } => write!(f, "bcsd-{b}{}", imp.suffix()),
+            KernelKey::CsrDelta { imp } => write!(f, "csr-delta{}", imp.suffix()),
         }
     }
 }
@@ -284,6 +391,8 @@ pub enum BuiltFormat<T> {
     Bcsd(Bcsd<T>),
     /// BCSD-DEC.
     BcsdDec(BcsdDec<T>),
+    /// CSR-Δ.
+    CsrDelta(CsrDelta<T>),
 }
 
 macro_rules! delegate {
@@ -294,6 +403,7 @@ macro_rules! delegate {
             BuiltFormat::BcsrDec(x) => x.$m($($arg),*),
             BuiltFormat::Bcsd(x) => x.$m($($arg),*),
             BuiltFormat::BcsdDec(x) => x.$m($($arg),*),
+            BuiltFormat::CsrDelta(x) => x.$m($($arg),*),
         }
     };
 }
@@ -369,9 +479,24 @@ mod tests {
     }
 
     #[test]
+    fn enumerate_extended_counts() {
+        // base + CSR-Δ + 19 narrow BCSR shapes + 7 narrow BCSD sizes
+        assert_eq!(Config::enumerate_extended(false).len(), 53 + 1 + 19 + 7);
+        // with SIMD every extension doubles (CSR-Δ has a SIMD variant too)
+        assert_eq!(Config::enumerate_extended(true).len(), 105 + 2 + 38 + 14);
+    }
+
+    #[test]
+    fn extended_space_contains_base_space_as_prefix() {
+        let base = Config::enumerate(true);
+        let ext = Config::enumerate_extended(true);
+        assert_eq!(&ext[..base.len()], &base[..]);
+    }
+
+    #[test]
     fn substats_bytes_match_materialized_formats() {
         let csr = fixture();
-        for config in Config::enumerate(true) {
+        for config in Config::enumerate_extended(true) {
             let stats = config.substats(&csr);
             let built = config.build(&csr);
             let ws_est: usize = stats.iter().map(|s| s.ws_bytes).sum();
@@ -386,10 +511,11 @@ mod tests {
     #[test]
     fn substats_block_counts_match_materialized_formats() {
         let csr = fixture();
-        for config in Config::enumerate(false) {
+        for config in Config::enumerate_extended(false) {
             let stats = config.substats(&csr);
             match config.build(&csr) {
                 BuiltFormat::Csr(m) => assert_eq!(stats[0].nb, m.nnz()),
+                BuiltFormat::CsrDelta(m) => assert_eq!(stats[0].nb, m.nnz(), "{config}"),
                 BuiltFormat::Bcsr(m) => assert_eq!(stats[0].nb, m.n_blocks(), "{config}"),
                 BuiltFormat::Bcsd(m) => assert_eq!(stats[0].nb, m.n_blocks(), "{config}"),
                 BuiltFormat::BcsrDec(m) => {
@@ -409,7 +535,7 @@ mod tests {
         let csr = fixture();
         let x: Vec<f64> = (0..31).map(|i| 1.0 + (i % 3) as f64).collect();
         let want = csr.spmv(&x);
-        for config in Config::enumerate(true) {
+        for config in Config::enumerate_extended(true) {
             let built = config.build(&csr);
             let got = built.spmv(&x);
             for (a, g) in want.iter().zip(&got) {
@@ -423,7 +549,7 @@ mod tests {
         // Matrix traffic once plus vector traffic k times must reproduce
         // the materialized formats' working_set_bytes_multi exactly.
         let csr = fixture();
-        for config in Config::enumerate(true) {
+        for config in Config::enumerate_extended(true) {
             let stats = config.substats(&csr);
             let built = config.build(&csr);
             for k in [1usize, 2, 4, 9] {
@@ -445,7 +571,7 @@ mod tests {
         let csr = fixture();
         let k = 3;
         let x: Vec<f64> = (0..31 * k).map(|i| 1.0 + (i % 5) as f64).collect();
-        for config in Config::enumerate(true) {
+        for config in Config::enumerate_extended(true) {
             let built = config.build(&csr);
             let got = built.spmv_multi(&x, k);
             for t in 0..k {
@@ -457,11 +583,58 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let configs = Config::enumerate(true);
+        let configs = Config::enumerate_extended(true);
         let mut labels: Vec<String> = configs.iter().map(|c| c.to_string()).collect();
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), configs.len());
+    }
+
+    #[test]
+    fn narrow_and_delta_substats_shrink_the_working_set() {
+        let csr = fixture();
+        let shape = BlockShape::new(2, 2).unwrap();
+        let pairs = [
+            (BlockConfig::BcsrNarrow(shape), BlockConfig::Bcsr(shape)),
+            (BlockConfig::BcsdNarrow(4), BlockConfig::Bcsd(4)),
+            (BlockConfig::CsrDelta, BlockConfig::Csr),
+        ];
+        for (narrow, wide) in pairs {
+            let imp = KernelImpl::Scalar;
+            let n = Config { block: narrow, imp }.substats(&csr)[0].ws_bytes;
+            let w = Config { block: wide, imp }.substats(&csr)[0].ws_bytes;
+            assert!(n < w, "{narrow:?}: {n} !< {w}");
+        }
+    }
+
+    #[test]
+    fn narrow_configs_fall_back_to_full_width_on_wide_matrices() {
+        let n_cols = IndexWidth::MAX_U16_COLS + 1;
+        let coo = Coo::from_triplets(
+            2,
+            n_cols,
+            vec![(0, 0, 1.0), (0, n_cols - 1, 2.0), (1, 2, 4.0)],
+        )
+        .unwrap();
+        let csr = Csr::from_coo(&coo);
+        let shape = BlockShape::new(1, 2).unwrap();
+        let imp = KernelImpl::Scalar;
+        let narrow = Config {
+            block: BlockConfig::BcsrNarrow(shape),
+            imp,
+        };
+        let wide = Config {
+            block: BlockConfig::Bcsr(shape),
+            imp,
+        };
+        assert_eq!(
+            narrow.substats(&csr)[0].ws_bytes,
+            wide.substats(&csr)[0].ws_bytes
+        );
+        assert_eq!(
+            narrow.build(&csr).working_set_bytes(),
+            wide.build(&csr).working_set_bytes()
+        );
     }
 
     #[test]

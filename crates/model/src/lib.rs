@@ -65,5 +65,6 @@ pub use multicore::{predict_threaded, predicted_saturation_point};
 pub use persist::{load_profile, read_profile, save_profile, write_profile};
 pub use profile::{profile_kernels, BlockTimes, KernelProfile, ProfileOptions};
 pub use select::{
-    candidate_configs, rank, rank_multi, select, select_multi, Candidate, MultiCandidate,
+    candidate_configs, candidate_configs_extended, rank, rank_multi, select, select_extended,
+    select_multi, select_multi_extended, Candidate, MultiCandidate,
 };

@@ -14,6 +14,7 @@
 //! csr <t_b> <nof>
 //! bcsr <r> <c> <scalar|simd> <t_b> <nof>
 //! bcsd <b> <scalar|simd> <t_b> <nof>
+//! csrdelta <scalar|simd> <t_b> <nof>
 //! ```
 
 use crate::config::KernelKey;
@@ -74,6 +75,13 @@ pub fn write_profile<W: Write>(
                 w,
                 "bcsd {} {} {:e} {:e}",
                 b,
+                imp_label(imp),
+                times.t_b,
+                times.nof
+            )?,
+            KernelKey::CsrDelta { imp } => writeln!(
+                w,
+                "csrdelta {} {:e} {:e}",
                 imp_label(imp),
                 times.t_b,
                 times.nof
@@ -165,6 +173,15 @@ pub fn read_profile<R: BufRead>(r: R) -> Result<(MachineProfile, KernelProfile)>
                     },
                 );
             }
+            "csrdelta" if tok.len() == 4 => profile.set(
+                KernelKey::CsrDelta {
+                    imp: parse_imp(tok[1])?,
+                },
+                BlockTimes {
+                    t_b: parse_f64(tok[2])?,
+                    nof: parse_f64(tok[3])?,
+                },
+            ),
             other => return Err(bad(lineno, &format!("unknown record `{other}`"))),
         }
     }

@@ -36,6 +36,17 @@ pub fn candidate_configs(model: Model, include_simd: bool) -> Vec<Config> {
     }
 }
 
+/// The candidate list over the *extended* search space, which adds the
+/// index-compression configurations (CSR-Δ and the narrow-index blocked
+/// variants) to [`candidate_configs`]. The MEM restriction to scalar
+/// kernels carries over unchanged.
+pub fn candidate_configs_extended(model: Model, include_simd: bool) -> Vec<Config> {
+    match model {
+        Model::Mem => Config::enumerate_extended(false),
+        Model::MemComp | Model::Overlap => Config::enumerate_extended(include_simd),
+    }
+}
+
 /// Ranks `configs` for `csr` by predicted time, ascending.
 pub fn rank<T: Scalar>(
     model: Model,
@@ -65,6 +76,21 @@ pub fn select<T: Scalar>(
     include_simd: bool,
 ) -> Candidate {
     let configs = candidate_configs(model, include_simd);
+    rank(model, csr, machine, profile, &configs)
+        .into_iter()
+        .next()
+        .expect("candidate set is never empty")
+}
+
+/// [`select`] over the extended (index-compression) candidate set.
+pub fn select_extended<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    include_simd: bool,
+) -> Candidate {
+    let configs = candidate_configs_extended(model, include_simd);
     rank(model, csr, machine, profile, &configs)
         .into_iter()
         .next()
@@ -139,6 +165,22 @@ pub fn select_multi<T: Scalar>(
         .expect("candidate set is never empty")
 }
 
+/// [`select_multi`] over the extended (index-compression) candidate set.
+pub fn select_multi_extended<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    include_simd: bool,
+    ks: &[usize],
+) -> MultiCandidate {
+    let configs = candidate_configs_extended(model, include_simd);
+    rank_multi(model, csr, machine, profile, &configs, ks)
+        .into_iter()
+        .next()
+        .expect("candidate set is never empty")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +249,60 @@ mod tests {
                 "{model} should keep CSR on scatter"
             );
         }
+    }
+
+    #[test]
+    fn extended_select_prefers_delta_csr_on_scatter() {
+        // Same scattered matrix as `scattered_matrix_keeps_csr`: blocked
+        // formats pay padding, so CSR wins the base space — and CSR-Δ,
+        // which streams strictly fewer index bytes at the same block
+        // count, must win the extended space under every model.
+        let csr = GenSpec::Random {
+            n: 300,
+            m: 300,
+            nnz_per_row: 2,
+        }
+        .build(3);
+        let profile = KernelProfile::uniform(1e-9, 1.0);
+        for model in Model::ALL {
+            let best = select_extended(model, &csr, &machine(), &profile, true);
+            assert_eq!(
+                best.config.block,
+                BlockConfig::CsrDelta,
+                "{model} should pick CSR-DELTA on scatter"
+            );
+        }
+    }
+
+    #[test]
+    fn extended_select_prefers_narrow_blocks_on_block_matrices() {
+        // The pure 2x2-block matrix: BCSR 2x2 already wins the base
+        // space under MEM; its narrow-index twin streams half the block
+        // index bytes, so the extended space must rank it first.
+        let mut coo = Coo::new(64, 64);
+        for bi in 0..32 {
+            for (di, dj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                coo.push(2 * bi + di, 2 * bi + dj, 1.0).unwrap();
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let shape = BlockShape::new(2, 2).unwrap();
+        let imp = KernelImpl::Scalar;
+        let narrow = Config {
+            block: BlockConfig::BcsrNarrow(shape),
+            imp,
+        };
+        let wide = Config {
+            block: BlockConfig::Bcsr(shape),
+            imp,
+        };
+        let m = machine();
+        let t_narrow = Model::Mem.predict(&narrow.substats(&csr), &m, &profile);
+        let t_wide = Model::Mem.predict(&wide.substats(&csr), &m, &profile);
+        assert!(t_narrow < t_wide);
+        let best = select_extended(Model::Mem, &csr, &m, &profile, true);
+        assert_eq!(best.config.block, BlockConfig::BcsrNarrow(shape));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verify loop.
 #
-# Preferred path: `cargo build` + `cargo test` for the whole workspace.
+# Preferred path: `cargo build` + `cargo clippy -D warnings` + `cargo
+# test` for the whole workspace.
 # Sandboxed containers often cannot reach the crates.io registry, and
 # cargo needs it even for `--offline` builds here (no vendored deps);
 # when cargo fails this script falls back to hand-compiling the crate
@@ -16,8 +17,10 @@ set -u
 cd "$(dirname "$0")/.."
 
 if [ -z "${SPMV_CHECK_OFFLINE:-}" ]; then
-    if cargo build --release --workspace && cargo test --workspace --quiet; then
-        echo "check.sh: cargo build + test OK"
+    if cargo build --release --workspace \
+        && cargo clippy --workspace --all-targets -- -D warnings \
+        && cargo test --workspace --quiet; then
+        echo "check.sh: cargo build + clippy + test OK"
         exit 0
     fi
     echo "check.sh: cargo path failed -- falling back to offline rustc chain" >&2
@@ -105,6 +108,45 @@ $R --crate-type lib --crate-name blocked_spmv src/lib.rs \
     --extern spmv_parallel="$B/libspmv_parallel.rlib" \
     --extern spmv_bench="$B/libspmv_bench.rlib" -o "$B/libblocked_spmv.rlib"
 
+if command -v clippy-driver > /dev/null; then
+    echo "== clippy (offline: clippy-driver per crate, -D warnings)"
+    CL="clippy-driver --edition 2021 -L dependency=$B -D warnings --emit=metadata -o /dev/null --crate-type lib"
+    $CL --crate-name spmv_core crates/core/src/lib.rs
+    $CL --crate-name spmv_kernels crates/kernels/src/lib.rs \
+        --extern spmv_core="$B/libspmv_core.rlib"
+    $CL --crate-name spmv_formats crates/formats/src/lib.rs \
+        --extern spmv_core="$B/libspmv_core.rlib" \
+        --extern spmv_kernels="$B/libspmv_kernels.rlib"
+    $CL --crate-name spmv_gen crates/gen/src/lib.rs \
+        --extern spmv_core="$B/libspmv_core.rlib" --extern rand="$B/librand.rlib"
+    $CL --crate-name spmv_parallel crates/parallel/src/lib.rs \
+        --extern spmv_core="$B/libspmv_core.rlib" \
+        --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+        --extern spmv_formats="$B/libspmv_formats.rlib"
+    $CL --crate-name spmv_model crates/model/src/lib.rs \
+        --extern spmv_core="$B/libspmv_core.rlib" \
+        --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+        --extern spmv_formats="$B/libspmv_formats.rlib" \
+        --extern spmv_gen="$B/libspmv_gen.rlib"
+    $CL --crate-name spmv_bench crates/bench/src/lib.rs \
+        --extern spmv_core="$B/libspmv_core.rlib" \
+        --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+        --extern spmv_formats="$B/libspmv_formats.rlib" \
+        --extern spmv_gen="$B/libspmv_gen.rlib" \
+        --extern spmv_model="$B/libspmv_model.rlib" \
+        --extern spmv_parallel="$B/libspmv_parallel.rlib"
+    $CL --crate-name blocked_spmv src/lib.rs \
+        --extern spmv_core="$B/libspmv_core.rlib" \
+        --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+        --extern spmv_formats="$B/libspmv_formats.rlib" \
+        --extern spmv_gen="$B/libspmv_gen.rlib" \
+        --extern spmv_model="$B/libspmv_model.rlib" \
+        --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+        --extern spmv_bench="$B/libspmv_bench.rlib"
+else
+    echo "== clippy skipped (clippy-driver not installed)"
+fi
+
 echo "== crate unit tests"
 $R --test --crate-name spmv_core crates/core/src/lib.rs -o "$B/t_core"
 "$B/t_core" -q
@@ -142,7 +184,7 @@ $R --test --crate-name spmv_bench crates/bench/src/lib.rs \
 
 echo "== integration tests (proptest-based suites need cargo; see docs/TESTING.md)"
 for t in differential_equivalence edge_cases kernel_shapes \
-         extensions_integration paper_shapes; do
+         extensions_integration paper_shapes compression_integration; do
     $R --test "tests/$t.rs" \
         --extern blocked_spmv="$B/libblocked_spmv.rlib" \
         --extern rand="$B/librand.rlib" -o "$B/t_$t"

@@ -33,8 +33,10 @@ pub use spmv_kernels as kernels;
 pub use spmv_model as model;
 pub use spmv_parallel as parallel;
 
-pub use spmv_core::{Coo, Csr, DenseMatrix, Error, Precision, Result, Scalar, SpMv, SpMvMulti};
+pub use spmv_core::{
+    Coo, Csr, DenseMatrix, Error, IndexWidth, Precision, Result, Scalar, SpMv, SpMvMulti,
+};
 pub use spmv_formats::{
-    Bcsd, BcsdDec, Bcsr, BcsrDec, FormatKind, SpMvAcc, SpMvMultiAcc, Vbl, Vbr,
+    Bcsd, BcsdDec, Bcsr, BcsrDec, CsrDelta, FormatKind, SpMvAcc, SpMvMultiAcc, Vbl, Vbr,
 };
 pub use spmv_kernels::{BlockShape, KernelImpl};

@@ -11,8 +11,8 @@
 //! fns — no proptest — so it runs in minimal environments and its
 //! failures reproduce from the seed alone.
 
-use blocked_spmv::core::{Coo, Csr, Precision, Scalar, SpMvMulti};
-use blocked_spmv::formats::{Bcsd, BcsdDec, Bcsr, BcsrDec, Vbl, Vbr};
+use blocked_spmv::core::{Coo, Csr, Precision, Scalar, SpMv, SpMvMulti};
+use blocked_spmv::formats::{Bcsd, BcsdDec, Bcsr, BcsrDec, CsrDelta, Vbl, Vbr};
 use blocked_spmv::kernels::simd::SimdScalar;
 use blocked_spmv::kernels::{BlockShape, KernelImpl};
 use rand::rngs::StdRng;
@@ -168,20 +168,28 @@ fn run<T: SimdScalar>(k: usize) {
 
         check(&csr, &x, &yref, &mag, k, &format!("seed {seed} csr"));
         for imp in KernelImpl::ALL {
+            let t = format!("seed {seed} csr-delta {imp}");
+            check(&CsrDelta::from_csr(&csr, imp), &x, &yref, &mag, k, &t);
             for shape in shapes {
                 let t = format!("seed {seed} bcsr {shape} {imp}");
                 check(&Bcsr::from_csr(&csr, shape, imp), &x, &yref, &mag, k, &t);
+                let t = format!("seed {seed} bcsr16 {shape} {imp}");
+                check(&Bcsr::from_csr_narrow(&csr, shape, imp), &x, &yref, &mag, k, &t);
                 let t = format!("seed {seed} bcsr-dec {shape} {imp}");
                 check(&BcsrDec::from_csr(&csr, shape, imp), &x, &yref, &mag, k, &t);
             }
             for b in [3usize, 4, 8] {
                 let t = format!("seed {seed} bcsd {b} {imp}");
                 check(&Bcsd::from_csr(&csr, b, imp), &x, &yref, &mag, k, &t);
+                let t = format!("seed {seed} bcsd16 {b} {imp}");
+                check(&Bcsd::from_csr_narrow(&csr, b, imp), &x, &yref, &mag, k, &t);
                 let t = format!("seed {seed} bcsd-dec {b} {imp}");
                 check(&BcsdDec::from_csr(&csr, b, imp), &x, &yref, &mag, k, &t);
             }
             let t = format!("seed {seed} vbl {imp}");
             check(&Vbl::from_csr(&csr, imp), &x, &yref, &mag, k, &t);
+            let t = format!("seed {seed} vbl16 {imp}");
+            check(&Vbl::from_csr_narrow(&csr, imp), &x, &yref, &mag, k, &t);
         }
         // VBR has no SIMD kernels; one scalar pass covers it.
         check(&Vbr::from_csr(&csr), &x, &yref, &mag, k, &format!("seed {seed} vbr"));
@@ -226,11 +234,15 @@ fn multi_vector_is_bitwise_per_column() {
         for imp in KernelImpl::ALL {
             let formats: Vec<(&str, Box<dyn SpMvMulti<f64>>)> = vec![
                 ("csr", Box::new(csr.clone())),
+                ("csr-delta", Box::new(CsrDelta::from_csr(&csr, imp))),
                 ("bcsr", Box::new(Bcsr::from_csr(&csr, shape, imp))),
+                ("bcsr16", Box::new(Bcsr::from_csr_narrow(&csr, shape, imp))),
                 ("bcsr-dec", Box::new(BcsrDec::from_csr(&csr, shape, imp))),
                 ("bcsd", Box::new(Bcsd::from_csr(&csr, 4, imp))),
+                ("bcsd16", Box::new(Bcsd::from_csr_narrow(&csr, 4, imp))),
                 ("bcsd-dec", Box::new(BcsdDec::from_csr(&csr, 4, imp))),
                 ("vbl", Box::new(Vbl::from_csr(&csr, imp))),
+                ("vbl16", Box::new(Vbl::from_csr_narrow(&csr, imp))),
                 ("vbr", Box::new(Vbr::from_csr(&csr))),
             ];
             for (label, mat) in &formats {
@@ -244,6 +256,62 @@ fn multi_vector_is_bitwise_per_column() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Every index-compressed format must be *bitwise* equal to its
+/// full-width baseline over the whole seeded corpus: the narrow-index
+/// variants run the very same kernels, and CSR-Δ's scalar kernel repeats
+/// CSR's accumulation order exactly. (CSR-Δ SIMD reassociates unit runs
+/// and is covered by the tolerance-based sweep above instead.)
+#[test]
+fn compressed_formats_are_bitwise_equal_to_u32_baselines() {
+    let shape = BlockShape::new(2, 2).unwrap();
+    for seed in 0..SEEDS {
+        let case = gen_case(seed);
+        let (_, m) = (case.n, case.m);
+        let csr = Csr::from_coo(&Coo::from_triplets(case.n, m, case.trips.clone()).unwrap());
+        let x: Vec<f64> = (0..m * K)
+            .map(|i| 0.25 * (i % 9) as f64 - 1.0)
+            .collect();
+        let x1 = &x[..m];
+
+        let delta = CsrDelta::from_csr(&csr, KernelImpl::Scalar);
+        assert_eq!(delta.spmv(x1), csr.spmv(x1), "seed {seed} csr-delta");
+        assert_eq!(
+            delta.spmv_multi(&x, K),
+            csr.spmv_multi(&x, K),
+            "seed {seed} csr-delta multi"
+        );
+
+        for imp in KernelImpl::ALL {
+            let wide = Bcsr::from_csr(&csr, shape, imp);
+            let narrow = Bcsr::from_csr_narrow(&csr, shape, imp);
+            assert_eq!(narrow.spmv(x1), wide.spmv(x1), "seed {seed} bcsr16 {imp}");
+            assert_eq!(
+                narrow.spmv_multi(&x, K),
+                wide.spmv_multi(&x, K),
+                "seed {seed} bcsr16 {imp} multi"
+            );
+
+            let wide = Bcsd::from_csr(&csr, 4, imp);
+            let narrow = Bcsd::from_csr_narrow(&csr, 4, imp);
+            assert_eq!(narrow.spmv(x1), wide.spmv(x1), "seed {seed} bcsd16 {imp}");
+            assert_eq!(
+                narrow.spmv_multi(&x, K),
+                wide.spmv_multi(&x, K),
+                "seed {seed} bcsd16 {imp} multi"
+            );
+
+            let wide = Vbl::from_csr(&csr, imp);
+            let narrow = Vbl::from_csr_narrow(&csr, imp);
+            assert_eq!(narrow.spmv(x1), wide.spmv(x1), "seed {seed} vbl16 {imp}");
+            assert_eq!(
+                narrow.spmv_multi(&x, K),
+                wide.spmv_multi(&x, K),
+                "seed {seed} vbl16 {imp} multi"
+            );
         }
     }
 }

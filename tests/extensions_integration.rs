@@ -154,6 +154,8 @@ fn saved_profile_file_is_human_auditable() {
     assert!(text.contains("\ncsr "));
     assert!(text.contains("\nbcsr 2 2 scalar "));
     assert!(text.contains("\nbcsd 4 simd "));
-    // 1 header + 1 machine + 53 kernel lines.
-    assert_eq!(text.trim_end().lines().count(), 55);
+    assert!(text.contains("\ncsrdelta scalar "));
+    // 1 header + 1 machine + 55 kernel lines (csr + 2 csr-delta + 38
+    // bcsr + 14 bcsd).
+    assert_eq!(text.trim_end().lines().count(), 57);
 }
