@@ -1,0 +1,108 @@
+//! Criterion benchmarks for the telemetry layer's hot-path cost.
+//!
+//! Three questions, one group each:
+//!
+//! * `telemetry/pool` — what do the `pool.epoch` / `pool.strip` spans
+//!   add to a pooled SpMV on a ≥20k-row matrix, recording off vs on?
+//!   The off/on pair is the acceptance evidence that disabled telemetry
+//!   stays within noise (<1%); see `results/telemetry.txt` for recorded
+//!   numbers.
+//! * `telemetry/record` — the raw per-event cost of the lock-free ring
+//!   (span open+drop, counter push), enabled and disabled.
+//! * `telemetry/export` — snapshot + chrome-JSON rendering cost per
+//!   4096-event ring, off the hot path but worth keeping bounded.
+//!
+//! Run: `cargo bench -p spmv-bench --bench telemetry`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_core::{Csr, MatrixShape, SpMv};
+use spmv_gen::{random_vector, GenSpec};
+use spmv_parallel::{csr_unit_weights, PinPolicy, SpmvPool};
+
+fn workload() -> Csr<f64> {
+    GenSpec::Random {
+        n: 20_000,
+        m: 20_000,
+        nnz_per_row: 12,
+    }
+    .build(42)
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let csr = workload();
+    let x: Vec<f64> = random_vector(csr.n_cols(), 3);
+    let mut y = vec![0.0f64; csr.n_rows()];
+
+    let mut group = c.benchmark_group("telemetry/pool");
+    group.throughput(Throughput::Bytes(csr.working_set_bytes() as u64));
+    for threads in [2usize, 4] {
+        let pool = SpmvPool::from_csr(
+            &csr,
+            threads,
+            &csr_unit_weights(&csr),
+            1,
+            Csr::clone,
+            PinPolicy::None,
+        );
+        spmv_telemetry::set_enabled(false);
+        group.bench_function(BenchmarkId::new("recording-off", threads), |b| {
+            b.iter(|| pool.spmv_into(&x, &mut y))
+        });
+        spmv_telemetry::set_enabled(true);
+        group.bench_function(BenchmarkId::new("recording-on", threads), |b| {
+            b.iter(|| pool.spmv_into(&x, &mut y))
+        });
+        spmv_telemetry::set_enabled(false);
+        spmv_telemetry::clear();
+    }
+    group.finish();
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/record");
+    spmv_telemetry::set_enabled(false);
+    group.bench_function("span-disabled", |b| {
+        b.iter(|| spmv_telemetry::span("bench.span"))
+    });
+    group.bench_function("counter-disabled", |b| {
+        b.iter(|| spmv_telemetry::counter("bench.count", 1))
+    });
+    spmv_telemetry::set_enabled(true);
+    group.bench_function("span-enabled", |b| {
+        b.iter(|| spmv_telemetry::span("bench.span"))
+    });
+    group.bench_function("counter-enabled", |b| {
+        b.iter(|| spmv_telemetry::counter("bench.count", 1))
+    });
+    spmv_telemetry::set_enabled(false);
+    spmv_telemetry::clear();
+    group.finish();
+}
+
+fn bench_export(c: &mut Criterion) {
+    spmv_telemetry::set_enabled(true);
+    for i in 0..4096u64 {
+        spmv_telemetry::counter("bench.fill", i as i64);
+    }
+    spmv_telemetry::set_enabled(false);
+    let snap = spmv_telemetry::snapshot();
+
+    let mut group = c.benchmark_group("telemetry/export");
+    group.throughput(Throughput::Elements(snap.events.len() as u64));
+    group.bench_function("snapshot", |b| b.iter(spmv_telemetry::snapshot));
+    group.bench_function("chrome-json", |b| {
+        b.iter(|| spmv_telemetry::chrome::chrome_json(&snap))
+    });
+    group.bench_function("summary", |b| {
+        b.iter(|| spmv_telemetry::summary::render(&snap))
+    });
+    group.finish();
+    spmv_telemetry::clear();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_pool_overhead, bench_record, bench_export
+}
+criterion_main!(benches);

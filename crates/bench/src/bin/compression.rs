@@ -6,7 +6,9 @@ use spmv_bench::experiments::compression;
 use spmv_bench::Args;
 
 fn main() {
-    let opts = Args::from_env().experiment_opts("compression", "");
+    let args = Args::from_env();
+    let trace = args.trace_path();
+    let opts = args.experiment_opts("compression", "");
     eprintln!("calibrating and sweeping single precision ...");
     let sp = compression::run::<f32>(&opts);
     eprintln!("calibrating and sweeping double precision ...");
@@ -19,4 +21,7 @@ fn main() {
         dp.machine.l1_bytes / 1024,
         dp.machine.llc_bytes / (1024 * 1024)
     );
+    if let Some(path) = trace {
+        spmv_bench::write_trace(&path);
+    }
 }

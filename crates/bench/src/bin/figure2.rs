@@ -5,7 +5,9 @@ use spmv_bench::experiments::threads;
 use spmv_bench::Args;
 
 fn main() {
-    let opts = Args::from_env().experiment_opts("figure2", "");
+    let args = Args::from_env();
+    let trace = args.trace_path();
+    let opts = args.experiment_opts("figure2", "");
     let threads_avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -20,4 +22,7 @@ fn main() {
         "paper shape check (Figure 2): the picture stays similar across core counts — \
          BCSR keeps the majority of matrices, with CSR and BCSD following."
     );
+    if let Some(path) = trace {
+        spmv_bench::write_trace(&path);
+    }
 }

@@ -7,7 +7,9 @@ use spmv_bench::experiments::modeleval;
 use spmv_bench::Args;
 
 fn main() {
-    let opts = Args::from_env().experiment_opts("modeleval", "");
+    let args = Args::from_env();
+    let trace = args.trace_path();
+    let opts = args.experiment_opts("modeleval", "");
     eprintln!("calibrating and sweeping single precision ...");
     let sp = modeleval::run::<f32>(&opts);
     eprintln!("calibrating and sweeping double precision ...");
@@ -19,10 +21,14 @@ fn main() {
     println!("{}", modeleval::render_table4(&[&sp, &dp]));
     println!("{}", modeleval::render_compression(&sp));
     println!("{}", modeleval::render_compression(&dp));
+    println!("{}", modeleval::render_residuals());
     println!(
         "machine: {:.2} GiB/s triad, L1 {} KiB, LLC {} MiB",
         dp.machine.bandwidth / (1u64 << 30) as f64,
         dp.machine.l1_bytes / 1024,
         dp.machine.llc_bytes / (1024 * 1024)
     );
+    if let Some(path) = trace {
+        spmv_bench::write_trace(&path);
+    }
 }

@@ -1,0 +1,81 @@
+//! Telemetry-overhead probe: pooled SpMV with recording disabled and
+//! enabled, interleaved in one process so clock drift and thermal state
+//! hit both sides equally. Backs the overhead numbers quoted in
+//! `docs/OBSERVABILITY.md` and `results/telemetry.txt`.
+//!
+//! The disabled side answers "what does shipping the instrumentation
+//! cost when nobody is tracing" (one relaxed atomic load per epoch per
+//! thread); the enabled side bounds the cost of actually recording
+//! `pool.epoch` + per-strip spans on every call.
+
+use spmv_bench::Args;
+use spmv_core::{Csr, SpMv};
+use spmv_gen::GenSpec;
+use spmv_model::timing::measure_spmv;
+use spmv_parallel::{csr_unit_weights, PinPolicy, SpmvPool};
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("help") {
+        println!(
+            "usage: teleoverhead [--n N] [--threads T] [--min-time MS] [--rounds R] \
+             [--trace FILE]\n\
+             defaults: --n 20000 --threads 2 --min-time 20 --rounds 5"
+        );
+        return;
+    }
+    let trace = args.trace_path();
+    let n = args.get_usize("n", 20_000);
+    let threads = args.get_usize("threads", 2);
+    let min_time = args.get_f64("min-time", 20.0) * 1e-3;
+    let rounds = args.get_usize("rounds", 5).max(1);
+
+    let csr: Csr<f64> = GenSpec::Random {
+        n,
+        m: n,
+        nnz_per_row: 12,
+    }
+    .build(42);
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let pool = SpmvPool::from_csr(
+        &csr,
+        threads,
+        &csr_unit_weights(&csr),
+        1,
+        Csr::clone,
+        PinPolicy::None,
+    );
+    let _ = pool.spmv(&x); // warm-up: spawn costs, page faults
+
+    // Interleaved best-of: alternate off/on rounds so neither mode gets
+    // the quiet half of the run.
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..rounds {
+        spmv_telemetry::set_enabled(false);
+        best_off = best_off.min(measure_spmv(&pool, &x, min_time, 1));
+        spmv_telemetry::set_enabled(true);
+        best_on = best_on.min(measure_spmv(&pool, &x, min_time, 1));
+    }
+    spmv_telemetry::set_enabled(false);
+    let serial = measure_spmv(&csr, &x, min_time, 3);
+
+    println!(
+        "teleoverhead: n={n} nnz={} threads={threads} rounds={rounds} window={:.0}ms",
+        csr.nnz(),
+        min_time * 1e3
+    );
+    println!("  serial CSR          {:>10.1} us/call", serial * 1e6);
+    println!("  pool, recording off {:>10.1} us/call", best_off * 1e6);
+    println!(
+        "  pool, recording on  {:>10.1} us/call  ({:+.2}% vs off)",
+        best_on * 1e6,
+        (best_on / best_off - 1.0) * 100.0
+    );
+    let snap = spmv_telemetry::snapshot();
+    println!();
+    print!("{}", spmv_telemetry::summary::render(&snap));
+    if let Some(path) = trace {
+        spmv_bench::write_trace(&path);
+    }
+}

@@ -8,6 +8,8 @@
 //! * `--min-time MS` — timing window per measurement in milliseconds;
 //! * `--batches N` — best-of batches per measurement;
 //! * `--matrices a,b,c` — restrict to specific suite ids;
+//! * `--trace FILE` — record telemetry and write a chrome://tracing
+//!   JSON file on exit (see `docs/OBSERVABILITY.md`);
 //! * `--help` — print the option list.
 
 use std::collections::HashMap;
@@ -89,12 +91,23 @@ impl Args {
         })
     }
 
+    /// Arms chrome-trace capture when `--trace FILE` was given: enables
+    /// telemetry recording and returns the output path. Harness mains
+    /// call this before their sweep and [`write_trace`] on exit.
+    pub fn trace_path(&self) -> Option<String> {
+        let path = self.get("trace").map(str::to_string);
+        if path.is_some() {
+            spmv_telemetry::set_enabled(true);
+        }
+        path
+    }
+
     /// Builds the shared experiment options and prints help if requested.
     pub fn experiment_opts(&self, bin: &str, extra_help: &str) -> crate::sweep::ExpOpts {
         if self.flag("help") {
             println!(
                 "usage: {bin} [--scale F] [--seed N] [--min-time MS] [--batches N] \
-                 [--matrices a,b,c]{extra_help}\n\
+                 [--matrices a,b,c] [--trace FILE]{extra_help}\n\
                  defaults: --scale 0.25 --seed 42 --min-time 2 --batches 3"
             );
             std::process::exit(0);
@@ -110,6 +123,17 @@ impl Args {
                 (mib * 1024.0 * 1024.0) as usize
             }),
         }
+    }
+}
+
+/// Writes the telemetry recorded since [`Args::trace_path`] armed
+/// capture to `path` as chrome-trace JSON (see `docs/OBSERVABILITY.md`).
+/// Failures are reported on stderr, not fatal — a missing trace must
+/// never invalidate the measurements it annotated.
+pub fn write_trace(path: &str) {
+    match spmv_telemetry::chrome::write_chrome_trace(path) {
+        Ok(()) => eprintln!("chrome trace written to {path}"),
+        Err(e) => eprintln!("failed to write chrome trace {path}: {e}"),
     }
 }
 

@@ -20,10 +20,12 @@ use crate::sweep::ExpOpts;
 use spmv_core::{Csr, Precision, SpMv};
 use spmv_gen::{random_vector, suite, Geometry};
 use spmv_kernels::simd::SimdScalar;
+use spmv_kernels::KernelImpl;
 use spmv_model::timing::measure_spmv;
 use spmv_model::{
     profile_kernels, select_extended, BlockConfig, Config, MachineProfile, Model, ProfileOptions,
 };
+use spmv_telemetry::residual::ResidualKey;
 
 /// Per-matrix, per-model evaluation record.
 #[derive(Debug, Clone)]
@@ -78,6 +80,34 @@ fn family(block: BlockConfig) -> &'static str {
         BlockConfig::Bcsd(_) => "BCSD",
         BlockConfig::BcsdNarrow(_) => "BCSD16",
         BlockConfig::BcsdDec(_) => "BCSD-DEC",
+    }
+}
+
+/// The block-shape label of a configuration for the residual table:
+/// `-` for unblocked formats, `RxC` for the BCSR family, `bN` for BCSD
+/// diagonal sizes.
+fn shape_label(block: BlockConfig) -> String {
+    match block {
+        BlockConfig::Csr | BlockConfig::CsrDelta => "-".to_string(),
+        BlockConfig::Bcsr(s) | BlockConfig::BcsrDec(s) | BlockConfig::BcsrNarrow(s) => {
+            format!("{}x{}", s.r, s.c)
+        }
+        BlockConfig::Bcsd(b) | BlockConfig::BcsdDec(b) | BlockConfig::BcsdNarrow(b) => {
+            format!("b{b}")
+        }
+    }
+}
+
+/// The residual-tracker key of one (configuration, model) prediction.
+fn residual_key(c: Config, model: Model) -> ResidualKey {
+    ResidualKey {
+        format: family(c.block).to_string(),
+        shape: shape_label(c.block),
+        kernel: match c.imp {
+            KernelImpl::Scalar => "scalar".to_string(),
+            KernelImpl::Simd => "simd".to_string(),
+        },
+        model: model.label().to_string(),
     }
 }
 
@@ -181,8 +211,10 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
     // both measured and offered to the models, so selections always have
     // a matching measurement.
     let configs = Config::enumerate_extended(true);
+    let residuals = spmv_telemetry::residual::global();
     let mut per_matrix = Vec::with_capacity(matrices.len());
     for (id, name, csr) in &matrices {
+        let _matrix_span = spmv_telemetry::span_with("bench.matrix", *id as u64);
         let x: Vec<T> = random_vector(spmv_core::MatrixShape::n_cols(csr), opts.seed);
         // Real times and index footprints for the whole model-space.
         let reals: Vec<(Config, f64, f64)> = configs
@@ -216,6 +248,7 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
                 let pred = model.predict(&c.substats(csr), &machine, &profile);
                 norm_sum += pred / real;
                 dist_sum += (pred - real).abs() / real;
+                residuals.record(&residual_key(c, model), pred, real);
             }
             avg_norm_pred[mi] = norm_sum / reals.len() as f64;
             avg_abs_dist[mi] = dist_sum / reals.len() as f64;
@@ -341,6 +374,19 @@ pub fn render_compression(result: &ModelEvalResult) -> Table {
     t
 }
 
+/// Renders the prediction-residual table accumulated by [`run`] across
+/// every evaluated (format, shape, kernel, model) population — the
+/// misprediction surface behind Figure 3's averages. Empty string when
+/// nothing was recorded.
+pub fn render_residuals() -> String {
+    let tracker = spmv_telemetry::residual::global();
+    if tracker.is_empty() {
+        String::new()
+    } else {
+        tracker.render()
+    }
+}
+
 /// Renders Table IV from one or two precisions' results.
 pub fn render_table4(results: &[&ModelEvalResult]) -> Table {
     let mut headers = vec!["Model".to_string()];
@@ -407,6 +453,14 @@ mod tests {
         let _ = render_figure4(&res).to_string();
         let _ = render_table4(&[&res]).to_string();
         let _ = render_compression(&res).to_string();
+        // The run fed the global residual tracker: one row per
+        // (format, shape, kernel, model) population it evaluated.
+        let tracker = spmv_telemetry::residual::global();
+        assert!(!tracker.is_empty());
+        let table = render_residuals();
+        for needle in ["MEM", "OVERLAP", "CSR", "BCSR", "scalar"] {
+            assert!(table.contains(needle), "residual table misses {needle}:\n{table}");
+        }
     }
 
     #[test]

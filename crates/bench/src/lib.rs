@@ -26,6 +26,6 @@ pub mod experiments;
 pub mod report;
 pub mod sweep;
 
-pub use cli::Args;
+pub use cli::{write_trace, Args};
 pub use report::{Align, Table};
 pub use sweep::{AnyConfig, ExpOpts, MatrixSweep, SpeedupStats};

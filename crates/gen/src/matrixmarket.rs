@@ -138,15 +138,20 @@ pub fn read<T: Scalar, R: BufRead>(mut reader: R) -> Result<Csr<T>, MmError> {
         break (n, m, z);
     };
 
-    let mut coo = Coo::<T>::with_capacity(
-        n_rows,
-        n_cols,
-        if symmetry == Symmetry::General {
-            nnz
-        } else {
-            2 * nnz
-        },
-    );
+    // Pre-reserve for the declared entry count, but never trust it with
+    // an unbounded allocation: a corrupt size line (say, nnz copied from
+    // a 64-bit field of garbage) must surface as a parse error when the
+    // body runs short, not abort the process inside the allocator. The
+    // entry vector grows on demand past the clamp, so honest files above
+    // it only lose the pre-reservation. The saturating doubling keeps
+    // symmetric capacity math from overflowing for the same inputs.
+    const MAX_PREALLOC: usize = 1 << 22;
+    let declared = if symmetry == Symmetry::General {
+        nnz
+    } else {
+        nnz.saturating_mul(2)
+    };
+    let mut coo = Coo::<T>::with_capacity(n_rows, n_cols, declared.min(MAX_PREALLOC));
     let mut seen = 0usize;
     while seen < nnz {
         line.clear();
@@ -292,6 +297,83 @@ mod tests {
     fn rejects_zero_based_indices() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
         assert!(read::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices_with_line_numbers() {
+        // Indices past the declared dimensions are structured errors
+        // carrying the offending line, not panics.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        match read::<f64, _>(text.as_bytes()).unwrap_err() {
+            MmError::Parse { line, msg } => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("outside"), "msg: {msg}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 2 1\n3 1 1.0\n";
+        // The symmetric mirror entry (1,3) is the out-of-range one.
+        assert!(read::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_indices_and_counts() {
+        // Numbers that do not fit usize fail the parse, they do not wrap.
+        let huge = "99999999999999999999999999999";
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n{huge} 1 1.0\n"
+        );
+        assert!(matches!(
+            read::<f64, _>(text.as_bytes()).unwrap_err(),
+            MmError::Parse { line: 3, .. }
+        ));
+        let text = format!("%%MatrixMarket matrix coordinate real general\n{huge} 2 1\n1 1 1.0\n");
+        assert!(read::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn absurd_declared_nnz_fails_without_exhausting_memory() {
+        // The size line claims ~1e18 entries; the reader must clamp its
+        // pre-reservation and fail at EOF instead of aborting in the
+        // allocator. `symmetric` doubles the declared count, covering the
+        // saturating multiply too.
+        for sym in ["general", "symmetric"] {
+            let text = format!(
+                "%%MatrixMarket matrix coordinate real {sym}\n1000 1000 999999999999999999\n1 1 1.0\n"
+            );
+            match read::<f64, _>(text.as_bytes()).unwrap_err() {
+                MmError::Parse { msg, .. } => {
+                    assert!(msg.contains("expected"), "msg: {msg}")
+                }
+                other => panic!("expected Parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_size_and_value_lines() {
+        // Non-numeric size fields.
+        let text = "%%MatrixMarket matrix coordinate real general\ntwo 2 1\n1 1 1.0\n";
+        assert!(read::<f64, _>(text.as_bytes()).is_err());
+        // Missing nnz field.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2\n1 1 1.0\n";
+        assert!(read::<f64, _>(text.as_bytes()).is_err());
+        // Missing value on a real entry.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n";
+        assert!(read::<f64, _>(text.as_bytes()).is_err());
+        // Value that is not a number.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n";
+        assert!(read::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input_and_missing_size_line() {
+        assert!(read::<f64, _>("".as_bytes()).is_err());
+        let text = "%%MatrixMarket matrix coordinate real general\n% only comments\n";
+        match read::<f64, _>(text.as_bytes()).unwrap_err() {
+            MmError::Parse { msg, .. } => assert!(msg.contains("end of file"), "msg: {msg}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 
     #[test]

@@ -153,6 +153,7 @@ pub fn profile_kernels<T: SimdScalar>(
     machine: &MachineProfile,
     opts: &ProfileOptions,
 ) -> KernelProfile {
+    let _profile_span = spmv_telemetry::span("model.profile");
     let small_bytes = if opts.small_bytes == 0 {
         machine.l1_bytes / 2
     } else {
@@ -192,6 +193,7 @@ pub fn profile_kernels<T: SimdScalar>(
 
     // CSR baseline (degenerate 1x1 blocks, nb = nnz).
     {
+        let _s = spmv_telemetry::span("model.profile.csr");
         let t_small = measure_spmv(&small, &x_small, opts.min_time, opts.batches);
         let t_b = t_small / small.nnz() as f64;
         let t_large = measure_spmv(&large, &x_large, opts.min_time, opts.batches);
@@ -202,6 +204,7 @@ pub fn profile_kernels<T: SimdScalar>(
     // CSR-Δ (degenerate 1x1 blocks like CSR, but the decode cost differs
     // between implementations, so both are measured).
     {
+        let _s = spmv_telemetry::span("model.profile.csr_delta");
         let mut small_d = CsrDelta::from_csr(&small, KernelImpl::Scalar);
         let mut large_d = CsrDelta::from_csr(&large, KernelImpl::Scalar);
         for imp in KernelImpl::ALL {
@@ -218,6 +221,11 @@ pub fn profile_kernels<T: SimdScalar>(
     // BCSR kernels: one construction per shape and size, both
     // implementations measured by switching the kernel in place.
     for shape in BlockShape::search_space() {
+        // arg packs the block shape as r*256 + c.
+        let _s = spmv_telemetry::span_with(
+            "model.profile.bcsr",
+            (shape.r as u64) << 8 | shape.c as u64,
+        );
         let mut small_b = Bcsr::from_csr(&small, shape, KernelImpl::Scalar);
         let mut large_b = Bcsr::from_csr(&large, shape, KernelImpl::Scalar);
         for imp in KernelImpl::ALL {
@@ -238,6 +246,7 @@ pub fn profile_kernels<T: SimdScalar>(
 
     // BCSD kernels.
     for b in BCSD_SIZES {
+        let _s = spmv_telemetry::span_with("model.profile.bcsd", b as u64);
         let mut small_b = Bcsd::from_csr(&small, b, KernelImpl::Scalar);
         let mut large_b = Bcsd::from_csr(&large, b, KernelImpl::Scalar);
         for imp in KernelImpl::ALL {

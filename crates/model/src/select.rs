@@ -55,6 +55,7 @@ pub fn rank<T: Scalar>(
     profile: &KernelProfile,
     configs: &[Config],
 ) -> Vec<Candidate> {
+    let _rank_span = spmv_telemetry::span_with("model.rank", configs.len() as u64);
     let mut out: Vec<Candidate> = configs
         .iter()
         .map(|&config| Candidate {
@@ -130,6 +131,8 @@ pub fn rank_multi<T: Scalar>(
     configs: &[Config],
     ks: &[usize],
 ) -> Vec<MultiCandidate> {
+    let _rank_span =
+        spmv_telemetry::span_with("model.rank_multi", (configs.len() * ks.len()) as u64);
     let mut out = Vec::with_capacity(configs.len() * ks.len());
     for &config in configs {
         let stats = config.substats(csr);

@@ -19,6 +19,13 @@
 //!   (`spmv-model::multicore`) can consume *measured* per-thread
 //!   imbalance instead of assuming perfect static balance.
 //!
+//! When `spmv-telemetry` recording is enabled, every epoch additionally
+//! emits a `pool.epoch` span (driver side, arg = vector count) and one
+//! `pool.strip` span per worker (arg = strip index), so a chrome trace
+//! shows the dispatch/imbalance structure of a run. With telemetry
+//! disabled (the default) the cost is one relaxed atomic load per epoch
+//! per thread.
+//!
 //! # Example
 //!
 //! ```
@@ -53,6 +60,7 @@ use std::time::{Duration, Instant};
 use crate::affinity::PinPolicy;
 use crate::driver::ParallelSpmv;
 use spmv_core::{Csr, MatrixShape, Scalar, SpMv, SpMvMulti};
+use spmv_telemetry::window::SampleWindow;
 
 /// Epoch value ordering workers to exit. Driver epochs count up from 1,
 /// so this sentinel is unreachable in any realistic run.
@@ -77,10 +85,6 @@ const PARK_INTERVAL: Duration = Duration::from_micros(200);
 /// Spin iterations before the driver starts yielding while waiting for
 /// strips to finish (again only when hardware threads are plentiful).
 const DRIVER_SPINS: u32 = 1 << 14;
-
-/// Per-strip timing samples kept for the median (a ring of the most
-/// recent iterations; min and count cover the whole history).
-const SAMPLE_CAP: usize = 512;
 
 /// Maximum vectors per multi-vector epoch. Larger `k` is chunked into
 /// epochs of this size, bounding the standing multi-output slab at
@@ -192,23 +196,19 @@ impl<T: Scalar> SharedOutput<T> {
     }
 }
 
-/// Per-strip timing history, updated by its worker on every epoch.
+/// Per-strip timing history, updated by its worker on every epoch: a
+/// bounded [`SampleWindow`] (whole-history count and min, windowed
+/// median) plus the OS threads that have served the strip.
 #[derive(Debug)]
 struct StripTiming {
-    count: u64,
-    min_ns: u64,
-    samples: Vec<u64>,
-    next: usize,
+    window: SampleWindow,
     thread_ids: Vec<ThreadId>,
 }
 
 impl StripTiming {
     fn new() -> Self {
         StripTiming {
-            count: 0,
-            min_ns: u64::MAX,
-            samples: Vec::new(),
-            next: 0,
+            window: SampleWindow::default(),
             thread_ids: Vec::new(),
         }
     }
@@ -220,24 +220,8 @@ impl StripTiming {
     }
 
     fn record(&mut self, ns: u64, id: ThreadId) {
-        self.count += 1;
-        self.min_ns = self.min_ns.min(ns);
-        if self.samples.len() < SAMPLE_CAP {
-            self.samples.push(ns);
-        } else {
-            self.samples[self.next] = ns;
-            self.next = (self.next + 1) % SAMPLE_CAP;
-        }
+        self.window.record(ns);
         self.note_thread(id);
-    }
-
-    fn median_ns(&self) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        let mut s = self.samples.clone();
-        s.sort_unstable();
-        s[s.len() / 2]
     }
 }
 
@@ -250,7 +234,8 @@ pub struct StripReport {
     pub iterations: u64,
     /// Fastest observed iteration, in nanoseconds (0 before the first).
     pub min_ns: u64,
-    /// Median of the most recent iterations (≤ 512 samples; 0 before the
+    /// Median of the most recent iterations (a window of
+    /// [`spmv_telemetry::window::DEFAULT_WINDOW`] samples; 0 before the
     /// first).
     pub median_ns: u64,
     /// `true` if more than one OS thread ever served this strip — always
@@ -444,9 +429,9 @@ impl<T: Scalar> SpmvPool<T> {
                 let t = w.timing.lock().unwrap_or_else(|e| e.into_inner());
                 StripReport {
                     rows: rows.clone(),
-                    iterations: t.count,
-                    min_ns: if t.count == 0 { 0 } else { t.min_ns },
-                    median_ns: t.median_ns(),
+                    iterations: t.window.count(),
+                    min_ns: t.window.min(),
+                    median_ns: t.window.median(),
                     respawned: t.thread_ids.len() > 1,
                 }
             })
@@ -488,6 +473,8 @@ impl<T: Scalar> SpmvPool<T> {
     /// workers, wait for all strips, and return the guard that keeps the
     /// pool quiescent while the caller copies the output out.
     fn run_epoch(&self, x: &[T], k: usize) -> MutexGuard<'_, DriverState> {
+        // Covers publish → every strip done (not the caller's copy-out).
+        let _epoch_span = spmv_telemetry::span_with("pool.epoch", k as u64);
         let mut st = self.driver.lock().unwrap_or_else(|e| e.into_inner());
         // SAFETY: the driver lock is held and every worker's `done`
         // equals `st.epoch`, so no worker is reading the slot.
@@ -658,6 +645,11 @@ fn worker_loop<T: Scalar, F: SpMvMulti<T>>(
             }
         }
 
+        let ts0 = if spmv_telemetry::enabled() {
+            spmv_telemetry::now_ns()
+        } else {
+            0
+        };
         let t0 = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             // SAFETY: we are inside epoch `target`: the driver published
@@ -676,6 +668,7 @@ fn worker_loop<T: Scalar, F: SpMvMulti<T>>(
             }
         }));
         let ns = t0.elapsed().as_nanos() as u64;
+        spmv_telemetry::complete("pool.strip", ts0, ns, idx as u64);
         match result {
             Ok(()) => me
                 .timing

@@ -1,0 +1,269 @@
+//! Prediction-residual tracking.
+//!
+//! The paper evaluates its models by how well predicted SpMV time tracks
+//! measured time (§V-B, Figure 3); the latency-bound outliers were found
+//! by exactly this comparison. [`ResidualTracker`] makes that comparison
+//! a first-class running statistic: every `(predicted, measured)` pair
+//! is folded into per-key aggregates — keyed by (format, shape, kernel,
+//! model) — so a misprediction shows up as a large mean relative error
+//! on its row of [`ResidualTracker::render`] instead of hiding inside a
+//! suite-wide average.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+use std::sync::{Mutex, OnceLock};
+
+/// Identifies one prediction population.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResidualKey {
+    /// Storage-format family (e.g. `CSR`, `BCSR`, `BCSD16`).
+    pub format: String,
+    /// Block shape within the family (e.g. `2x3`, `-` for unblocked).
+    pub shape: String,
+    /// Kernel implementation (e.g. `scalar`, `simd`).
+    pub kernel: String,
+    /// Predicting model (e.g. `MEM`, `MEMCOMP`, `OVERLAP`).
+    pub model: String,
+}
+
+impl std::fmt::Display for ResidualKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            self.format, self.shape, self.kernel, self.model
+        )
+    }
+}
+
+/// Running statistics over one key's `(predicted, measured)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResidualStats {
+    /// Number of recorded pairs.
+    pub n: u64,
+    /// Sum of predicted times, seconds.
+    pub sum_predicted: f64,
+    /// Sum of measured times, seconds.
+    pub sum_measured: f64,
+    /// Sum of signed relative errors `(pred - meas) / meas`.
+    pub sum_rel: f64,
+    /// Sum of absolute relative errors `|pred - meas| / meas`.
+    pub sum_abs_rel: f64,
+    /// Largest absolute relative error seen.
+    pub max_abs_rel: f64,
+}
+
+impl ResidualStats {
+    fn fold(&mut self, predicted: f64, measured: f64) {
+        let rel = (predicted - measured) / measured;
+        self.n += 1;
+        self.sum_predicted += predicted;
+        self.sum_measured += measured;
+        self.sum_rel += rel;
+        self.sum_abs_rel += rel.abs();
+        self.max_abs_rel = self.max_abs_rel.max(rel.abs());
+    }
+
+    /// Mean signed relative error; negative means under-prediction.
+    pub fn mean_rel(&self) -> f64 {
+        self.sum_rel / self.n.max(1) as f64
+    }
+
+    /// Mean absolute relative error (the paper's Figure 3 legend metric).
+    pub fn mean_abs_rel(&self) -> f64 {
+        self.sum_abs_rel / self.n.max(1) as f64
+    }
+
+    /// Mean predicted / mean measured — the paper's normalized
+    /// prediction (Figure 3's y-axis).
+    pub fn norm_pred(&self) -> f64 {
+        self.sum_predicted / self.sum_measured.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Mean absolute relative error above which a row is flagged as an
+/// outlier in [`ResidualTracker::render`] — mispredictions at this
+/// level changed selections in the paper's Figure 3 discussion.
+pub const OUTLIER_THRESHOLD: f64 = 0.30;
+
+/// Accumulates `(predicted, measured)` pairs per [`ResidualKey`].
+///
+/// Thread-safe; recording takes a short mutex (this is bookkeeping for
+/// the measurement harness, not the SpMV hot path).
+#[derive(Debug, Default)]
+pub struct ResidualTracker {
+    map: Mutex<BTreeMap<ResidualKey, ResidualStats>>,
+}
+
+impl ResidualTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one `(predicted, measured)` pair into `key`'s statistics.
+    ///
+    /// Pairs with non-finite or non-positive `measured` are ignored (a
+    /// failed measurement must not poison the aggregate).
+    pub fn record(&self, key: &ResidualKey, predicted: f64, measured: f64) {
+        if !measured.is_finite() || measured <= 0.0 || !predicted.is_finite() {
+            return;
+        }
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key.clone())
+            .or_default()
+            .fold(predicted, measured);
+    }
+
+    /// The statistics recorded for `key`, if any.
+    pub fn stats(&self, key: &ResidualKey) -> Option<ResidualStats> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .copied()
+    }
+
+    /// All rows, sorted by key.
+    pub fn rows(&self) -> Vec<(ResidualKey, ResidualStats)> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Total number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|s| s.n as usize)
+            .sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forgets every recorded pair.
+    pub fn reset(&self) {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Renders the per-(format, shape, kernel, model) residual table,
+    /// worst mean absolute relative error first; rows beyond
+    /// [`OUTLIER_THRESHOLD`] are flagged `MISS`.
+    pub fn render(&self) -> String {
+        let mut rows = self.rows();
+        rows.sort_by(|a, b| b.1.mean_abs_rel().total_cmp(&a.1.mean_abs_rel()));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "prediction residuals ({} pairs): pred/real, mean |rel err|, worst |rel err|",
+            rows.iter().map(|(_, s)| s.n).sum::<u64>()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<10} {:<6} {:<7} {:<8} {:>6} {:>10} {:>10} {:>10}  flag",
+            "format", "shape", "kernel", "model", "n", "pred/real", "mean|rel|", "max|rel|"
+        );
+        for (k, s) in &rows {
+            let flag = if s.mean_abs_rel() > OUTLIER_THRESHOLD {
+                "MISS"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<6} {:<7} {:<8} {:>6} {:>10.3} {:>9.1}% {:>9.1}%  {}",
+                k.format,
+                k.shape,
+                k.kernel,
+                k.model,
+                s.n,
+                s.norm_pred(),
+                s.mean_abs_rel() * 100.0,
+                s.max_abs_rel * 100.0,
+                flag
+            );
+        }
+        out
+    }
+}
+
+/// The process-global tracker the harness binaries feed.
+pub fn global() -> &'static ResidualTracker {
+    static GLOBAL: OnceLock<ResidualTracker> = OnceLock::new();
+    GLOBAL.get_or_init(ResidualTracker::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(model: &str) -> ResidualKey {
+        ResidualKey {
+            format: "BCSR".into(),
+            shape: "2x2".into(),
+            kernel: "scalar".into(),
+            model: model.into(),
+        }
+    }
+
+    #[test]
+    fn stats_match_hand_computed_values() {
+        let t = ResidualTracker::new();
+        let k = key("MEM");
+        // (pred, meas): rel errors are +0.5 and -0.2.
+        t.record(&k, 1.5, 1.0);
+        t.record(&k, 1.6, 2.0);
+        let s = t.stats(&k).unwrap();
+        assert_eq!(s.n, 2);
+        assert!((s.mean_rel() - 0.15).abs() < 1e-12);
+        assert!((s.mean_abs_rel() - 0.35).abs() < 1e-12);
+        assert!((s.max_abs_rel - 0.5).abs() < 1e-12);
+        assert!((s.norm_pred() - 3.1 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_measurements_are_ignored() {
+        let t = ResidualTracker::new();
+        let k = key("MEM");
+        t.record(&k, 1.0, 0.0);
+        t.record(&k, 1.0, -1.0);
+        t.record(&k, 1.0, f64::NAN);
+        t.record(&k, f64::INFINITY, 1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.stats(&k), None);
+    }
+
+    #[test]
+    fn render_flags_outliers_and_sorts_worst_first() {
+        let t = ResidualTracker::new();
+        t.record(&key("MEM"), 2.0, 1.0); // 100% off -> MISS
+        t.record(&key("OVERLAP"), 1.05, 1.0); // 5% off
+        let text = t.render();
+        assert!(text.contains("MISS"));
+        let mem_at = text.find("MEM").unwrap();
+        let ovl_at = text.find("OVERLAP").unwrap();
+        assert!(mem_at < ovl_at, "worst row renders first:\n{text}");
+        t.reset();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn keys_partition_the_pairs() {
+        let t = ResidualTracker::new();
+        t.record(&key("MEM"), 1.0, 1.0);
+        t.record(&key("OVERLAP"), 1.0, 1.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.stats(&key("MEM")).unwrap().n, 1);
+    }
+}

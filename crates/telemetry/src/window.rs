@@ -1,0 +1,128 @@
+//! Fixed-capacity sample windows for summary statistics.
+//!
+//! [`SampleWindow`] is the allocation-bounded timing history that
+//! `spmv-parallel`'s per-strip reports are built on: it keeps the full
+//! history's count and minimum plus a ring of the most recent samples
+//! for median queries. It is deliberately *not* gated by the crate's
+//! `disabled` feature — the pool's measured-imbalance input must keep
+//! working with telemetry compiled out.
+
+/// Default number of recent samples retained for the median.
+pub const DEFAULT_WINDOW: usize = 512;
+
+/// A bounded history of `u64` samples: whole-history count and minimum,
+/// plus a fixed-capacity ring of the most recent samples.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    count: u64,
+    min: u64,
+    samples: Vec<u64>,
+    next: usize,
+    cap: usize,
+}
+
+impl Default for SampleWindow {
+    fn default() -> Self {
+        SampleWindow::new(DEFAULT_WINDOW)
+    }
+}
+
+impl SampleWindow {
+    /// An empty window retaining at most `cap` recent samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "sample window needs capacity");
+        SampleWindow {
+            count: 0,
+            min: u64::MAX,
+            samples: Vec::new(),
+            next: 0,
+            cap,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        if self.samples.len() < self.cap {
+            self.samples.push(v);
+        } else {
+            self.samples[self.next] = v;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Samples recorded over the whole history.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whole-history minimum (`0` before the first sample).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Median of the retained recent samples (`0` before the first).
+    pub fn median(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+
+    /// How many recent samples are currently retained (≤ capacity).
+    pub fn retained(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_reports_zeros() {
+        let w = SampleWindow::default();
+        assert_eq!((w.count(), w.min(), w.median()), (0, 0, 0));
+    }
+
+    #[test]
+    fn tracks_count_min_median() {
+        let mut w = SampleWindow::new(8);
+        for v in [5u64, 3, 9, 7] {
+            w.record(v);
+        }
+        assert_eq!(w.count(), 4);
+        assert_eq!(w.min(), 3);
+        assert_eq!(w.median(), 7); // sorted [3,5,7,9], index 2
+    }
+
+    #[test]
+    fn window_wraps_but_min_is_global() {
+        let mut w = SampleWindow::new(4);
+        w.record(1);
+        for _ in 0..10 {
+            w.record(100);
+        }
+        assert_eq!(w.retained(), 4);
+        assert_eq!(w.min(), 1, "min covers evicted samples");
+        assert_eq!(w.median(), 100);
+        assert_eq!(w.count(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = SampleWindow::new(0);
+    }
+}

@@ -6,8 +6,9 @@
 # Sandboxed containers often cannot reach the crates.io registry, and
 # cargo needs it even for `--offline` builds here (no vendored deps);
 # when cargo fails this script falls back to hand-compiling the crate
-# chain with rustc and running every unit-test binary, the integration
-# tests that don't need proptest, and the runtime example surfaces.
+# chain with rustc and running every unit-test binary, every integration
+# test (the property suites use the in-repo harness in tests/support/,
+# so they run offline too), and the runtime example surfaces.
 # See docs/TESTING.md for what each tier covers.
 #
 # Usage: scripts/check.sh            # auto-detect
@@ -74,6 +75,12 @@ R="rustc --edition 2021 -O -L dependency=$B"
 
 echo "== building crate chain (rustc, no cargo)"
 $R --crate-type lib --crate-name rand "$B/rand_stub.rs" -o "$B/librand.rlib"
+$R --crate-type lib --crate-name spmv_telemetry crates/telemetry/src/lib.rs \
+    -o "$B/libspmv_telemetry.rlib"
+# The `disabled` feature must keep compiling (zero-cost opt-out path);
+# metadata-only so the stray rlib never shadows the real one in $B.
+$R --crate-type lib --crate-name spmv_telemetry --cfg 'feature="disabled"' \
+    --emit=metadata crates/telemetry/src/lib.rs -o /dev/null
 $R --crate-type lib --crate-name spmv_core crates/core/src/lib.rs -o "$B/libspmv_core.rlib"
 $R --crate-type lib --crate-name spmv_kernels crates/kernels/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" -o "$B/libspmv_kernels.rlib"
@@ -86,19 +93,22 @@ $R --crate-type lib --crate-name spmv_gen crates/gen/src/lib.rs \
 $R --crate-type lib --crate-name spmv_parallel crates/parallel/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
-    --extern spmv_formats="$B/libspmv_formats.rlib" -o "$B/libspmv_parallel.rlib"
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libspmv_parallel.rlib"
 $R --crate-type lib --crate-name spmv_model crates/model/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
     --extern spmv_formats="$B/libspmv_formats.rlib" \
-    --extern spmv_gen="$B/libspmv_gen.rlib" -o "$B/libspmv_model.rlib"
+    --extern spmv_gen="$B/libspmv_gen.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libspmv_model.rlib"
 $R --crate-type lib --crate-name spmv_bench crates/bench/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
     --extern spmv_formats="$B/libspmv_formats.rlib" \
     --extern spmv_gen="$B/libspmv_gen.rlib" \
     --extern spmv_model="$B/libspmv_model.rlib" \
-    --extern spmv_parallel="$B/libspmv_parallel.rlib" -o "$B/libspmv_bench.rlib"
+    --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libspmv_bench.rlib"
 $R --crate-type lib --crate-name blocked_spmv src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
@@ -106,11 +116,14 @@ $R --crate-type lib --crate-name blocked_spmv src/lib.rs \
     --extern spmv_gen="$B/libspmv_gen.rlib" \
     --extern spmv_model="$B/libspmv_model.rlib" \
     --extern spmv_parallel="$B/libspmv_parallel.rlib" \
-    --extern spmv_bench="$B/libspmv_bench.rlib" -o "$B/libblocked_spmv.rlib"
+    --extern spmv_bench="$B/libspmv_bench.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libblocked_spmv.rlib"
 
 if command -v clippy-driver > /dev/null; then
     echo "== clippy (offline: clippy-driver per crate, -D warnings)"
     CL="clippy-driver --edition 2021 -L dependency=$B -D warnings --emit=metadata -o /dev/null --crate-type lib"
+    $CL --crate-name spmv_telemetry crates/telemetry/src/lib.rs
+    $CL --crate-name spmv_telemetry --cfg 'feature="disabled"' crates/telemetry/src/lib.rs
     $CL --crate-name spmv_core crates/core/src/lib.rs
     $CL --crate-name spmv_kernels crates/kernels/src/lib.rs \
         --extern spmv_core="$B/libspmv_core.rlib"
@@ -122,19 +135,22 @@ if command -v clippy-driver > /dev/null; then
     $CL --crate-name spmv_parallel crates/parallel/src/lib.rs \
         --extern spmv_core="$B/libspmv_core.rlib" \
         --extern spmv_kernels="$B/libspmv_kernels.rlib" \
-        --extern spmv_formats="$B/libspmv_formats.rlib"
+        --extern spmv_formats="$B/libspmv_formats.rlib" \
+        --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
     $CL --crate-name spmv_model crates/model/src/lib.rs \
         --extern spmv_core="$B/libspmv_core.rlib" \
         --extern spmv_kernels="$B/libspmv_kernels.rlib" \
         --extern spmv_formats="$B/libspmv_formats.rlib" \
-        --extern spmv_gen="$B/libspmv_gen.rlib"
+        --extern spmv_gen="$B/libspmv_gen.rlib" \
+        --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
     $CL --crate-name spmv_bench crates/bench/src/lib.rs \
         --extern spmv_core="$B/libspmv_core.rlib" \
         --extern spmv_kernels="$B/libspmv_kernels.rlib" \
         --extern spmv_formats="$B/libspmv_formats.rlib" \
         --extern spmv_gen="$B/libspmv_gen.rlib" \
         --extern spmv_model="$B/libspmv_model.rlib" \
-        --extern spmv_parallel="$B/libspmv_parallel.rlib"
+        --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+        --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
     $CL --crate-name blocked_spmv src/lib.rs \
         --extern spmv_core="$B/libspmv_core.rlib" \
         --extern spmv_kernels="$B/libspmv_kernels.rlib" \
@@ -142,12 +158,15 @@ if command -v clippy-driver > /dev/null; then
         --extern spmv_gen="$B/libspmv_gen.rlib" \
         --extern spmv_model="$B/libspmv_model.rlib" \
         --extern spmv_parallel="$B/libspmv_parallel.rlib" \
-        --extern spmv_bench="$B/libspmv_bench.rlib"
+        --extern spmv_bench="$B/libspmv_bench.rlib" \
+        --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
 else
     echo "== clippy skipped (clippy-driver not installed)"
 fi
 
 echo "== crate unit tests"
+$R --test --crate-name spmv_telemetry crates/telemetry/src/lib.rs -o "$B/t_telemetry"
+"$B/t_telemetry" -q
 $R --test --crate-name spmv_core crates/core/src/lib.rs -o "$B/t_core"
 "$B/t_core" -q
 $R --test --crate-name spmv_kernels crates/kernels/src/lib.rs \
@@ -165,13 +184,15 @@ $R --test --crate-name spmv_gen crates/gen/src/lib.rs \
 $R --test --crate-name spmv_parallel crates/parallel/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
-    --extern spmv_formats="$B/libspmv_formats.rlib" -o "$B/t_parallel"
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/t_parallel"
 "$B/t_parallel" -q
 $R --test --crate-name spmv_model crates/model/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
     --extern spmv_formats="$B/libspmv_formats.rlib" \
-    --extern spmv_gen="$B/libspmv_gen.rlib" -o "$B/t_model"
+    --extern spmv_gen="$B/libspmv_gen.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/t_model"
 "$B/t_model" -q
 $R --test --crate-name spmv_bench crates/bench/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
@@ -179,12 +200,15 @@ $R --test --crate-name spmv_bench crates/bench/src/lib.rs \
     --extern spmv_formats="$B/libspmv_formats.rlib" \
     --extern spmv_gen="$B/libspmv_gen.rlib" \
     --extern spmv_model="$B/libspmv_model.rlib" \
-    --extern spmv_parallel="$B/libspmv_parallel.rlib" -o "$B/t_bench"
+    --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/t_bench"
 "$B/t_bench" -q
 
-echo "== integration tests (proptest-based suites need cargo; see docs/TESTING.md)"
+echo "== integration tests (property suites use the in-repo harness)"
 for t in differential_equivalence edge_cases kernel_shapes \
-         extensions_integration paper_shapes compression_integration; do
+         extensions_integration paper_shapes compression_integration \
+         format_equivalence kernel_properties model_pipeline \
+         parallel_equivalence telemetry_pool telemetry_trace; do
     $R --test "tests/$t.rs" \
         --extern blocked_spmv="$B/libblocked_spmv.rlib" \
         --extern rand="$B/librand.rlib" -o "$B/t_$t"

@@ -21,7 +21,10 @@
 //! * [`parallel`] — nnz-balanced row partitioning and
 //!   multithreaded SpMV;
 //! * [`bench`](mod@bench) — timing utilities, experiment drivers, and
-//!   the table/figure regeneration harness.
+//!   the table/figure regeneration harness;
+//! * [`telemetry`] — spans / counters / gauges over per-thread
+//!   lock-free rings, chrome-trace + flat-text exporters, and the
+//!   prediction-residual tracker (see `docs/OBSERVABILITY.md`).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -32,6 +35,7 @@ pub use spmv_gen as gen;
 pub use spmv_kernels as kernels;
 pub use spmv_model as model;
 pub use spmv_parallel as parallel;
+pub use spmv_telemetry as telemetry;
 
 pub use spmv_core::{
     Coo, Csr, DenseMatrix, Error, IndexWidth, Precision, Result, Scalar, SpMv, SpMvMulti,

@@ -1,6 +1,10 @@
 //! End-to-end tests of the model pipeline: statistics estimators vs
 //! materialized formats, prediction invariants, and selection sanity on
 //! structurally extreme matrices.
+//!
+//! The property tests run on the in-repo seeded harness
+//! (`tests/support/prop.rs`), not proptest, so the suite builds and
+//! shrinks offline.
 
 use blocked_spmv::core::{Coo, Csr, SpMv};
 use blocked_spmv::gen::GenSpec;
@@ -8,7 +12,10 @@ use blocked_spmv::model::{
     profile_kernels, rank, select, BlockConfig, Config, KernelProfile, MachineProfile, Model,
     ProfileOptions,
 };
-use proptest::prelude::*;
+
+#[path = "support/prop.rs"]
+mod prop;
+use prop::Rng;
 
 fn machine() -> MachineProfile {
     MachineProfile {
@@ -18,31 +25,38 @@ fn machine() -> MachineProfile {
     }
 }
 
-fn matrix_strategy() -> impl Strategy<Value = Csr<f64>> {
-    (1usize..30, 1usize..30)
-        .prop_flat_map(|(n, m)| {
-            let entry = (0..n, 0..m, 0.5f64..2.0);
-            proptest::collection::vec(entry, 1..100)
-                .prop_map(move |e| Csr::from_coo(&Coo::from_triplets(n, m, e).unwrap()))
-        })
+/// Generator: a non-empty random CSR matrix with positive values,
+/// dimensions and entry count scaled by the harness `size`.
+fn gen_csr(rng: &mut Rng, size: usize) -> Csr<f64> {
+    let (n_max, m_max) = prop::scaled_dims(size, 30);
+    let n = rng.usize_in(1, n_max);
+    let m = rng.usize_in(1, m_max);
+    let k = rng.usize_in(1, 3 * size + 2);
+    let entries: Vec<(usize, usize, f64)> = (0..k)
+        .map(|_| (rng.index(n), rng.index(m), rng.f64_in(0.5, 2.0)))
+        .collect();
+    Csr::from_coo(&Coo::from_triplets(n, m, entries).unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn substats_working_sets_match_builds(csr in matrix_strategy()) {
+#[test]
+fn substats_working_sets_match_builds() {
+    prop::run("substats_working_sets_match_builds", 48, |rng, size| {
+        let csr = gen_csr(rng, size);
         for config in Config::enumerate(true) {
             let est: usize = config.substats(&csr).iter().map(|s| s.ws_bytes).sum();
             let real = config.build(&csr).working_set_bytes();
-            prop_assert_eq!(est, real, "ws mismatch for {}", config);
+            assert_eq!(est, real, "ws mismatch for {config}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn model_predictions_are_ordered(csr in matrix_strategy(), nof in 0.0f64..1.0) {
+#[test]
+fn model_predictions_are_ordered() {
+    prop::run("model_predictions_are_ordered", 48, |rng, size| {
         // With every nof in [0, 1]: MEM <= OVERLAP <= MEMCOMP, for every
         // configuration — the bound structure Figure 3 visualizes.
+        let csr = gen_csr(rng, size);
+        let nof = rng.f64_in(0.0, 1.0);
         let profile = KernelProfile::uniform(3e-9, nof);
         let m = machine();
         for config in Config::enumerate(false) {
@@ -50,36 +64,45 @@ proptest! {
             let mem = Model::Mem.predict(&stats, &m, &profile);
             let ovl = Model::Overlap.predict(&stats, &m, &profile);
             let cmp = Model::MemComp.predict(&stats, &m, &profile);
-            prop_assert!(mem <= ovl + 1e-18 && ovl <= cmp + 1e-18, "{}", config);
+            assert!(mem <= ovl + 1e-18 && ovl <= cmp + 1e-18, "{config}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn predictions_scale_linearly_with_bandwidth(csr in matrix_strategy()) {
+#[test]
+fn predictions_scale_linearly_with_bandwidth() {
+    prop::run("predictions_scale_linearly_with_bandwidth", 48, |rng, size| {
         // Doubling BW must halve the MEM prediction exactly.
+        let csr = gen_csr(rng, size);
         let profile = KernelProfile::uniform(1e-9, 0.5);
         let m1 = machine();
-        let m2 = MachineProfile { bandwidth: 2.0 * m1.bandwidth, ..m1 };
+        let m2 = MachineProfile {
+            bandwidth: 2.0 * m1.bandwidth,
+            ..m1
+        };
         for config in Config::enumerate(false).into_iter().take(8) {
             let stats = config.substats(&csr);
             let t1 = Model::Mem.predict(&stats, &m1, &profile);
             let t2 = Model::Mem.predict(&stats, &m2, &profile);
-            prop_assert!((t1 - 2.0 * t2).abs() <= 1e-15 + 1e-9 * t1);
+            assert!((t1 - 2.0 * t2).abs() <= 1e-15 + 1e-9 * t1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn selection_is_argmin_of_rank(csr in matrix_strategy()) {
+#[test]
+fn selection_is_argmin_of_rank() {
+    prop::run("selection_is_argmin_of_rank", 48, |rng, size| {
+        let csr = gen_csr(rng, size);
         let profile = KernelProfile::uniform(2e-9, 0.7);
         let m = machine();
         for model in Model::ALL {
             let best = select(model, &csr, &m, &profile, true);
             let configs = blocked_spmv::model::candidate_configs(model, true);
             let ranked = rank(model, &csr, &m, &profile, &configs);
-            prop_assert_eq!(best.config, ranked[0].config);
-            prop_assert!(best.predicted <= ranked.last().unwrap().predicted);
+            assert_eq!(best.config, ranked[0].config);
+            assert!(best.predicted <= ranked.last().unwrap().predicted);
         }
-    }
+    });
 }
 
 #[test]

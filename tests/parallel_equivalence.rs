@@ -6,46 +6,52 @@
 //! pool ([`SpmvPool`]): pooled results are bit-identical to serial
 //! `Csr::spmv` for every format, and the pool really does reuse its
 //! threads across thousands of calls instead of respawning.
+//!
+//! The property tests run on the in-repo seeded harness
+//! (`tests/support/prop.rs`), not proptest, so the suite builds and
+//! shrinks offline.
 
-use blocked_spmv::core::{Coo, Csr, MatrixShape, SpMv};
+use blocked_spmv::core::{Coo, Csr, MatrixShape, SpMv, SpMvMulti};
 use blocked_spmv::formats::{Bcsd, BcsdDec, Bcsr, BcsrDec, Vbl};
 use blocked_spmv::kernels::{BlockShape, KernelImpl};
 use blocked_spmv::parallel::{
     bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, partition_units, ParallelSpmv,
     PinPolicy, SpmvPool,
 };
-use proptest::prelude::*;
 
-fn matrix_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
-    (1usize..40, 1usize..40).prop_flat_map(|(n, m)| {
-        let entry = (0..n, 0..m, -3.0f64..3.0);
-        proptest::collection::vec(entry, 0..160)
-            .prop_map(move |entries| (n, m, entries))
-    })
+#[path = "support/prop.rs"]
+mod prop;
+use prop::Rng;
+
+/// Generator: a random sparse matrix as (rows, cols, triplets), scaled
+/// by the harness `size`.
+fn gen_matrix(rng: &mut Rng, size: usize) -> (usize, usize, Vec<(usize, usize, f64)>) {
+    let (n_max, m_max) = prop::scaled_dims(size, 40);
+    prop::sparse_triplets(rng, n_max, m_max, 5 * size, -3.0, 3.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn partition_is_contiguous_and_complete(
-        weights in proptest::collection::vec(0u64..1000, 0..200),
-        parts in 1usize..9,
-    ) {
+#[test]
+fn partition_is_contiguous_and_complete() {
+    prop::run("partition_is_contiguous_and_complete", 48, |rng, size| {
+        let len = rng.usize_in(0, 6 * size + 2);
+        let weights = rng.u64_vec(len, 0, 1000);
+        let parts = rng.usize_in(1, 9);
         let ranges = partition_units(&weights, parts);
-        prop_assert_eq!(ranges.len(), parts);
-        prop_assert_eq!(ranges[0].start, 0);
-        prop_assert_eq!(ranges.last().unwrap().end, weights.len());
+        assert_eq!(ranges.len(), parts);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, weights.len());
         for pair in ranges.windows(2) {
-            prop_assert_eq!(pair[0].end, pair[1].start);
+            assert_eq!(pair[0].end, pair[1].start);
         }
-    }
+    });
+}
 
-    #[test]
-    fn partition_balances_within_one_max_unit(
-        weights in proptest::collection::vec(1u64..100, 1..150),
-        parts in 1usize..5,
-    ) {
+#[test]
+fn partition_balances_within_one_max_unit() {
+    prop::run("partition_balances_within_one_max_unit", 48, |rng, size| {
+        let len = rng.usize_in(1, 5 * size + 2);
+        let weights = rng.u64_vec(len, 1, 100);
+        let parts = rng.usize_in(1, 5);
         let ranges = partition_units(&weights, parts);
         let total: u64 = weights.iter().sum();
         let ideal = total as f64 / parts as f64;
@@ -54,32 +60,34 @@ proptest! {
             let w: u64 = weights[r.clone()].iter().sum();
             // The greedy scheme can overshoot the ideal share by at most
             // one unit's weight (the final part absorbs the slack).
-            prop_assert!(
+            assert!(
                 (w as f64) <= ideal + max_w as f64 + 1e-9,
-                "part weight {} vs ideal {} (max unit {})", w, ideal, max_w
+                "part weight {w} vs ideal {ideal} (max unit {max_w})"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn parallel_csr_equals_sequential(
-        (n, m, entries) in matrix_strategy(),
-        threads in 1usize..6,
-    ) {
+#[test]
+fn parallel_csr_equals_sequential() {
+    prop::run("parallel_csr_equals_sequential", 48, |rng, size| {
+        let (n, m, entries) = gen_matrix(rng, size);
+        let threads = rng.usize_in(1, 6);
         let csr = Csr::from_coo(&Coo::from_triplets(n, m, entries).unwrap());
         let x: Vec<f64> = (0..m).map(|i| 1.0 + (i % 4) as f64).collect();
         let par = ParallelSpmv::from_csr(&csr, threads, &csr_unit_weights(&csr), 1, Csr::clone);
-        prop_assert_eq!(par.spmv(&x), csr.spmv(&x));
-    }
+        assert_eq!(par.spmv(&x), csr.spmv(&x));
+    });
+}
 
-    #[test]
-    fn parallel_bcsr_equals_sequential(
-        (n, m, entries) in matrix_strategy(),
-        threads in 1usize..5,
-        shape_idx in 0usize..19,
-    ) {
+#[test]
+fn parallel_bcsr_equals_sequential() {
+    prop::run("parallel_bcsr_equals_sequential", 48, |rng, size| {
+        let (n, m, entries) = gen_matrix(rng, size);
+        let threads = rng.usize_in(1, 5);
+        let space = BlockShape::search_space();
+        let shape = space[rng.index(space.len())];
         let csr = Csr::from_coo(&Coo::from_triplets(n, m, entries).unwrap());
-        let shape = BlockShape::search_space()[shape_idx];
         let x: Vec<f64> = (0..m).map(|i| 1.0 + (i % 4) as f64).collect();
         let want = csr.spmv(&x);
         let par = ParallelSpmv::from_csr(
@@ -91,54 +99,52 @@ proptest! {
         );
         let got = par.spmv(&x);
         for (a, g) in want.iter().zip(&got) {
-            prop_assert!((a - g).abs() < 1e-9);
+            assert!((a - g).abs() < 1e-9);
         }
         // Strips must respect block-row alignment.
         for rows in par.strip_rows() {
-            prop_assert_eq!(rows.start % shape.rows(), 0);
+            assert_eq!(rows.start % shape.rows(), 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn parallel_bcsd_equals_sequential(
-        (n, m, entries) in matrix_strategy(),
-        threads in 1usize..5,
-        b in 2usize..9,
-    ) {
+#[test]
+fn parallel_bcsd_equals_sequential() {
+    prop::run("parallel_bcsd_equals_sequential", 48, |rng, size| {
+        let (n, m, entries) = gen_matrix(rng, size);
+        let threads = rng.usize_in(1, 5);
+        let b = rng.usize_in(2, 9);
         let csr = Csr::from_coo(&Coo::from_triplets(n, m, entries).unwrap());
         let x: Vec<f64> = (0..m).map(|i| 1.0 + (i % 4) as f64).collect();
         let want = csr.spmv(&x);
-        let par = ParallelSpmv::from_csr(
-            &csr,
-            threads,
-            &bcsd_unit_weights(&csr, b),
-            b,
-            |s| Bcsd::from_csr(s, b, KernelImpl::Simd),
-        );
+        let par = ParallelSpmv::from_csr(&csr, threads, &bcsd_unit_weights(&csr, b), b, |s| {
+            Bcsd::from_csr(s, b, KernelImpl::Simd)
+        });
         let got = par.spmv(&x);
         for (a, g) in want.iter().zip(&got) {
-            prop_assert!((a - g).abs() < 1e-9);
+            assert!((a - g).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn padded_weights_dominate_nnz_weights(
-        (n, m, entries) in matrix_strategy(),
-        shape_idx in 0usize..19,
-    ) {
+#[test]
+fn padded_weights_dominate_nnz_weights() {
+    prop::run("padded_weights_dominate_nnz_weights", 48, |rng, size| {
         // Padding-aware weights are always >= the raw nonzero count of
         // the unit (§V-A accounts for "the extra zero elements").
+        let (n, m, entries) = gen_matrix(rng, size);
+        let space = BlockShape::search_space();
+        let shape = space[rng.index(space.len())];
         let csr = Csr::from_coo(&Coo::from_triplets(n, m, entries).unwrap());
-        let shape = BlockShape::search_space()[shape_idx];
         let w = bcsr_unit_weights(&csr, shape);
         let r = shape.rows();
         for (rb, &wb) in w.iter().enumerate() {
             let nnz: u64 = (rb * r..((rb + 1) * r).min(n))
                 .map(|i| csr.row_nnz(i) as u64)
                 .sum();
-            prop_assert!(wb >= nnz, "unit {}: weight {} < nnz {}", rb, wb, nnz);
+            assert!(wb >= nnz, "unit {rb}: weight {wb} < nnz {nnz}");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -179,7 +185,7 @@ fn nnz_unit_weights(csr: &Csr<f64>, unit: usize) -> Vec<u64> {
 /// `Csr::spmv` bit for bit at 1, 2, and 4 threads.
 fn assert_pool_matches_csr<F, B>(csr: &Csr<f64>, weights: &[u64], unit: usize, build: B)
 where
-    F: SpMv<f64> + Send + 'static,
+    F: SpMv<f64> + SpMvMulti<f64> + Send + 'static,
     B: Fn(&Csr<f64>) -> F,
 {
     let x: Vec<f64> = (0..csr.n_cols())

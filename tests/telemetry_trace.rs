@@ -1,0 +1,189 @@
+//! End-to-end trace validation: record real nested spans across two OS
+//! threads through the public facade, export chrome-trace JSON, parse it
+//! back with the in-repo JSON parser, and check the schema — phase tags,
+//! time ordering, span nesting, and thread ids. Plus hand-computed
+//! checks on the prediction-residual tracker that `modeleval` feeds.
+
+use blocked_spmv::telemetry::{self, json::Value};
+use std::sync::Mutex;
+
+/// Telemetry state is process-global; serialize tests and leave
+/// recording disabled on exit.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn spin_ns(ns: u64) {
+    let t0 = std::time::Instant::now();
+    while (t0.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[test]
+fn exported_chrome_trace_is_schema_valid() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+    telemetry::clear();
+
+    // Nested spans on this thread; a third span on a second thread.
+    {
+        let _outer = telemetry::span_with("trace.outer", 11);
+        spin_ns(20_000);
+        {
+            let _inner = telemetry::span_with("trace.inner", 22);
+            spin_ns(20_000);
+        }
+        spin_ns(20_000);
+    }
+    telemetry::counter("trace.count", -3);
+    telemetry::gauge("trace.gauge", 1.5);
+    telemetry::instant("trace.mark", 9);
+    std::thread::spawn(|| {
+        let _s = telemetry::span("trace.worker");
+        spin_ns(10_000);
+    })
+    .join()
+    .unwrap();
+    telemetry::set_enabled(false);
+
+    let snap = telemetry::snapshot();
+    let doc = Value::parse(&telemetry::chrome::chrome_json(&snap)).expect("exported JSON parses");
+    telemetry::clear();
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), snap.events.len());
+    assert_eq!(events.len(), 6, "outer+inner+worker spans, C, C, i");
+
+    // Every event carries the common schema; ts is ascending (snapshot
+    // order is (ts, tid)); pid is the fixed process id.
+    let mut last_ts = f64::NEG_INFINITY;
+    for e in events {
+        assert!(e.get("name").and_then(Value::as_str).is_some());
+        let ph = e.get("ph").and_then(Value::as_str).unwrap();
+        assert!(matches!(ph, "X" | "C" | "i"), "unknown phase {ph}");
+        assert_eq!(e.get("pid").and_then(Value::as_f64), Some(1.0));
+        assert!(e.get("tid").and_then(Value::as_f64).is_some());
+        let ts = e.get("ts").and_then(Value::as_f64).unwrap();
+        assert!(ts >= 0.0 && ts >= last_ts, "ts went backwards: {ts}");
+        last_ts = ts;
+        if ph == "X" {
+            assert!(e.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
+        }
+    }
+
+    let find = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("no event named {name}"))
+    };
+    let interval = |e: &Value| {
+        let ts = e.get("ts").and_then(Value::as_f64).unwrap();
+        let dur = e.get("dur").and_then(Value::as_f64).unwrap();
+        (ts, ts + dur)
+    };
+
+    // Nesting: inner strictly inside outer (0.01 us slack for the
+    // 3-decimal microsecond rendering), on the same thread.
+    let (outer, inner) = (find("trace.outer"), find("trace.inner"));
+    let (o0, o1) = interval(outer);
+    let (i0, i1) = interval(inner);
+    assert!(
+        o0 - 0.01 <= i0 && i1 <= o1 + 0.01,
+        "inner [{i0}, {i1}] escapes outer [{o0}, {o1}]"
+    );
+    let tid_of = |e: &Value| e.get("tid").and_then(Value::as_f64).unwrap();
+    assert_eq!(tid_of(outer), tid_of(inner));
+
+    // The spawned thread's span landed on a different ring/tid.
+    assert_ne!(tid_of(find("trace.worker")), tid_of(outer));
+
+    // Args carry the instrumentation payloads.
+    let arg_of = |e: &Value| {
+        e.get("args")
+            .and_then(|a| a.get("arg"))
+            .and_then(Value::as_f64)
+            .unwrap()
+    };
+    assert_eq!(arg_of(outer), 11.0);
+    assert_eq!(arg_of(inner), 22.0);
+    assert_eq!(
+        find("trace.count")
+            .get("args")
+            .and_then(|a| a.get("delta"))
+            .and_then(Value::as_f64),
+        Some(-3.0)
+    );
+    assert_eq!(
+        find("trace.gauge")
+            .get("args")
+            .and_then(|a| a.get("value"))
+            .and_then(Value::as_f64),
+        Some(1.5)
+    );
+    assert_eq!(find("trace.mark").get("ph").and_then(Value::as_str), Some("i"));
+
+    // Snapshot bookkeeping made it into otherData.
+    let other = doc.get("otherData").expect("otherData");
+    assert_eq!(other.get("dropped").and_then(Value::as_f64), Some(0.0));
+    assert!(other.get("threads").and_then(Value::as_f64).unwrap() >= 2.0);
+}
+
+#[test]
+fn residual_tracker_matches_hand_computed_stats() {
+    use blocked_spmv::telemetry::residual::{ResidualKey, ResidualTracker};
+
+    let tracker = ResidualTracker::new();
+    let key = ResidualKey {
+        format: "BCSR".to_string(),
+        shape: "2x3".to_string(),
+        kernel: "scalar".to_string(),
+        model: "MEM".to_string(),
+    };
+    // Two clean pairs: rel errors +1.0 and -0.5.
+    tracker.record(&key, 2.0, 1.0);
+    tracker.record(&key, 0.5, 1.0);
+    // Garbage pairs the tracker must ignore: non-positive or non-finite
+    // measured time, non-finite prediction.
+    tracker.record(&key, 1.0, 0.0);
+    tracker.record(&key, 1.0, -3.0);
+    tracker.record(&key, 1.0, f64::NAN);
+    tracker.record(&key, f64::INFINITY, 1.0);
+
+    let s = tracker.stats(&key).expect("stats for key");
+    assert_eq!(s.n, 2);
+    assert!((s.sum_predicted - 2.5).abs() < 1e-12);
+    assert!((s.sum_measured - 2.0).abs() < 1e-12);
+    assert!((s.mean_rel() - 0.25).abs() < 1e-12, "mean_rel {}", s.mean_rel());
+    assert!(
+        (s.mean_abs_rel() - 0.75).abs() < 1e-12,
+        "mean_abs_rel {}",
+        s.mean_abs_rel()
+    );
+    assert!((s.max_abs_rel - 1.0).abs() < 1e-12);
+    assert!((s.norm_pred() - 1.25).abs() < 1e-12, "norm_pred {}", s.norm_pred());
+
+    // A second, accurate key: 2% over-prediction.
+    let good = ResidualKey {
+        format: "CSR".to_string(),
+        shape: "-".to_string(),
+        kernel: "scalar".to_string(),
+        model: "OVERLAP".to_string(),
+    };
+    tracker.record(&good, 1.02, 1.0);
+    // len() counts recorded pairs across keys, not keys.
+    assert_eq!(tracker.len(), 3);
+
+    // Rendered table: worst mean_abs_rel first, outliers (>30%) flagged.
+    let table = tracker.render();
+    let bcsr_at = table.find("BCSR").expect("BCSR row");
+    let csr_at = table.find("OVERLAP").expect("CSR row");
+    assert!(bcsr_at < csr_at, "rows not sorted worst-first:\n{table}");
+    assert!(table.contains("MISS"), "75% mean error not flagged:\n{table}");
+
+    tracker.reset();
+    assert!(tracker.is_empty());
+    assert!(tracker.stats(&key).is_none());
+}
