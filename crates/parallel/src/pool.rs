@@ -645,11 +645,11 @@ fn worker_loop<T: Scalar, F: SpMvMulti<T>>(
             }
         }
 
-        let ts0 = if spmv_telemetry::enabled() {
-            spmv_telemetry::now_ns()
-        } else {
-            0
-        };
+        // Latch the telemetry decision for the whole strip: if recording
+        // is enabled mid-strip, `ts0` would still be the bogus epoch
+        // anchor 0, so the span must not be emitted this round.
+        let armed = spmv_telemetry::enabled();
+        let ts0 = if armed { spmv_telemetry::now_ns() } else { 0 };
         let t0 = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             // SAFETY: we are inside epoch `target`: the driver published
@@ -668,7 +668,9 @@ fn worker_loop<T: Scalar, F: SpMvMulti<T>>(
             }
         }));
         let ns = t0.elapsed().as_nanos() as u64;
-        spmv_telemetry::complete("pool.strip", ts0, ns, idx as u64);
+        if armed {
+            spmv_telemetry::complete("pool.strip", ts0, ns, idx as u64);
+        }
         match result {
             Ok(()) => me
                 .timing

@@ -8,10 +8,13 @@
 //! release store. Any thread may copy the ring out concurrently
 //! ([`snapshot_all`]): it reads the head, copies raw slot words, then
 //! re-reads the head and discards entries the producer may have
-//! overwritten in the meantime — torn events are impossible by
-//! construction, full rings overwrite their oldest entries, and nothing
-//! is ever reported twice thanks to a per-ring floor sequence advanced
-//! by [`clear_all`].
+//! overwritten in the meantime — including, conservatively, the one
+//! event exactly one ring-lap behind the re-read head, whose slot an
+//! in-flight push may be rewriting before its head bump. Torn events
+//! are thus impossible by construction, full rings overwrite their
+//! oldest entries, and nothing is ever reported twice thanks to a
+//! per-ring floor sequence advanced by [`clear_all`] (which also
+//! reclaims the rings of exited threads).
 
 use crate::{Event, EventKind, Snapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,7 +22,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// Events retained per thread ring. At 48 bytes per slot this is
 /// ~192 KiB per recording thread, allocated once at ring registration
-/// (off the hot path).
+/// (off the hot path) and held until the thread exits *and*
+/// [`clear_all`] reclaims the orphaned ring — instrumenting many
+/// short-lived threads without clearing keeps every ring alive.
 pub const RING_CAPACITY: usize = 4096;
 
 /// Words per slot: name pointer, name length, kind, timestamp, value,
@@ -84,19 +89,24 @@ impl Ring {
             }
             copied.push((seq, words));
         }
-        // Anything the producer lapped while we copied may be torn:
-        // discard it instead of decoding garbage.
+        // Anything the producer lapped while we copied may be torn, and
+        // so may the event exactly one lap behind the head: its slot is
+        // shared with seq `head_after`, whose push may be writing words
+        // right now without having bumped the head yet. Discard both
+        // instead of decoding garbage — the boundary event is dropped
+        // conservatively even when no push is in flight.
         let head_after = self.head.load(Ordering::Acquire);
-        let valid_from = head_after.saturating_sub(RING_CAPACITY as u64);
+        let valid_from = (head_after + 1).saturating_sub(RING_CAPACITY as u64);
         for (seq, words) in copied {
             if seq < valid_from {
                 dropped += 1;
                 continue;
             }
-            // SAFETY: `seq >= valid_from` means this slot was not
-            // overwritten between the two head reads, so the words are
-            // exactly what one `push` stored: a decomposed `&'static str`
-            // plus plain integers.
+            // SAFETY: `seq >= valid_from` means this slot was neither
+            // overwritten between the two head reads nor shared with an
+            // in-flight push of seq `head_after`, so the words are
+            // exactly what one completed `push` stored: a decomposed
+            // `&'static str` plus plain integers.
             let name = unsafe {
                 std::str::from_utf8_unchecked(std::slice::from_raw_parts(
                     words[0] as *const u8,
@@ -121,10 +131,17 @@ fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
     REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Dense thread ids come from a counter that survives registry pruning,
+/// so a fresh ring never reuses an id already reported in snapshots.
+fn next_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+    NEXT_TID.fetch_add(1, Ordering::Relaxed)
+}
+
 thread_local! {
     static LOCAL_RING: Arc<Ring> = {
         let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
-        let ring = Arc::new(Ring::new(reg.len() as u64));
+        let ring = Arc::new(Ring::new(next_tid()));
         reg.push(Arc::clone(&ring));
         ring
     };
@@ -154,13 +171,15 @@ pub(crate) fn snapshot_all() -> Snapshot {
     snap
 }
 
-/// Logically empties every ring by advancing its floor to its head.
+/// Logically empties every ring by advancing its floor to its head, and
+/// unregisters rings whose owning thread has exited (the registry holds
+/// their only remaining `Arc`; the owner's thread-local clone dropped at
+/// thread exit) so short-lived instrumented threads do not leak ring
+/// storage for the process lifetime.
 pub(crate) fn clear_all() {
-    let rings: Vec<Arc<Ring>> = registry()
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .clone();
-    for ring in &rings {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.retain(|ring| Arc::strong_count(ring) > 1);
+    for ring in reg.iter() {
         ring.floor
             .store(ring.head.load(Ordering::Acquire), Ordering::Release);
     }
@@ -190,10 +209,13 @@ mod tests {
         }
         let mut out = Vec::new();
         let dropped = ring.drain_into(&mut out);
-        assert_eq!(out.len(), RING_CAPACITY);
-        assert_eq!(dropped, 100);
+        // The oldest surviving slot is shared with the next push, so the
+        // drain conservatively discards it too: capacity - 1 events come
+        // back and the boundary event counts as dropped.
+        assert_eq!(out.len(), RING_CAPACITY - 1);
+        assert_eq!(dropped, 101);
         // The survivors are the newest entries, in order.
-        assert_eq!(out[0].ts_ns, 100);
+        assert_eq!(out[0].ts_ns, 101);
         assert_eq!(out.last().unwrap().ts_ns, n - 1);
         assert!(out.iter().all(|e| e.tid == 9 && e.name == "ring.test"));
     }

@@ -20,7 +20,8 @@ cd "$(dirname "$0")/.."
 if [ -z "${SPMV_CHECK_OFFLINE:-}" ]; then
     if cargo build --release --workspace \
         && cargo clippy --workspace --all-targets -- -D warnings \
-        && cargo test --workspace --quiet; then
+        && cargo test --workspace --quiet \
+        && cargo test -p spmv-telemetry --features disabled --quiet; then
         echo "check.sh: cargo build + clippy + test OK"
         exit 0
     fi
@@ -167,6 +168,11 @@ fi
 echo "== crate unit tests"
 $R --test --crate-name spmv_telemetry crates/telemetry/src/lib.rs -o "$B/t_telemetry"
 "$B/t_telemetry" -q
+# The `disabled` feature config must also pass its (feature-gated) tests,
+# not just compile -- cargo runs this config's doctests in the online path.
+$R --test --crate-name spmv_telemetry --cfg 'feature="disabled"' \
+    crates/telemetry/src/lib.rs -o "$B/t_telemetry_disabled"
+"$B/t_telemetry_disabled" -q
 $R --test --crate-name spmv_core crates/core/src/lib.rs -o "$B/t_core"
 "$B/t_core" -q
 $R --test --crate-name spmv_kernels crates/kernels/src/lib.rs \
