@@ -297,6 +297,25 @@ struct DriverState {
 /// The pool is format-erased: the strip format `F` is a construction
 /// parameter only, so heterogeneous pools can share one code path in
 /// harnesses. Dropping the pool shuts the workers down and joins them.
+///
+/// # Ownership and shutdown contract
+///
+/// Every epoch borrows the caller's `x` for its whole duration, so the
+/// pool must never outlive a call's inputs — which the borrow checker
+/// already enforces — and, conversely, a *shut-down* pool must never
+/// start an epoch: its workers are gone and the driver would spin
+/// forever on `done` counters nobody bumps. [`SpmvPool::shutdown`] makes
+/// that state explicit and checkable:
+///
+/// * `shutdown()` is idempotent; `Drop` runs the same path, so a pool
+///   owned by a long-lived structure (e.g. a serving registry holding it
+///   inside an `Arc`) is torn down correctly when the last handle drops,
+///   from whichever thread that happens on.
+/// * Any `spmv`/`spmv_multi` call after `shutdown()` panics immediately
+///   with "used after shutdown" instead of hanging.
+///
+/// See `docs/PARALLEL.md` ("Pool ownership and shutdown") for the
+/// registry-side picture.
 pub struct SpmvPool<T: Scalar> {
     shared: Arc<PoolShared<T>>,
     driver: Mutex<DriverState>,
@@ -469,10 +488,44 @@ impl<T: Scalar> SpmvPool<T> {
         Some(reports.iter().map(|r| r.median_ns as f64 * 1e-9).collect())
     }
 
+    /// Shuts the workers down and joins them. Idempotent: the first call
+    /// tears the pool down, later calls (and `Drop`, which runs the same
+    /// path) are no-ops.
+    ///
+    /// After shutdown the pool still answers metadata queries
+    /// ([`SpmvPool::strip_reports`], [`SpmvPool::iterations`], ...), but
+    /// any further [`SpMv::spmv_into`] / [`SpMvMulti::spmv_multi_into`]
+    /// call panics rather than waiting on workers that no longer exist.
+    ///
+    /// Requires `&mut self` (exclusive ownership): a pool shared behind
+    /// an `Arc` is instead shut down by dropping the last handle.
+    pub fn shutdown(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        self.shared.epoch.store(SHUTDOWN, Ordering::Release);
+        for t in &self.worker_threads {
+            t.unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether [`SpmvPool::shutdown`] has already run (a pool built with
+    /// zero strips counts as shut down — it never had workers).
+    pub fn is_shut_down(&self) -> bool {
+        self.handles.is_empty()
+    }
+
     /// Runs one epoch: publish `x` (holding `k` input vectors), wake the
     /// workers, wait for all strips, and return the guard that keeps the
     /// pool quiescent while the caller copies the output out.
     fn run_epoch(&self, x: &[T], k: usize) -> MutexGuard<'_, DriverState> {
+        assert!(
+            !self.handles.is_empty(),
+            "SpmvPool used after shutdown(): no workers are left to serve the epoch"
+        );
         // Covers publish → every strip done (not the caller's copy-out).
         let _epoch_span = spmv_telemetry::span_with("pool.epoch", k as u64);
         let mut st = self.driver.lock().unwrap_or_else(|e| e.into_inner());
@@ -594,13 +647,7 @@ impl<T: Scalar> core::fmt::Debug for SpmvPool<T> {
 
 impl<T: Scalar> Drop for SpmvPool<T> {
     fn drop(&mut self) {
-        self.shared.epoch.store(SHUTDOWN, Ordering::Release);
-        for t in &self.worker_threads {
-            t.unpark();
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -855,6 +902,62 @@ mod tests {
         let pool = SpmvPool::from_parallel(par, PinPolicy::None);
         assert_eq!(pool.nnz_stored(), par_nnz);
         assert_eq!(pool.matrix_bytes(), par_bytes);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins_workers() {
+        let csr = fixture(40, 40);
+        let x = vec![1.0; 40];
+        let mut pool = pool_for(&csr, 2);
+        let want = csr.spmv(&x);
+        assert_eq!(pool.spmv(&x), want);
+        assert!(!pool.is_shut_down());
+        pool.shutdown();
+        assert!(pool.is_shut_down());
+        pool.shutdown(); // second call is a no-op
+        // Metadata stays readable after shutdown.
+        assert_eq!(pool.iterations(), 1);
+        for report in pool.strip_reports() {
+            assert_eq!(report.iterations, 1);
+        }
+        // Drop after explicit shutdown must not hang or double-join.
+        drop(pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "used after shutdown")]
+    fn spmv_after_shutdown_panics_instead_of_hanging() {
+        let csr = fixture(20, 20);
+        let mut pool = pool_for(&csr, 2);
+        pool.shutdown();
+        let _ = pool.spmv(&vec![1.0; 20]);
+    }
+
+    #[test]
+    fn arc_owned_pool_drops_cleanly_from_another_thread() {
+        // The registry-ownership scenario: the pool lives inside an
+        // `Arc`, handles are cloned across threads, and the last drop —
+        // on whichever thread it lands — tears the workers down.
+        let csr = fixture(50, 50);
+        let x = vec![1.0; 50];
+        let want = csr.spmv(&x);
+        let pool = std::sync::Arc::new(pool_for(&csr, 2));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                let (x, want) = (x.clone(), want.clone());
+                thread::spawn(move || {
+                    for _ in 0..10 {
+                        assert_eq!(pool.spmv(&x), want);
+                    }
+                    drop(pool); // one of these drops is the last one
+                })
+            })
+            .collect();
+        drop(pool);
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,809 @@
+//! The batched request engine: the serving front door.
+//!
+//! SpMV is shared-bandwidth-bound, so the cheapest request a server can
+//! run is one it can merge with another: a `k`-vector SpMM call streams
+//! the matrix arrays once for `k` products (measured 1.41–1.90× per-
+//! vector amortization in this workspace). The engine exploits that by
+//! **coalescing**: submissions land in one bounded queue; a dedicated
+//! dispatcher thread drains it, groups requests by matrix, greedily
+//! chunks each group into the kernel-specialized widths `k ∈ {8, 4, 2,
+//! 1}`, and runs each chunk as a single [`SpMvMulti::spmv_multi`] call
+//! on the registry's prepared matrix.
+//!
+//! Everything is async-free std: submission is a mutex push + condvar
+//! notify, completion a per-request slot the caller blocks on through
+//! [`Ticket::wait`]. **Admission control** is reject-not-block: when the
+//! queue holds `capacity` requests, [`ServeEngine::submit`] returns
+//! [`ServeError::Saturated`] immediately instead of wedging the caller
+//! behind a slow dispatcher.
+//!
+//! With telemetry recording enabled the engine emits `serve.enqueue`
+//! (submit call, arg = queue depth after the push), `serve.batch` (one
+//! coalesced chunk: assemble + dispatch + complete, arg = k),
+//! `serve.dispatch` (the SpMM call alone, arg = k), and `serve.request`
+//! (one request's full submit→complete latency, arg = matrix id) spans.
+//! The engine also keeps its own latency record so
+//! [`ServeEngine::report`] can summarize p50/p95/p99 even in
+//! telemetry-disabled builds.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::registry::{MatrixId, PreparedMatrix, Registry};
+use spmv_core::{MatrixShape, SpMvMulti};
+use spmv_kernels::simd::SimdScalar;
+
+/// The chunk widths the dispatcher may emit, widest first — these are
+/// exactly the widths the SpMM kernels specialize.
+const CHUNK_WIDTHS: [usize; 4] = [8, 4, 2, 1];
+
+/// How a submission or a request can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue already holds `capacity` requests; the request
+    /// was rejected, not queued. Back off and retry.
+    Saturated {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// No matrix is published under this id.
+    UnknownMatrix(MatrixId),
+    /// The input vector length does not match the matrix column count.
+    BadLength {
+        /// Required length (`n_cols`).
+        expected: usize,
+        /// Submitted length.
+        got: usize,
+    },
+    /// The engine is shutting down (or a request was abandoned mid-
+    /// flight by a dispatcher failure).
+    ShutDown,
+    /// The dispatch kernel panicked; the request was not computed.
+    DispatchPanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Saturated { capacity } => {
+                write!(f, "request queue saturated (capacity {capacity})")
+            }
+            ServeError::UnknownMatrix(id) => write!(f, "no matrix published under {id}"),
+            ServeError::BadLength { expected, got } => {
+                write!(f, "input vector length {got} != matrix columns {expected}")
+            }
+            ServeError::ShutDown => write!(f, "engine is shut down"),
+            ServeError::DispatchPanicked => write!(f, "dispatch kernel panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Tuning knobs for a [`ServeEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Bounded queue size; submissions beyond it are rejected with
+    /// [`ServeError::Saturated`].
+    pub capacity: usize,
+    /// The coalescing window: after waking on a non-empty queue the
+    /// dispatcher sleeps this long before draining, so concurrent
+    /// requests for the same matrix can pile into one batch. It is also
+    /// the latency floor a lone request pays — keep it well under the
+    /// matrix's own SpMV time. Zero dispatches immediately.
+    pub window: Duration,
+    /// Upper bound on the chunk width `k` (clamped to 8, the widest
+    /// specialized kernel). 1 disables coalescing — every request runs
+    /// as its own dispatch, the baseline `serve_load` compares against.
+    pub max_batch: usize,
+    /// Start with dispatching paused ([`ServeEngine::resume`] starts it);
+    /// used by tests and drain-style maintenance.
+    pub start_paused: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            capacity: 1024,
+            window: Duration::from_micros(200),
+            max_batch: 8,
+            start_paused: false,
+        }
+    }
+}
+
+/// Where a request's result is delivered; the submitting side blocks on
+/// it through [`Ticket::wait`].
+struct ReplySlot<T> {
+    result: Mutex<Option<Result<Vec<T>, ServeError>>>,
+    cv: Condvar,
+}
+
+impl<T> ReplySlot<T> {
+    fn new() -> Self {
+        ReplySlot {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// First completion wins; later ones (e.g. the abandon guard racing a
+    /// real completion) are dropped.
+    fn complete(&self, r: Result<Vec<T>, ServeError>) {
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(r);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A handle to one in-flight request.
+#[must_use = "a ticket is the only way to receive the request's result"]
+pub struct Ticket<T> {
+    slot: Arc<ReplySlot<T>>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the request completes and returns its result.
+    pub fn wait(self) -> Result<Vec<T>, ServeError> {
+        let mut slot = self.slot.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.slot.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Returns the result if the request has already completed, without
+    /// blocking; the ticket stays usable otherwise.
+    pub fn try_take(&self) -> Option<Result<Vec<T>, ServeError>> {
+        self.slot
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+}
+
+impl<T> fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+/// One queued request.
+struct Pending<T: SimdScalar> {
+    id: MatrixId,
+    prepared: Arc<PreparedMatrix<T>>,
+    x: Vec<T>,
+    submitted: Instant,
+    submitted_ns: u64,
+    slot: Arc<ReplySlot<T>>,
+    completed: bool,
+}
+
+impl<T: SimdScalar> Pending<T> {
+    fn complete(&mut self, stats: &Mutex<Stats>, r: Result<Vec<T>, ServeError>) {
+        let latency = self.submitted.elapsed().as_nanos() as u64;
+        spmv_telemetry::complete("serve.request", self.submitted_ns, latency, self.id.0);
+        // Account *before* waking the waiter, so a report taken right
+        // after `Ticket::wait` returns already counts this request.
+        {
+            let mut s = stats.lock().unwrap_or_else(|e| e.into_inner());
+            if r.is_ok() {
+                s.completed += 1;
+                s.latencies_ns.push(latency);
+            } else {
+                s.failed += 1;
+            }
+        }
+        self.slot.complete(r);
+        self.completed = true;
+    }
+}
+
+impl<T: SimdScalar> Drop for Pending<T> {
+    fn drop(&mut self) {
+        // Abandon guard: a request dropped before completion (dispatcher
+        // panic, shutdown race) must not leave its waiter blocked
+        // forever.
+        if !self.completed {
+            self.slot.complete(Err(ServeError::ShutDown));
+        }
+    }
+}
+
+/// Counters the engine keeps regardless of telemetry state.
+#[derive(Debug, Clone, Default)]
+struct Stats {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    batches: u64,
+    /// Dispatches by chunk width, indexed by `log2(k)` for k in
+    /// {1, 2, 4, 8}.
+    by_width: [u64; 4],
+    latencies_ns: Vec<u64>,
+}
+
+/// Latency percentiles over completed requests, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of completed requests summarized.
+    pub count: u64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Slowest request.
+    pub max_ns: u64,
+}
+
+/// A point-in-time copy of the engine's counters.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests completed with an error.
+    pub failed: u64,
+    /// Coalesced chunks dispatched.
+    pub batches: u64,
+    /// Dispatch counts per chunk width `k` = 1, 2, 4, 8.
+    pub dispatches_by_k: [(usize, u64); 4],
+    /// Latency percentiles, when any request has completed.
+    pub latency: Option<LatencySummary>,
+}
+
+impl EngineReport {
+    /// Mean requests per dispatched batch — the realized coalescing
+    /// factor (1.0 means no coalescing happened).
+    pub fn mean_batch_width(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.batches as f64
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sample (copied + sorted).
+fn percentiles(samples: &[u64]) -> Option<LatencySummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let rank = |p: f64| {
+        let idx = ((p / 100.0) * v.len() as f64).ceil() as usize;
+        v[idx.clamp(1, v.len()) - 1]
+    };
+    Some(LatencySummary {
+        count: v.len() as u64,
+        p50_ns: rank(50.0),
+        p95_ns: rank(95.0),
+        p99_ns: rank(99.0),
+        max_ns: *v.last().unwrap(),
+    })
+}
+
+struct EngineShared<T: SimdScalar> {
+    queue: Mutex<VecDeque<Pending<T>>>,
+    /// Wakes the dispatcher on submit / resume / shutdown.
+    cv: Condvar,
+    paused: AtomicBool,
+    shutdown: AtomicBool,
+    stats: Mutex<Stats>,
+}
+
+/// The serving front door: accepts `y = A·x` submissions against a
+/// shared [`Registry`] and dispatches them coalesced.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use spmv_core::{Coo, Csr, SpMv};
+/// use spmv_model::Config;
+/// use spmv_serve::{EngineOptions, MatrixId, PreparedMatrix, Registry, ServeEngine};
+///
+/// let csr = Csr::from_coo(&Coo::from_triplets(3, 3, vec![
+///     (0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0),
+/// ]).unwrap());
+/// let registry = Arc::new(Registry::new());
+/// registry.publish(MatrixId(1), PreparedMatrix::from_config(Config::CSR, &csr));
+///
+/// let engine = ServeEngine::new(Arc::clone(&registry), EngineOptions::default());
+/// let ticket = engine.submit(MatrixId(1), vec![1.0, 1.0, 1.0]).unwrap();
+/// assert_eq!(ticket.wait().unwrap(), csr.spmv(&[1.0, 1.0, 1.0]));
+///
+/// // Convenience form for synchronous callers:
+/// let y = engine.submit_wait(MatrixId(1), vec![2.0, 0.0, 0.0]).unwrap();
+/// assert_eq!(y, vec![2.0, 0.0, 0.0]);
+/// ```
+pub struct ServeEngine<T: SimdScalar> {
+    registry: Arc<Registry<T>>,
+    shared: Arc<EngineShared<T>>,
+    capacity: usize,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<T: SimdScalar> ServeEngine<T> {
+    /// Starts an engine (and its dispatcher thread) over `registry`.
+    pub fn new(registry: Arc<Registry<T>>, opts: EngineOptions) -> Self {
+        let shared = Arc::new(EngineShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            paused: AtomicBool::new(opts.start_paused),
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(Stats::default()),
+        });
+        let dispatcher = Arc::clone(&shared);
+        let window = opts.window;
+        let max_batch = opts.max_batch.clamp(1, *CHUNK_WIDTHS.first().unwrap());
+        let handle = std::thread::Builder::new()
+            .name("spmv-serve-dispatch".into())
+            .spawn(move || dispatcher_loop(dispatcher, window, max_batch))
+            .expect("spawn serve dispatcher");
+        ServeEngine {
+            registry,
+            shared,
+            capacity: opts.capacity.max(1),
+            handle: Some(handle),
+        }
+    }
+
+    /// The registry this engine serves from.
+    pub fn registry(&self) -> &Arc<Registry<T>> {
+        &self.registry
+    }
+
+    /// Submits `y = A·x` for the matrix published under `id`.
+    ///
+    /// Validates the id and vector length against the registry **now**
+    /// (so errors surface at the submission site), captures the current
+    /// prepared matrix, and enqueues. Returns the [`Ticket`] to wait on,
+    /// or an error without queuing anything.
+    pub fn submit(&self, id: MatrixId, x: Vec<T>) -> Result<Ticket<T>, ServeError> {
+        let mut span = spmv_telemetry::span("serve.enqueue");
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShutDown);
+        }
+        let prepared = self.registry.get(id).ok_or(ServeError::UnknownMatrix(id))?;
+        if x.len() != prepared.n_cols() {
+            return Err(ServeError::BadLength {
+                expected: prepared.n_cols(),
+                got: x.len(),
+            });
+        }
+        let slot = Arc::new(ReplySlot::new());
+        let pending = Pending {
+            id,
+            prepared,
+            x,
+            submitted: Instant::now(),
+            submitted_ns: spmv_telemetry::now_ns(),
+            slot: Arc::clone(&slot),
+            completed: false,
+        };
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= self.capacity {
+                drop(q);
+                let mut s = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                s.rejected += 1;
+                return Err(ServeError::Saturated {
+                    capacity: self.capacity,
+                });
+            }
+            q.push_back(pending);
+            span.set_arg(q.len() as u64);
+        }
+        self.shared.cv.notify_all();
+        let mut s = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        s.submitted += 1;
+        Ok(Ticket { slot })
+    }
+
+    /// [`ServeEngine::submit`] + [`Ticket::wait`] in one call.
+    pub fn submit_wait(&self, id: MatrixId, x: Vec<T>) -> Result<Vec<T>, ServeError> {
+        self.submit(id, x)?.wait()
+    }
+
+    /// Requests currently queued (excludes in-flight dispatches).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Pauses dispatching; queued and newly submitted requests wait (or
+    /// are rejected once the queue fills — admission control still
+    /// applies).
+    pub fn pause(&self) {
+        self.shared.paused.store(true, Ordering::Release);
+    }
+
+    /// Resumes dispatching after [`ServeEngine::pause`].
+    pub fn resume(&self) {
+        self.shared.paused.store(false, Ordering::Release);
+        self.shared.cv.notify_all();
+    }
+
+    /// A point-in-time copy of the engine's counters and latency
+    /// percentiles.
+    pub fn report(&self) -> EngineReport {
+        let s = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        EngineReport {
+            submitted: s.submitted,
+            rejected: s.rejected,
+            completed: s.completed,
+            failed: s.failed,
+            batches: s.batches,
+            dispatches_by_k: [
+                (1, s.by_width[0]),
+                (2, s.by_width[1]),
+                (4, s.by_width[2]),
+                (8, s.by_width[3]),
+            ],
+            latency: percentiles(&s.latencies_ns),
+        }
+    }
+
+    /// Stops accepting submissions, lets the dispatcher drain everything
+    /// already queued (pausing cannot hold the drain back), and joins it.
+    /// Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T: SimdScalar> Drop for ServeEngine<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<T: SimdScalar> fmt::Debug for ServeEngine<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("capacity", &self.capacity)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+/// The dispatcher: wake on work, give the coalescing window a chance to
+/// fill, drain, batch, dispatch, repeat until shut down and drained.
+fn dispatcher_loop<T: SimdScalar>(
+    shared: Arc<EngineShared<T>>,
+    window: Duration,
+    max_batch: usize,
+) {
+    loop {
+        // Phase 1: wait for work (or shutdown).
+        {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                let down = shared.shutdown.load(Ordering::Acquire);
+                if down && q.is_empty() {
+                    return;
+                }
+                // Shutdown overrides pause: queued work must drain.
+                if !q.is_empty() && (down || !shared.paused.load(Ordering::Acquire)) {
+                    break;
+                }
+                let (g, _) = shared
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(1))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = g;
+            }
+        }
+
+        // Phase 2: the coalescing window — let concurrent submitters for
+        // the same matrix land in this round's drain.
+        if !window.is_zero() && !shared.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(window);
+        }
+
+        // Phase 3: drain and dispatch.
+        let drained: Vec<Pending<T>> = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.drain(..).collect()
+        };
+        dispatch_round(&shared, drained, max_batch);
+    }
+}
+
+/// Groups one drained round by (matrix id, prepared-matrix identity) in
+/// arrival order and dispatches each group in greedy `{8,4,2,1}` chunks.
+///
+/// Grouping by the `Arc` pointer as well as the id keeps a batch on one
+/// matrix *version*: if a publish landed mid-round, requests that
+/// captured the old and the new version go into separate chunks instead
+/// of sharing one SpMM call.
+fn dispatch_round<T: SimdScalar>(
+    shared: &EngineShared<T>,
+    drained: Vec<Pending<T>>,
+    max_batch: usize,
+) {
+    let mut groups: Vec<Vec<Pending<T>>> = Vec::new();
+    let mut index: Vec<(u64, *const PreparedMatrix<T>, usize)> = Vec::new();
+    for p in drained {
+        let key = (p.id.0, Arc::as_ptr(&p.prepared));
+        match index.iter().find(|&&(id, ptr, _)| (id, ptr) == key) {
+            Some(&(_, _, g)) => groups[g].push(p),
+            None => {
+                index.push((key.0, key.1, groups.len()));
+                groups.push(vec![p]);
+            }
+        }
+    }
+    for group in groups {
+        dispatch_group(shared, group, max_batch);
+    }
+}
+
+fn dispatch_group<T: SimdScalar>(
+    shared: &EngineShared<T>,
+    mut group: Vec<Pending<T>>,
+    max_batch: usize,
+) {
+    while !group.is_empty() {
+        let k = CHUNK_WIDTHS
+            .iter()
+            .copied()
+            .find(|&k| k <= max_batch && k <= group.len())
+            .expect("CHUNK_WIDTHS contains 1");
+        let mut chunk: Vec<Pending<T>> = group.drain(..k).collect();
+        let _batch_span = spmv_telemetry::span_with("serve.batch", k as u64);
+        let prepared = Arc::clone(&chunk[0].prepared);
+        let (m, n) = (prepared.n_cols(), prepared.n_rows());
+        let mut x_cat = Vec::with_capacity(m * k);
+        for p in &chunk {
+            x_cat.extend_from_slice(&p.x);
+        }
+        let y = {
+            let _dispatch_span = spmv_telemetry::span_with("serve.dispatch", k as u64);
+            catch_unwind(AssertUnwindSafe(|| prepared.spmv_multi(&x_cat, k)))
+        };
+        match y {
+            Ok(y) => {
+                // Count the batch before waking any waiter (same ordering
+                // rule as `Pending::complete`).
+                {
+                    let mut s = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    s.batches += 1;
+                    s.by_width[k.trailing_zeros() as usize] += 1;
+                }
+                for (t, p) in chunk.iter_mut().enumerate() {
+                    p.complete(&shared.stats, Ok(y[t * n..(t + 1) * n].to_vec()));
+                }
+            }
+            Err(_) => {
+                for p in chunk.iter_mut() {
+                    p.complete(&shared.stats, Err(ServeError::DispatchPanicked));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::{Coo, Csr, SpMv};
+    use spmv_model::Config;
+
+    fn fixture(n: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        let mut state = 0xBADC0DEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            for _ in 0..2 {
+                let _ = coo.push(i, (next() as usize) % n, 1.0 + (next() % 3) as f64);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    fn setup(n: usize, opts: EngineOptions) -> (Csr<f64>, Arc<Registry<f64>>, ServeEngine<f64>) {
+        let csr = fixture(n);
+        let registry = Arc::new(Registry::new());
+        registry.publish(MatrixId(1), PreparedMatrix::from_config(Config::CSR, &csr));
+        let engine = ServeEngine::new(Arc::clone(&registry), opts);
+        (csr, registry, engine)
+    }
+
+    #[test]
+    fn single_request_roundtrip() {
+        let (csr, _r, engine) = setup(17, EngineOptions::default());
+        let x: Vec<f64> = (0..17).map(|i| 1.0 + i as f64).collect();
+        assert_eq!(engine.submit_wait(MatrixId(1), x.clone()).unwrap(), csr.spmv(&x));
+        let rep = engine.report();
+        assert_eq!(rep.completed, 1);
+        assert!(rep.latency.unwrap().p50_ns > 0);
+    }
+
+    #[test]
+    fn unknown_matrix_and_bad_length_reject_at_submit() {
+        let (_csr, _r, engine) = setup(5, EngineOptions::default());
+        assert_eq!(
+            engine.submit(MatrixId(9), vec![1.0; 5]).unwrap_err(),
+            ServeError::UnknownMatrix(MatrixId(9))
+        );
+        assert_eq!(
+            engine.submit(MatrixId(1), vec![1.0; 4]).unwrap_err(),
+            ServeError::BadLength { expected: 5, got: 4 }
+        );
+        let rep = engine.report();
+        assert_eq!(rep.submitted, 0);
+    }
+
+    #[test]
+    fn greedy_chunking_covers_seven_requests_as_4_2_1() {
+        let (csr, _r, engine) = setup(
+            23,
+            EngineOptions {
+                start_paused: true,
+                window: Duration::ZERO,
+                ..EngineOptions::default()
+            },
+        );
+        let xs: Vec<Vec<f64>> = (0..7)
+            .map(|t| (0..23).map(|i| (i + t) as f64).collect())
+            .collect();
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| engine.submit(MatrixId(1), x.clone()).unwrap())
+            .collect();
+        engine.resume();
+        for (x, t) in xs.iter().zip(tickets) {
+            assert_eq!(t.wait().unwrap(), csr.spmv(x));
+        }
+        let rep = engine.report();
+        assert_eq!(rep.completed, 7);
+        assert_eq!(rep.batches, 3);
+        assert_eq!(rep.dispatches_by_k, [(1, 1), (2, 1), (4, 1), (8, 0)]);
+        assert!((rep.mean_batch_width() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_batch_one_disables_coalescing() {
+        let (csr, _r, engine) = setup(
+            11,
+            EngineOptions {
+                start_paused: true,
+                window: Duration::ZERO,
+                max_batch: 1,
+                ..EngineOptions::default()
+            },
+        );
+        let x = vec![1.0; 11];
+        let tickets: Vec<_> = (0..5)
+            .map(|_| engine.submit(MatrixId(1), x.clone()).unwrap())
+            .collect();
+        engine.resume();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap(), csr.spmv(&x));
+        }
+        let rep = engine.report();
+        assert_eq!(rep.batches, 5);
+        assert_eq!(rep.dispatches_by_k, [(1, 5), (2, 0), (4, 0), (8, 0)]);
+    }
+
+    #[test]
+    fn saturated_queue_rejects_immediately() {
+        let (_csr, _r, engine) = setup(
+            9,
+            EngineOptions {
+                capacity: 3,
+                start_paused: true,
+                window: Duration::ZERO,
+                ..EngineOptions::default()
+            },
+        );
+        let x = vec![1.0; 9];
+        let mut tickets = Vec::new();
+        for _ in 0..3 {
+            tickets.push(engine.submit(MatrixId(1), x.clone()).unwrap());
+        }
+        let t0 = Instant::now();
+        assert_eq!(
+            engine.submit(MatrixId(1), x.clone()).unwrap_err(),
+            ServeError::Saturated { capacity: 3 }
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "rejection must not block"
+        );
+        engine.resume();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        assert_eq!(engine.report().rejected, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests_then_rejects() {
+        let (csr, _r, mut engine) = setup(
+            13,
+            EngineOptions {
+                start_paused: true,
+                window: Duration::ZERO,
+                ..EngineOptions::default()
+            },
+        );
+        let x = vec![2.0; 13];
+        let tickets: Vec<_> = (0..4)
+            .map(|_| engine.submit(MatrixId(1), x.clone()).unwrap())
+            .collect();
+        // Shutdown must drain even though the engine is paused.
+        engine.shutdown();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap(), csr.spmv(&x));
+        }
+        assert_eq!(
+            engine.submit(MatrixId(1), x).unwrap_err(),
+            ServeError::ShutDown
+        );
+    }
+
+    #[test]
+    fn try_take_is_nonblocking() {
+        let (_csr, _r, engine) = setup(
+            7,
+            EngineOptions {
+                start_paused: true,
+                window: Duration::ZERO,
+                ..EngineOptions::default()
+            },
+        );
+        let t = engine.submit(MatrixId(1), vec![1.0; 7]).unwrap();
+        assert!(t.try_take().is_none());
+        engine.resume();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(r) = t.try_take() {
+                assert!(r.is_ok());
+                break;
+            }
+            assert!(Instant::now() < deadline, "request never completed");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn percentile_ranks_are_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = percentiles(&samples).unwrap();
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(percentiles(&[]), None);
+        let one = percentiles(&[7]).unwrap();
+        assert_eq!((one.p50_ns, one.p99_ns, one.max_ns), (7, 7, 7));
+    }
+}

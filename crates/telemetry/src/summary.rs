@@ -113,6 +113,35 @@ pub fn aggregate(snap: &Snapshot) -> BTreeMap<&'static str, NameStats> {
     out
 }
 
+/// Duration percentiles (nearest-rank) over every span named `name` in
+/// the snapshot: one entry per requested percentile (0 < p ≤ 100), or
+/// `None` when no such span was recorded.
+///
+/// This is what the serving layer's latency tables are built from —
+/// `serve.request` spans carry one request's submit→complete latency, so
+/// `span_percentiles(&snap, "serve.request", &[50.0, 95.0, 99.0])` is
+/// the per-request p50/p95/p99.
+pub fn span_percentiles(snap: &Snapshot, name: &str, pcts: &[f64]) -> Option<Vec<u64>> {
+    let mut durs: Vec<u64> = snap
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Span && e.name == name)
+        .map(|e| e.value)
+        .collect();
+    if durs.is_empty() {
+        return None;
+    }
+    durs.sort_unstable();
+    Some(
+        pcts.iter()
+            .map(|&p| {
+                let idx = ((p / 100.0) * durs.len() as f64).ceil() as usize;
+                durs[idx.clamp(1, durs.len()) - 1]
+            })
+            .collect(),
+    )
+}
+
 fn ns(v: u64) -> String {
     if v >= 10_000_000 {
         format!("{:.2} ms", v as f64 / 1e6)
@@ -226,5 +255,25 @@ mod tests {
     fn render_handles_empty_snapshot() {
         let text = render(&Snapshot::default());
         assert!(text.contains("0 events"));
+    }
+
+    #[test]
+    fn span_percentiles_are_nearest_rank() {
+        let events: Vec<Event> = (1..=100)
+            .map(|v| ev("lat", EventKind::Span, v))
+            .chain([ev("other", EventKind::Span, 9999)])
+            .chain([ev("lat", EventKind::Counter, 5)]) // ignored: not a span
+            .collect();
+        let snap = Snapshot {
+            events,
+            dropped: 0,
+            threads: 1,
+        };
+        let p = span_percentiles(&snap, "lat", &[50.0, 95.0, 99.0, 100.0]).unwrap();
+        assert_eq!(p, vec![50, 95, 99, 100]);
+        assert_eq!(span_percentiles(&snap, "missing", &[50.0]), None);
+        // A single sample answers every percentile with itself.
+        let p1 = span_percentiles(&snap, "other", &[1.0, 50.0, 99.0]).unwrap();
+        assert_eq!(p1, vec![9999, 9999, 9999]);
     }
 }

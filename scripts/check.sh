@@ -21,7 +21,11 @@ if [ -z "${SPMV_CHECK_OFFLINE:-}" ]; then
     if cargo build --release --workspace \
         && cargo clippy --workspace --all-targets -- -D warnings \
         && cargo test --workspace --quiet \
-        && cargo test -p spmv-telemetry --features disabled --quiet; then
+        && cargo test -p spmv-telemetry --features disabled --quiet \
+        && cargo test -p spmv-serve --features telemetry-disabled --quiet \
+        && cargo run --release --bin serve_load -- \
+            --requests 200 --seed 7 --out target/serving-smoke.txt \
+        && test -s target/serving-smoke.txt; then
         echo "check.sh: cargo build + clippy + test OK"
         exit 0
     fi
@@ -102,6 +106,13 @@ $R --crate-type lib --crate-name spmv_model crates/model/src/lib.rs \
     --extern spmv_formats="$B/libspmv_formats.rlib" \
     --extern spmv_gen="$B/libspmv_gen.rlib" \
     --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libspmv_model.rlib"
+$R --crate-type lib --crate-name spmv_serve crates/serve/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_model="$B/libspmv_model.rlib" \
+    --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libspmv_serve.rlib"
 $R --crate-type lib --crate-name spmv_bench crates/bench/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
@@ -118,7 +129,36 @@ $R --crate-type lib --crate-name blocked_spmv src/lib.rs \
     --extern spmv_model="$B/libspmv_model.rlib" \
     --extern spmv_parallel="$B/libspmv_parallel.rlib" \
     --extern spmv_bench="$B/libspmv_bench.rlib" \
+    --extern spmv_serve="$B/libspmv_serve.rlib" \
     --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libblocked_spmv.rlib"
+
+# The serve crate's `telemetry-disabled` feature maps to the telemetry
+# crate's `disabled` feature for the whole graph (cargo would unify
+# them), so its offline twin rebuilds the telemetry-dependent chain
+# against a disabled-telemetry rlib in a separate directory.
+BD="$B/disabled"
+mkdir -p "$BD"
+RD="rustc --edition 2021 -O -L dependency=$BD -L dependency=$B"
+$RD --crate-type lib --crate-name spmv_telemetry --cfg 'feature="disabled"' \
+    crates/telemetry/src/lib.rs -o "$BD/libspmv_telemetry.rlib"
+$RD --crate-type lib --crate-name spmv_parallel crates/parallel/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/libspmv_parallel.rlib"
+$RD --crate-type lib --crate-name spmv_model crates/model/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_gen="$B/libspmv_gen.rlib" \
+    --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/libspmv_model.rlib"
+$RD --crate-type lib --crate-name spmv_serve crates/serve/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_model="$BD/libspmv_model.rlib" \
+    --extern spmv_parallel="$BD/libspmv_parallel.rlib" \
+    --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/libspmv_serve.rlib"
 
 if command -v clippy-driver > /dev/null; then
     echo "== clippy (offline: clippy-driver per crate, -D warnings)"
@@ -144,6 +184,13 @@ if command -v clippy-driver > /dev/null; then
         --extern spmv_formats="$B/libspmv_formats.rlib" \
         --extern spmv_gen="$B/libspmv_gen.rlib" \
         --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
+    $CL --crate-name spmv_serve crates/serve/src/lib.rs \
+        --extern spmv_core="$B/libspmv_core.rlib" \
+        --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+        --extern spmv_formats="$B/libspmv_formats.rlib" \
+        --extern spmv_model="$B/libspmv_model.rlib" \
+        --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+        --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
     $CL --crate-name spmv_bench crates/bench/src/lib.rs \
         --extern spmv_core="$B/libspmv_core.rlib" \
         --extern spmv_kernels="$B/libspmv_kernels.rlib" \
@@ -160,6 +207,7 @@ if command -v clippy-driver > /dev/null; then
         --extern spmv_model="$B/libspmv_model.rlib" \
         --extern spmv_parallel="$B/libspmv_parallel.rlib" \
         --extern spmv_bench="$B/libspmv_bench.rlib" \
+        --extern spmv_serve="$B/libspmv_serve.rlib" \
         --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
 else
     echo "== clippy skipped (clippy-driver not installed)"
@@ -200,6 +248,23 @@ $R --test --crate-name spmv_model crates/model/src/lib.rs \
     --extern spmv_gen="$B/libspmv_gen.rlib" \
     --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/t_model"
 "$B/t_model" -q
+$R --test --crate-name spmv_serve crates/serve/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_model="$B/libspmv_model.rlib" \
+    --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/t_serve"
+"$B/t_serve" -q
+# ... and the same tests against the disabled-telemetry chain.
+$RD --test --crate-name spmv_serve crates/serve/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_model="$BD/libspmv_model.rlib" \
+    --extern spmv_parallel="$BD/libspmv_parallel.rlib" \
+    --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/t_serve"
+"$BD/t_serve" -q
 $R --test --crate-name spmv_bench crates/bench/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
@@ -214,7 +279,7 @@ echo "== integration tests (property suites use the in-repo harness)"
 for t in differential_equivalence edge_cases kernel_shapes \
          extensions_integration paper_shapes compression_integration \
          format_equivalence kernel_properties model_pipeline \
-         parallel_equivalence telemetry_pool telemetry_trace; do
+         parallel_equivalence serving telemetry_pool telemetry_trace; do
     $R --test "tests/$t.rs" \
         --extern blocked_spmv="$B/libblocked_spmv.rlib" \
         --extern rand="$B/librand.rlib" -o "$B/t_$t"
@@ -233,5 +298,10 @@ $R examples/parallel_scaling.rs \
 $R examples/batched.rs \
     --extern blocked_spmv="$B/libblocked_spmv.rlib" -o "$B/batched"
 "$B/batched" 0.1 > /dev/null
+$R src/bin/serve_load.rs \
+    --extern blocked_spmv="$B/libblocked_spmv.rlib" -o "$B/serve_load"
+"$B/serve_load" --requests 200 --seed 7 --out "$B/serving-smoke.txt" > /dev/null
+test -s "$B/serving-smoke.txt" || {
+    echo "check.sh: serve_load smoke produced no output" >&2; exit 1; }
 
 echo "check.sh: offline fallback OK"

@@ -24,7 +24,11 @@
 //!   the table/figure regeneration harness;
 //! * [`telemetry`] — spans / counters / gauges over per-thread
 //!   lock-free rings, chrome-trace + flat-text exporters, and the
-//!   prediction-residual tracker (see `docs/OBSERVABILITY.md`).
+//!   prediction-residual tracker (see `docs/OBSERVABILITY.md`);
+//! * [`serve`] — SpMV-as-a-service: the sharded prepared-matrix
+//!   registry and the batched request engine coalescing `y = A·x`
+//!   traffic into multi-vector dispatches (see `docs/SERVING.md` and
+//!   the `serve_load` load generator).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -35,6 +39,7 @@ pub use spmv_gen as gen;
 pub use spmv_kernels as kernels;
 pub use spmv_model as model;
 pub use spmv_parallel as parallel;
+pub use spmv_serve as serve;
 pub use spmv_telemetry as telemetry;
 
 pub use spmv_core::{
