@@ -63,8 +63,9 @@ pub use machine::{stream_triad_bandwidth, MachineProfile};
 pub use models::Model;
 pub use multicore::{predict_threaded, predicted_saturation_point};
 pub use persist::{load_profile, read_profile, save_profile, write_profile};
-pub use profile::{profile_kernels, BlockTimes, KernelProfile, ProfileOptions};
+pub use profile::{profile_kernels, profile_keys, BlockTimes, KernelProfile, ProfileOptions};
 pub use select::{
-    candidate_configs, candidate_configs_extended, rank, rank_multi, select, select_extended,
-    select_multi, select_multi_extended, Candidate, MultiCandidate,
+    candidate_configs, candidate_configs_extended, rank, rank_extended_measured, rank_multi,
+    select, select_extended, select_extended_measured, select_multi, select_multi_extended,
+    select_multi_extended_measured, Candidate, MeasuredOverrides, MultiCandidate,
 };

@@ -146,6 +146,104 @@ fn profiling_matrix<T: Scalar>(target_bytes: usize) -> Csr<T> {
     Csr::from_dense(&DenseMatrix::<T>::profiling(n, n))
 }
 
+/// Re-measures only `keys` — the bounded re-profile an online tuner runs
+/// when residuals implicate specific kernels, instead of the full
+/// 55-kernel sweep of [`profile_kernels`].
+///
+/// Each requested key gets the same two measurements the full profiler
+/// takes (`t_b` on an L1-resident dense matrix, `nof` on an out-of-cache
+/// one); duplicate keys are measured once. Cost scales with
+/// `keys.len()`, not the search-space size.
+pub fn profile_keys<T: SimdScalar>(
+    machine: &MachineProfile,
+    opts: &ProfileOptions,
+    keys: &[KernelKey],
+) -> Vec<(KernelKey, BlockTimes)> {
+    let _span = spmv_telemetry::span_with("model.profile.keys", keys.len() as u64);
+    let mut todo: Vec<KernelKey> = keys.to_vec();
+    todo.sort_unstable_by_key(|k| format!("{k}"));
+    todo.dedup();
+    if todo.is_empty() {
+        return Vec::new();
+    }
+    let small_bytes = if opts.small_bytes == 0 {
+        machine.l1_bytes / 2
+    } else {
+        opts.small_bytes
+    };
+    let large_bytes = if opts.large_bytes == 0 {
+        (machine.llc_bytes * 2).min(64 << 20)
+    } else {
+        opts.large_bytes
+    };
+    let small = profiling_matrix::<T>(small_bytes);
+    let large = profiling_matrix::<T>(large_bytes);
+    let x_small: Vec<T> = (0..spmv_core::MatrixShape::n_cols(&small))
+        .map(|i| T::from_f64(1.0 + (i % 3) as f64))
+        .collect();
+    let x_large: Vec<T> = (0..spmv_core::MatrixShape::n_cols(&large))
+        .map(|i| T::from_f64(1.0 + (i % 3) as f64))
+        .collect();
+    let nof_of = |t_real: f64, ws_bytes: usize, nb: usize, t_b: f64| -> f64 {
+        let t_mem = ws_bytes as f64 / machine.bandwidth;
+        if nb == 0 || t_b <= 0.0 {
+            return 1.0;
+        }
+        ((t_real - t_mem) / (nb as f64 * t_b)).clamp(0.0, 1.0)
+    };
+    let mut out = Vec::with_capacity(todo.len());
+    for key in todo {
+        let times = match key {
+            KernelKey::Csr => {
+                let t_small = measure_spmv(&small, &x_small, opts.min_time, opts.batches);
+                let t_b = t_small / small.nnz().max(1) as f64;
+                let t_large = measure_spmv(&large, &x_large, opts.min_time, opts.batches);
+                let nof = nof_of(t_large, large.working_set_bytes(), large.nnz(), t_b);
+                BlockTimes { t_b, nof }
+            }
+            KernelKey::CsrDelta { imp } => {
+                let small_d = CsrDelta::from_csr(&small, imp);
+                let large_d = CsrDelta::from_csr(&large, imp);
+                let t_small = measure_spmv(&small_d, &x_small, opts.min_time, opts.batches);
+                let t_b = t_small / small_d.nnz().max(1) as f64;
+                let t_large = measure_spmv(&large_d, &x_large, opts.min_time, opts.batches);
+                let nof = nof_of(t_large, large_d.working_set_bytes(), large_d.nnz(), t_b);
+                BlockTimes { t_b, nof }
+            }
+            KernelKey::Bcsr { shape, imp } => {
+                let small_b = Bcsr::from_csr(&small, shape, imp);
+                let large_b = Bcsr::from_csr(&large, shape, imp);
+                let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+                let t_b = t_small / small_b.n_blocks().max(1) as f64;
+                let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+                let nof = nof_of(
+                    t_large,
+                    large_b.working_set_bytes(),
+                    large_b.n_blocks(),
+                    t_b,
+                );
+                BlockTimes { t_b, nof }
+            }
+            KernelKey::Bcsd { b, imp } => {
+                let small_b = Bcsd::from_csr(&small, b as usize, imp);
+                let large_b = Bcsd::from_csr(&large, b as usize, imp);
+                let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+                let t_b = t_small / small_b.n_blocks().max(1) as f64;
+                let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+                let nof = nof_of(
+                    t_large,
+                    large_b.working_set_bytes(),
+                    large_b.n_blocks(),
+                    t_b,
+                );
+                BlockTimes { t_b, nof }
+            }
+        };
+        out.push((key, times));
+    }
+    out
+}
+
 /// Measures `t_b` (L1-resident dense) and `nof` (out-of-cache dense) for
 /// every kernel in the search space, both implementations, plus the CSR
 /// baseline kernel.
@@ -331,6 +429,40 @@ mod tests {
         }
         let (t1, t8) = last;
         panic!("t_b(1x8)={t8} should exceed t_b(1x2)={t1}");
+    }
+
+    #[test]
+    fn profile_keys_measures_exactly_the_requested_keys() {
+        let machine = MachineProfile::paper_testbed();
+        let shape = BlockShape::new(2, 2).unwrap();
+        let keys = [
+            KernelKey::Csr,
+            KernelKey::Bcsr {
+                shape,
+                imp: KernelImpl::Scalar,
+            },
+            KernelKey::Bcsd {
+                b: 4,
+                imp: KernelImpl::Simd,
+            },
+            KernelKey::CsrDelta {
+                imp: KernelImpl::Scalar,
+            },
+            // Duplicate: measured once.
+            KernelKey::Csr,
+        ];
+        let measured = profile_keys::<f64>(&machine, &tiny_opts(), &keys);
+        assert_eq!(measured.len(), 4);
+        for (key, times) in &measured {
+            assert!(times.t_b > 0.0, "{key}: t_b must be positive");
+            assert!((0.0..=1.0).contains(&times.nof), "{key}: nof in [0,1]");
+        }
+        let csr_rows = measured
+            .iter()
+            .filter(|(k, _)| *k == KernelKey::Csr)
+            .count();
+        assert_eq!(csr_rows, 1);
+        assert!(profile_keys::<f64>(&machine, &tiny_opts(), &[]).is_empty());
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! different combinations … even if the predicted execution time is not
 //! very accurate" (§V-B).
 
-use crate::config::Config;
+use crate::config::{Config, KernelKey};
 use crate::machine::MachineProfile;
 use crate::models::Model;
-use crate::profile::KernelProfile;
+use crate::profile::{BlockTimes, KernelProfile};
 use spmv_core::{Csr, Scalar};
 
 /// One ranked candidate.
@@ -98,6 +98,85 @@ pub fn select_extended<T: Scalar>(
         .expect("candidate set is never empty")
 }
 
+/// Measured inputs that replace their calibration-time counterparts
+/// before a re-rank.
+///
+/// The offline pipeline ranks with a machine profile and kernel profile
+/// measured once; an online tuner re-measures exactly the quantities it
+/// suspects — the live STREAM bandwidth, the per-block times of the
+/// kernels implicated by bad residuals — and re-ranks with everything
+/// else unchanged. `MeasuredOverrides` carries those re-measurements.
+/// Applying them produces ordinary [`MachineProfile`]/[`KernelProfile`]
+/// values, so the measured entry points below are *thin wrappers* over
+/// [`rank`]/[`select_extended`]: an adaptive layer on top of them adds
+/// no selection logic of its own, which is what makes its choices
+/// property-testable against the offline selector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeasuredOverrides {
+    /// Live STREAM bandwidth, bytes/s, replacing
+    /// [`MachineProfile::bandwidth`]; `None` keeps the profiled value.
+    pub bandwidth: Option<f64>,
+    /// Re-profiled per-kernel block times, replacing the corresponding
+    /// [`KernelProfile`] entries; keys not listed keep their profiled
+    /// values.
+    pub kernels: Vec<(KernelKey, BlockTimes)>,
+}
+
+impl MeasuredOverrides {
+    /// Whether the overrides change anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.bandwidth.is_none() && self.kernels.is_empty()
+    }
+
+    /// The machine and kernel profiles with these measurements applied.
+    pub fn apply(
+        &self,
+        machine: &MachineProfile,
+        profile: &KernelProfile,
+    ) -> (MachineProfile, KernelProfile) {
+        let mut m = *machine;
+        if let Some(bw) = self.bandwidth {
+            if bw.is_finite() && bw > 0.0 {
+                m.bandwidth = bw;
+            }
+        }
+        let mut p = profile.clone();
+        for &(key, times) in &self.kernels {
+            p.set(key, times);
+        }
+        (m, p)
+    }
+}
+
+/// [`rank`] over the extended candidate set with measured overrides
+/// applied first. Ascending by predicted time, like [`rank`].
+pub fn rank_extended_measured<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    include_simd: bool,
+    overrides: &MeasuredOverrides,
+) -> Vec<Candidate> {
+    let (m, p) = overrides.apply(machine, profile);
+    let configs = candidate_configs_extended(model, include_simd);
+    rank(model, csr, &m, &p, &configs)
+}
+
+/// [`select_extended`] with measured overrides applied first: exactly
+/// the first entry of [`rank_extended_measured`].
+pub fn select_extended_measured<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    include_simd: bool,
+    overrides: &MeasuredOverrides,
+) -> Candidate {
+    let (m, p) = overrides.apply(machine, profile);
+    select_extended(model, csr, &m, &p, include_simd)
+}
+
 /// One ranked multi-vector candidate: a configuration paired with a
 /// vector count `k`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,6 +261,20 @@ pub fn select_multi_extended<T: Scalar>(
         .into_iter()
         .next()
         .expect("candidate set is never empty")
+}
+
+/// [`select_multi_extended`] with measured overrides applied first.
+pub fn select_multi_extended_measured<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    include_simd: bool,
+    ks: &[usize],
+    overrides: &MeasuredOverrides,
+) -> MultiCandidate {
+    let (m, p) = overrides.apply(machine, profile);
+    select_multi_extended(model, csr, &m, &p, include_simd, ks)
 }
 
 #[cfg(test)]
@@ -399,6 +492,74 @@ mod tests {
         for (s, m) in single.iter().zip(&multi) {
             assert_eq!(s.config, m.config);
             assert_eq!(s.predicted, m.predicted);
+        }
+    }
+
+    #[test]
+    fn measured_overrides_apply_only_what_they_carry() {
+        let m = machine();
+        let p = KernelProfile::uniform(1e-9, 0.5);
+        let none = MeasuredOverrides::default();
+        assert!(none.is_empty());
+        let (m2, p2) = none.apply(&m, &p);
+        assert_eq!(m2, m);
+        assert_eq!(p2.get(KernelKey::Csr), p.get(KernelKey::Csr));
+
+        let times = BlockTimes { t_b: 7e-9, nof: 0.9 };
+        let ovr = MeasuredOverrides {
+            bandwidth: Some(9e9),
+            kernels: vec![(KernelKey::Csr, times)],
+        };
+        assert!(!ovr.is_empty());
+        let (m3, p3) = ovr.apply(&m, &p);
+        assert_eq!(m3.bandwidth, 9e9);
+        assert_eq!(m3.l1_bytes, m.l1_bytes);
+        assert_eq!(p3.get(KernelKey::Csr), times);
+        // Keys not listed keep their profiled values.
+        let other = KernelKey::CsrDelta { imp: KernelImpl::Scalar };
+        assert_eq!(p3.get(other), p.get(other));
+        // Junk bandwidth is ignored rather than poisoning predictions.
+        let junk = MeasuredOverrides {
+            bandwidth: Some(f64::NAN),
+            kernels: vec![],
+        };
+        assert_eq!(junk.apply(&m, &p).0.bandwidth, m.bandwidth);
+    }
+
+    #[test]
+    fn measured_selection_is_plain_selection_on_overridden_inputs() {
+        // The wrapper must add nothing: its result is exactly
+        // select_extended on the post-apply profiles, candidate by
+        // candidate.
+        let csr = GenSpec::FemBlocks {
+            nodes: 40,
+            dof: 3,
+            neighbors: 5,
+        }
+        .build(2);
+        let m = machine();
+        let p = KernelProfile::uniform(1e-9, 0.5);
+        let ovr = MeasuredOverrides {
+            bandwidth: Some(1.5e9),
+            kernels: vec![(
+                KernelKey::Bcsr {
+                    shape: BlockShape::new(2, 2).unwrap(),
+                    imp: KernelImpl::Simd,
+                },
+                BlockTimes { t_b: 4e-8, nof: 1.0 },
+            )],
+        };
+        for model in Model::ALL {
+            let (m2, p2) = ovr.apply(&m, &p);
+            let direct = select_extended(model, &csr, &m2, &p2, true);
+            let wrapped = select_extended_measured(model, &csr, &m, &p, true, &ovr);
+            assert_eq!(direct, wrapped, "{model}");
+            let ranked = rank_extended_measured(model, &csr, &m, &p, true, &ovr);
+            assert_eq!(ranked[0], wrapped, "{model} rank head");
+            let multi =
+                select_multi_extended_measured(model, &csr, &m, &p, true, &[1, 4], &ovr);
+            let direct_multi = select_multi_extended(model, &csr, &m2, &p2, true, &[1, 4]);
+            assert_eq!(multi, direct_multi, "{model} multi");
         }
     }
 

@@ -44,6 +44,42 @@ impl PinPolicy {
     }
 }
 
+/// Runs `f` to completion on a freshly spawned thread pinned as the
+/// `worker`-th thread of `policy`, and returns its result.
+///
+/// This is the placement seam for maintenance measurements — e.g. an
+/// online tuner re-profiling a suspect kernel — that must observe the
+/// same core/cache environment as the pool workers they calibrate for
+/// ([`PinPolicy::core_for`] gives both the same answer), without
+/// hijacking a serving worker or inheriting the caller's (dispatcher,
+/// tuner) affinity mask. Pinning is best-effort, like the pool's: when
+/// the policy yields no core or the kernel rejects the mask, `f` simply
+/// runs unpinned.
+///
+/// A panic in `f` is propagated to the caller.
+pub fn run_pinned<R, F>(policy: &PinPolicy, worker: usize, f: F) -> R
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let core = policy.core_for(worker);
+    std::thread::scope(|s| {
+        let handle = std::thread::Builder::new()
+            .name("spmv-pinned-task".into())
+            .spawn_scoped(s, move || {
+                if let Some(core) = core {
+                    let _ = pin_current_thread(core);
+                }
+                f()
+            })
+            .expect("spawn pinned task thread");
+        match handle.join() {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    })
+}
+
 /// Number of hardware threads the host exposes (at least 1).
 pub fn available_cores() -> usize {
     std::thread::available_parallelism()
@@ -133,5 +169,22 @@ mod tests {
     #[test]
     fn absurd_core_index_is_rejected() {
         assert!(!pin_current_thread(1 << 20));
+    }
+
+    #[test]
+    fn run_pinned_returns_the_closure_result() {
+        let sum = run_pinned(&PinPolicy::Compact, 0, || (1..=10).sum::<u64>());
+        assert_eq!(sum, 55);
+        // Unpinnable policies still run the work.
+        let out = run_pinned(&PinPolicy::None, 3, || "ran");
+        assert_eq!(out, "ran");
+    }
+
+    #[test]
+    fn run_pinned_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            run_pinned(&PinPolicy::None, 0, || panic!("boom"));
+        });
+        assert!(r.is_err());
     }
 }

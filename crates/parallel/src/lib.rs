@@ -44,7 +44,7 @@ pub mod driver;
 pub mod partition;
 pub mod pool;
 
-pub use affinity::PinPolicy;
+pub use affinity::{run_pinned, PinPolicy};
 pub use driver::ParallelSpmv;
 pub use partition::{
     bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, partition_units, units_to_rows,

@@ -25,18 +25,35 @@
 //! The engine also keeps its own latency record so
 //! [`ServeEngine::report`] can summarize p50/p95/p99 even in
 //! telemetry-disabled builds.
+//!
+//! # Residual feeding
+//!
+//! Every dispatched chunk is timed. When the served matrix has a
+//! registered **expectation** ([`ServeEngine::expect`]: the publish
+//! version, a residual key, and the expected seconds per single-vector
+//! SpMV), the engine folds `(expected, measured_per_vector)` into its
+//! [`ResidualTracker`] tagged with the matrix id — the stream an online
+//! tuner drains to detect stale selections. Requests are stamped with
+//! the registry version they captured at submit, and a measurement is
+//! recorded only if that version still matches the expectation, so
+//! in-flight requests racing a hot-swap never poison the new version's
+//! residual population. [`ServeEngine::set_residual_scale`] multiplies
+//! recorded measurements (never the actual replies) — a documented
+//! fault-injection seam that lets tests and load generators simulate a
+//! machine slowdown without one.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::registry::{MatrixId, PreparedMatrix, Registry};
-use spmv_core::{MatrixShape, SpMvMulti};
+use spmv_core::{MatrixShape, SpMv, SpMvMulti};
 use spmv_kernels::simd::SimdScalar;
+use spmv_telemetry::residual::{ResidualKey, ResidualTracker};
 
 /// The chunk widths the dispatcher may emit, widest first — these are
 /// exactly the widths the SpMM kernels specialize.
@@ -178,33 +195,57 @@ impl<T> fmt::Debug for Ticket<T> {
     }
 }
 
+/// Completion accounting shared by the engine and every in-flight
+/// request: the counters plus the condvar [`ServeEngine::fence`] waits
+/// on. Each `Pending` holds its own `Arc`, so even a request abandoned
+/// by a dispatcher failure is counted (as failed) on drop — which is
+/// what makes the fence's "every request submitted before the call has
+/// completed" guarantee airtight.
+struct Accounting {
+    stats: Mutex<Stats>,
+    /// Notified on every completion/failure account.
+    done: Condvar,
+}
+
 /// One queued request.
 struct Pending<T: SimdScalar> {
     id: MatrixId,
+    /// Registry publish version of `prepared`, captured at submit.
+    version: u64,
     prepared: Arc<PreparedMatrix<T>>,
     x: Vec<T>,
     submitted: Instant,
     submitted_ns: u64,
     slot: Arc<ReplySlot<T>>,
+    accounting: Arc<Accounting>,
     completed: bool,
 }
 
 impl<T: SimdScalar> Pending<T> {
-    fn complete(&mut self, stats: &Mutex<Stats>, r: Result<Vec<T>, ServeError>) {
+    fn complete(&mut self, r: Result<Vec<T>, ServeError>) {
         let latency = self.submitted.elapsed().as_nanos() as u64;
         spmv_telemetry::complete("serve.request", self.submitted_ns, latency, self.id.0);
-        // Account *before* waking the waiter, so a report taken right
-        // after `Ticket::wait` returns already counts this request.
+        // Fill the reply slot and account under one stats critical
+        // section: a `fence` that observes the new counts can rely on
+        // the slot already holding its result, and a report taken right
+        // after `Ticket::wait` returns already counts this request
+        // (it has to wait for this stats lock).
         {
-            let mut s = stats.lock().unwrap_or_else(|e| e.into_inner());
-            if r.is_ok() {
+            let mut s = self
+                .accounting
+                .stats
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let ok = r.is_ok();
+            self.slot.complete(r);
+            if ok {
                 s.completed += 1;
                 s.latencies_ns.push(latency);
             } else {
                 s.failed += 1;
             }
         }
-        self.slot.complete(r);
+        self.accounting.done.notify_all();
         self.completed = true;
     }
 }
@@ -213,9 +254,19 @@ impl<T: SimdScalar> Drop for Pending<T> {
     fn drop(&mut self) {
         // Abandon guard: a request dropped before completion (dispatcher
         // panic, shutdown race) must not leave its waiter blocked
-        // forever.
+        // forever — and must still be accounted, so a fence never waits
+        // on a ghost.
         if !self.completed {
-            self.slot.complete(Err(ServeError::ShutDown));
+            {
+                let mut s = self
+                    .accounting
+                    .stats
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                self.slot.complete(Err(ServeError::ShutDown));
+                s.failed += 1;
+            }
+            self.accounting.done.notify_all();
         }
     }
 }
@@ -232,6 +283,20 @@ struct Stats {
     /// {1, 2, 4, 8}.
     by_width: [u64; 4],
     latencies_ns: Vec<u64>,
+    /// Start index into `latencies_ns` of the current report window
+    /// (see [`ServeEngine::begin_latency_window`]).
+    window_start: usize,
+}
+
+/// The expectation live measurements of one matrix are compared against.
+struct Expectation {
+    /// Registry publish version the expectation is for; measurements of
+    /// other versions are not recorded.
+    version: u64,
+    /// Residual population the pairs land in.
+    key: ResidualKey,
+    /// Expected seconds per single-vector SpMV.
+    predicted: f64,
 }
 
 /// Latency percentiles over completed requests, in nanoseconds.
@@ -266,6 +331,12 @@ pub struct EngineReport {
     pub dispatches_by_k: [(usize, u64); 4],
     /// Latency percentiles, when any request has completed.
     pub latency: Option<LatencySummary>,
+    /// Latency percentiles over only the completions since the last
+    /// [`ServeEngine::begin_latency_window`] call (the whole run until
+    /// the first call). `None` while the window has no completions.
+    /// This is what separates pre- from post-swap latency in an
+    /// adaptive run: `latency` would smear both regimes together.
+    pub window_latency: Option<LatencySummary>,
 }
 
 impl EngineReport {
@@ -305,7 +376,20 @@ struct EngineShared<T: SimdScalar> {
     cv: Condvar,
     paused: AtomicBool,
     shutdown: AtomicBool,
-    stats: Mutex<Stats>,
+    accounting: Arc<Accounting>,
+    /// Per-matrix residual expectations, keyed by `MatrixId.0`.
+    expectations: Mutex<HashMap<u64, Expectation>>,
+    /// Where dispatch-time residual pairs are recorded.
+    residuals: Arc<ResidualTracker>,
+    /// f64 bits of the measurement multiplier (fault-injection seam;
+    /// 1.0 = record real durations).
+    residual_scale: AtomicU64,
+}
+
+impl<T: SimdScalar> EngineShared<T> {
+    fn scale(&self) -> f64 {
+        f64::from_bits(self.residual_scale.load(Ordering::Relaxed))
+    }
 }
 
 /// The serving front door: accepts `y = A·x` submissions against a
@@ -343,12 +427,28 @@ pub struct ServeEngine<T: SimdScalar> {
 impl<T: SimdScalar> ServeEngine<T> {
     /// Starts an engine (and its dispatcher thread) over `registry`.
     pub fn new(registry: Arc<Registry<T>>, opts: EngineOptions) -> Self {
+        Self::with_residuals(registry, opts, Arc::new(ResidualTracker::new()))
+    }
+
+    /// Like [`ServeEngine::new`], recording dispatch residuals into a
+    /// caller-supplied tracker (so a background tuner can share it).
+    pub fn with_residuals(
+        registry: Arc<Registry<T>>,
+        opts: EngineOptions,
+        residuals: Arc<ResidualTracker>,
+    ) -> Self {
         let shared = Arc::new(EngineShared {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             paused: AtomicBool::new(opts.start_paused),
             shutdown: AtomicBool::new(false),
-            stats: Mutex::new(Stats::default()),
+            accounting: Arc::new(Accounting {
+                stats: Mutex::new(Stats::default()),
+                done: Condvar::new(),
+            }),
+            expectations: Mutex::new(HashMap::new()),
+            residuals,
+            residual_scale: AtomicU64::new(1.0f64.to_bits()),
         });
         let dispatcher = Arc::clone(&shared);
         let window = opts.window;
@@ -381,7 +481,10 @@ impl<T: SimdScalar> ServeEngine<T> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShutDown);
         }
-        let prepared = self.registry.get(id).ok_or(ServeError::UnknownMatrix(id))?;
+        let (version, prepared) = self
+            .registry
+            .get_versioned(id)
+            .ok_or(ServeError::UnknownMatrix(id))?;
         if x.len() != prepared.n_cols() {
             return Err(ServeError::BadLength {
                 expected: prepared.n_cols(),
@@ -391,18 +494,20 @@ impl<T: SimdScalar> ServeEngine<T> {
         let slot = Arc::new(ReplySlot::new());
         let pending = Pending {
             id,
+            version,
             prepared,
             x,
             submitted: Instant::now(),
             submitted_ns: spmv_telemetry::now_ns(),
             slot: Arc::clone(&slot),
+            accounting: Arc::clone(&self.shared.accounting),
             completed: false,
         };
         {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if q.len() >= self.capacity {
                 drop(q);
-                let mut s = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                let mut s = self.stats_lock();
                 s.rejected += 1;
                 return Err(ServeError::Saturated {
                     capacity: self.capacity,
@@ -412,9 +517,17 @@ impl<T: SimdScalar> ServeEngine<T> {
             span.set_arg(q.len() as u64);
         }
         self.shared.cv.notify_all();
-        let mut s = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let mut s = self.stats_lock();
         s.submitted += 1;
         Ok(Ticket { slot })
+    }
+
+    fn stats_lock(&self) -> std::sync::MutexGuard<'_, Stats> {
+        self.shared
+            .accounting
+            .stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     /// [`ServeEngine::submit`] + [`Ticket::wait`] in one call.
@@ -443,7 +556,7 @@ impl<T: SimdScalar> ServeEngine<T> {
     /// A point-in-time copy of the engine's counters and latency
     /// percentiles.
     pub fn report(&self) -> EngineReport {
-        let s = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let s = self.stats_lock();
         EngineReport {
             submitted: s.submitted,
             rejected: s.rejected,
@@ -457,7 +570,121 @@ impl<T: SimdScalar> ServeEngine<T> {
                 (8, s.by_width[3]),
             ],
             latency: percentiles(&s.latencies_ns),
+            window_latency: percentiles(&s.latencies_ns[s.window_start.min(s.latencies_ns.len())..]),
         }
+    }
+
+    /// Starts a new latency window at the current completion count:
+    /// [`EngineReport::window_latency`] summarizes only completions from
+    /// here on. The tuner calls this at each hot-swap so pre- and
+    /// post-swap percentiles stay separable.
+    pub fn begin_latency_window(&self) {
+        let mut s = self.stats_lock();
+        s.window_start = s.latencies_ns.len();
+    }
+
+    /// The tracker dispatch-time residual pairs are recorded into.
+    pub fn residuals(&self) -> &Arc<ResidualTracker> {
+        &self.shared.residuals
+    }
+
+    /// Registers (or replaces) the residual expectation for `id`: pairs
+    /// `(predicted, measured)` are recorded under `key` for dispatches
+    /// that captured exactly registry `version` of the matrix. Call it
+    /// right after each publish; stale versions stop recording on their
+    /// own.
+    pub fn expect(&self, id: MatrixId, version: u64, key: ResidualKey, predicted: f64) {
+        self.shared
+            .expectations
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                id.0,
+                Expectation {
+                    version,
+                    key,
+                    predicted,
+                },
+            );
+    }
+
+    /// Drops `id`'s residual expectation; its dispatches stop recording.
+    pub fn clear_expectation(&self, id: MatrixId) {
+        self.shared
+            .expectations
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id.0);
+    }
+
+    /// Multiplies every *recorded* measurement by `scale` (replies are
+    /// untouched). A fault-injection seam: `3.0` makes the residual
+    /// stream look like the machine got 3× slower, which is how the
+    /// adaptive harness injects bandwidth perturbation deterministically.
+    /// Non-finite or non-positive scales are ignored.
+    pub fn set_residual_scale(&self, scale: f64) {
+        if scale.is_finite() && scale > 0.0 {
+            self.shared
+                .residual_scale
+                .store(scale.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The current measurement multiplier (1.0 unless injected).
+    pub fn residual_scale(&self) -> f64 {
+        self.shared.scale()
+    }
+
+    /// Epoch fence: blocks until every request accepted before the call
+    /// has completed (successfully or not), and returns how many that
+    /// was. Rejected submissions were never accepted, so they don't
+    /// count. The swap protocol runs `publish → fence → retire old
+    /// expectation`: after the fence, no in-flight request can still be
+    /// executing against the pre-swap version.
+    ///
+    /// Waits on completions, so a paused engine with queued work blocks
+    /// until resumed (shutdown drains and completes everything, which
+    /// releases the fence too).
+    pub fn fence(&self) -> u64 {
+        let target = self.stats_lock().submitted;
+        let mut s = self.stats_lock();
+        while s.completed + s.failed < target {
+            let (g, _) = self
+                .shared
+                .accounting
+                .done
+                .wait_timeout(s, Duration::from_millis(1))
+                .unwrap_or_else(|e| e.into_inner());
+            s = g;
+        }
+        target
+    }
+
+    /// Measures the served matrix directly (bypassing the queue): the
+    /// fastest of `reps` single-vector calls, in seconds, multiplied by
+    /// the residual scale so it is comparable with what dispatch-time
+    /// measurements record. This is how a publisher calibrates the
+    /// expectation it passes to [`ServeEngine::expect`] — a baseline
+    /// measured on the serving host centers residuals at zero, so the
+    /// detector reacts to drift rather than to the model's constant
+    /// bias.
+    pub fn calibrate(&self, id: MatrixId, x: &[T], reps: usize) -> Result<f64, ServeError> {
+        let prepared = self.registry.get(id).ok_or(ServeError::UnknownMatrix(id))?;
+        if x.len() != prepared.n_cols() {
+            return Err(ServeError::BadLength {
+                expected: prepared.n_cols(),
+                got: x.len(),
+            });
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let y = prepared.spmv(x);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&y);
+            best = best.min(dt);
+        }
+        Ok(best * self.shared.scale())
     }
 
     /// Stops accepting submissions, lets the dispatcher drain everything
@@ -578,28 +805,69 @@ fn dispatch_group<T: SimdScalar>(
         for p in &chunk {
             x_cat.extend_from_slice(&p.x);
         }
+        let t0 = Instant::now();
         let y = {
             let _dispatch_span = spmv_telemetry::span_with("serve.dispatch", k as u64);
-            catch_unwind(AssertUnwindSafe(|| prepared.spmv_multi(&x_cat, k)))
+            // Width-1 chunks take the single-vector path: it skips the
+            // multi-kernel overhead, and its timing is directly
+            // comparable to the `calibrate` baselines the residual
+            // tracker scores dispatches against.
+            if k == 1 {
+                catch_unwind(AssertUnwindSafe(|| prepared.spmv(&x_cat)))
+            } else {
+                catch_unwind(AssertUnwindSafe(|| prepared.spmv_multi(&x_cat, k)))
+            }
         };
+        let dispatch_secs = t0.elapsed().as_secs_f64();
         match y {
             Ok(y) => {
+                record_chunk_residual(shared, &chunk[0], k, dispatch_secs);
                 // Count the batch before waking any waiter (same ordering
                 // rule as `Pending::complete`).
                 {
-                    let mut s = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    let mut s = shared
+                        .accounting
+                        .stats
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
                     s.batches += 1;
                     s.by_width[k.trailing_zeros() as usize] += 1;
                 }
                 for (t, p) in chunk.iter_mut().enumerate() {
-                    p.complete(&shared.stats, Ok(y[t * n..(t + 1) * n].to_vec()));
+                    p.complete(Ok(y[t * n..(t + 1) * n].to_vec()));
                 }
             }
             Err(_) => {
                 for p in chunk.iter_mut() {
-                    p.complete(&shared.stats, Err(ServeError::DispatchPanicked));
+                    p.complete(Err(ServeError::DispatchPanicked));
                 }
             }
+        }
+    }
+}
+
+/// Folds one successfully dispatched chunk into the residual stream:
+/// measured seconds per vector (`dispatch / k`, scaled by the injection
+/// seam) against the matrix's registered expectation — but only when the
+/// chunk's captured registry version still matches the expectation, so a
+/// hot-swap never mixes the old format's timings into the new format's
+/// population.
+fn record_chunk_residual<T: SimdScalar>(
+    shared: &EngineShared<T>,
+    head: &Pending<T>,
+    k: usize,
+    dispatch_secs: f64,
+) {
+    let exps = shared
+        .expectations
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if let Some(e) = exps.get(&head.id.0) {
+        if e.version == head.version {
+            let measured = dispatch_secs * shared.scale() / k as f64;
+            shared
+                .residuals
+                .record_for(head.id.0, &e.key, e.predicted, measured);
         }
     }
 }
@@ -805,5 +1073,113 @@ mod tests {
         assert_eq!(percentiles(&[]), None);
         let one = percentiles(&[7]).unwrap();
         assert_eq!((one.p50_ns, one.p99_ns, one.max_ns), (7, 7, 7));
+    }
+
+    #[test]
+    fn latency_window_separates_completions_at_the_boundary() {
+        let (csr, _r, engine) = setup(9, EngineOptions::default());
+        let x = vec![1.0; 9];
+        for _ in 0..4 {
+            assert_eq!(engine.submit_wait(MatrixId(1), x.clone()).unwrap(), csr.spmv(&x));
+        }
+        let before = engine.report();
+        // No window begun: the window is the whole run.
+        assert_eq!(before.window_latency, before.latency);
+        assert_eq!(before.window_latency.unwrap().count, 4);
+
+        engine.begin_latency_window();
+        // Boundary: a fresh window with zero completions summarizes
+        // nothing, while the whole-run summary is untouched.
+        let empty = engine.report();
+        assert_eq!(empty.window_latency, None);
+        assert_eq!(empty.latency.unwrap().count, 4);
+
+        for _ in 0..3 {
+            engine.submit_wait(MatrixId(1), x.clone()).unwrap();
+        }
+        let after = engine.report();
+        assert_eq!(after.latency.unwrap().count, 7);
+        assert_eq!(after.window_latency.unwrap().count, 3);
+        // Nearest-rank over the window alone: p50 of 3 samples is the
+        // 2nd smallest, p99/max the largest — all drawn from the window.
+        let w = after.window_latency.unwrap();
+        assert!(w.p50_ns <= w.p95_ns && w.p95_ns <= w.p99_ns && w.p99_ns <= w.max_ns);
+
+        // Re-beginning moves the boundary again.
+        engine.begin_latency_window();
+        assert_eq!(engine.report().window_latency, None);
+    }
+
+    #[test]
+    fn fence_returns_after_all_accepted_requests_complete() {
+        let (csr, _r, engine) = setup(
+            11,
+            EngineOptions {
+                start_paused: true,
+                window: Duration::ZERO,
+                ..EngineOptions::default()
+            },
+        );
+        let x = vec![1.0; 11];
+        // Nothing accepted yet: the fence is a no-op.
+        assert_eq!(engine.fence(), 0);
+        let tickets: Vec<_> = (0..5)
+            .map(|_| engine.submit(MatrixId(1), x.clone()).unwrap())
+            .collect();
+        engine.resume();
+        assert_eq!(engine.fence(), 5);
+        // After the fence every ticket must already hold its result.
+        for t in tickets {
+            let r = t.try_take().expect("fence guarantees completion");
+            assert_eq!(r.unwrap(), csr.spmv(&x));
+        }
+    }
+
+    #[test]
+    fn residuals_record_only_matching_versions_and_honor_the_scale() {
+        let (csr, registry, engine) = setup(13, EngineOptions::default());
+        let key = crate::registry::residual_key_for(
+            Config::CSR,
+            spmv_model::Model::Overlap,
+        );
+        let v1 = registry.version_of(MatrixId(1)).unwrap();
+        engine.expect(MatrixId(1), v1, key.clone(), 1e-6);
+        let x = vec![1.0; 13];
+        engine.submit_wait(MatrixId(1), x.clone()).unwrap();
+        let s1 = engine.residuals().stats(&key).expect("recorded");
+        assert_eq!(s1.n, 1);
+        let events = engine.residuals().drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].matrix, 1);
+        assert_eq!(events[0].predicted, 1e-6);
+        assert!(events[0].measured > 0.0);
+
+        // A republish bumps the version; the old expectation must stop
+        // recording until re-registered.
+        let v2 = registry.publish(MatrixId(1), PreparedMatrix::from_config(Config::CSR, &csr));
+        assert!(v2 > v1);
+        engine.submit_wait(MatrixId(1), x.clone()).unwrap();
+        assert_eq!(engine.residuals().stats(&key).unwrap().n, 1, "stale version not recorded");
+
+        // Re-arm for v2 with an injected 4x slowdown: the recorded
+        // measurement scales, the reply does not.
+        engine.set_residual_scale(4.0);
+        assert_eq!(engine.residual_scale(), 4.0);
+        engine.expect(MatrixId(1), v2, key.clone(), 1e-6);
+        let y = engine.submit_wait(MatrixId(1), x.clone()).unwrap();
+        assert_eq!(y, csr.spmv(&x));
+        let ev = engine.residuals().drain_events();
+        assert_eq!(ev.len(), 1);
+        // Calibration sees the same scaled clock as dispatch recording.
+        let cal = engine.calibrate(MatrixId(1), &x, 3).unwrap();
+        assert!(cal > 0.0);
+
+        // Clearing the expectation stops recording entirely.
+        engine.clear_expectation(MatrixId(1));
+        engine.submit_wait(MatrixId(1), x).unwrap();
+        assert!(engine.residuals().drain_events().is_empty());
+        // Bad scales are ignored.
+        engine.set_residual_scale(f64::NAN);
+        assert_eq!(engine.residual_scale(), 4.0);
     }
 }

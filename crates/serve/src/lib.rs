@@ -21,9 +21,18 @@
 //!   `serve.batch`, `serve.dispatch`, `serve.request`) and in the
 //!   engine's own p50/p95/p99 [`EngineReport`].
 //!
+//! The engine also feeds the adaptive loop: dispatches are timed, and
+//! matrices with a registered expectation ([`ServeEngine::expect`])
+//! stream `(predicted, measured)` pairs into a shared
+//! `telemetry::ResidualTracker` — the signal the `tune` crate's
+//! background tuner watches to detect stale selections and hot-swap
+//! re-ranked configurations through [`Registry::publish`] (protocol in
+//! `docs/ADAPTIVE.md`).
+//!
 //! `docs/SERVING.md` is the architecture tour; the `serve_load` binary
 //! replays synthetic traffic mixes against all of it and records the
-//! throughput/latency evidence in `results/serving.txt`.
+//! throughput/latency evidence in `results/serving.txt`; `serve_adapt`
+//! does the same for the adaptive loop in `results/adaptive.txt`.
 //!
 //! # Example
 //!
@@ -70,4 +79,4 @@ pub mod engine;
 pub mod registry;
 
 pub use engine::{EngineOptions, EngineReport, LatencySummary, ServeEngine, ServeError, Ticket};
-pub use registry::{MatrixId, PreparedMatrix, Registry};
+pub use registry::{residual_key_for, MatrixId, PreparedMatrix, Registry, Selection};

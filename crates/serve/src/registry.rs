@@ -30,8 +30,12 @@ use std::sync::{Arc, Mutex};
 
 use spmv_core::{Csr, MatrixShape, SpMv, SpMvMulti};
 use spmv_kernels::simd::SimdScalar;
-use spmv_model::{select_extended, BuiltFormat, Config, KernelProfile, MachineProfile, Model};
+use spmv_kernels::KernelImpl;
+use spmv_model::{
+    select_extended, BlockConfig, BuiltFormat, Config, KernelProfile, MachineProfile, Model,
+};
 use spmv_parallel::{csr_unit_weights, PinPolicy, SpmvPool};
+use spmv_telemetry::residual::ResidualKey;
 
 /// Identity of a matrix in the registry: an opaque 64-bit id chosen by
 /// the publisher (a tenant key, a content hash, a sequence number — the
@@ -42,6 +46,48 @@ pub struct MatrixId(pub u64);
 impl fmt::Display for MatrixId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "m{:016x}", self.0)
+    }
+}
+
+/// How a prepared matrix was selected: the model that ranked its
+/// configuration first and the per-SpMV time that ranking expected.
+///
+/// The expectation is what live dispatch measurements are compared
+/// against to produce prediction residuals — it may be the model's raw
+/// prediction, or a value the publisher calibrated by measuring the
+/// prepared matrix once on the serving host (which centers residuals at
+/// zero so a detector sees *drift*, not the model's constant bias).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// The model that made (or would re-make) the selection.
+    pub model: Model,
+    /// Expected seconds for one single-vector SpMV.
+    pub predicted: f64,
+}
+
+/// The canonical residual-tracker key of one (configuration, model)
+/// prediction population — the same labeling the `modeleval` harness
+/// writes, so serving-time residuals and offline evaluation rows land in
+/// comparable buckets.
+pub fn residual_key_for(config: Config, model: Model) -> ResidualKey {
+    let (format, shape) = match config.block {
+        BlockConfig::Csr => ("CSR", "-".to_string()),
+        BlockConfig::CsrDelta => ("CSR-DELTA", "-".to_string()),
+        BlockConfig::Bcsr(s) => ("BCSR", format!("{}x{}", s.r, s.c)),
+        BlockConfig::BcsrNarrow(s) => ("BCSR16", format!("{}x{}", s.r, s.c)),
+        BlockConfig::BcsrDec(s) => ("BCSR-DEC", format!("{}x{}", s.r, s.c)),
+        BlockConfig::Bcsd(b) => ("BCSD", format!("b{b}")),
+        BlockConfig::BcsdNarrow(b) => ("BCSD16", format!("b{b}")),
+        BlockConfig::BcsdDec(b) => ("BCSD-DEC", format!("b{b}")),
+    };
+    ResidualKey {
+        format: format.to_string(),
+        shape,
+        kernel: match config.imp {
+            KernelImpl::Scalar => "scalar".to_string(),
+            KernelImpl::Simd => "simd".to_string(),
+        },
+        model: model.label().to_string(),
     }
 }
 
@@ -57,6 +103,7 @@ pub struct PreparedMatrix<T: SimdScalar> {
     backend: Backend<T>,
     n_rows: usize,
     n_cols: usize,
+    selection: Option<Selection>,
 }
 
 enum Backend<T: SimdScalar> {
@@ -79,7 +126,7 @@ impl<T: SimdScalar> PreparedMatrix<T> {
         include_simd: bool,
     ) -> Self {
         let choice = select_extended(model, csr, machine, profile, include_simd);
-        Self::from_config(choice.config, csr)
+        Self::from_config(choice.config, csr).with_selection(model, choice.predicted)
     }
 
     /// Materializes an explicit configuration for `csr` (no selection).
@@ -89,7 +136,15 @@ impl<T: SimdScalar> PreparedMatrix<T> {
             n_rows: csr.n_rows(),
             n_cols: csr.n_cols(),
             backend: Backend::Direct(config.build(csr)),
+            selection: None,
         }
+    }
+
+    /// Attaches (or replaces) the selection expectation — see
+    /// [`Selection`] for what `predicted` means to the residual loop.
+    pub fn with_selection(mut self, model: Model, predicted: f64) -> Self {
+        self.selection = Some(Selection { model, predicted });
+        self
     }
 
     /// Like [`PreparedMatrix::prepare`], but hosts the selected format on
@@ -123,12 +178,54 @@ impl<T: SimdScalar> PreparedMatrix<T> {
             n_rows: csr.n_rows(),
             n_cols: csr.n_cols(),
             backend: Backend::Pooled(pool),
+            selection: Some(Selection {
+                model,
+                predicted: choice.predicted,
+            }),
+        }
+    }
+
+    /// Materializes an explicit configuration on a persistent
+    /// [`SpmvPool`] (no selection) — the hot-swap path uses this to host
+    /// a re-selected configuration on fresh workers.
+    pub fn from_config_pooled(
+        config: Config,
+        csr: &Csr<T>,
+        n_threads: usize,
+        pin: PinPolicy,
+    ) -> Self {
+        let pool = SpmvPool::from_csr(
+            csr,
+            n_threads,
+            &csr_unit_weights(csr),
+            1,
+            move |sub| config.build(sub),
+            pin,
+        );
+        PreparedMatrix {
+            config,
+            n_rows: csr.n_rows(),
+            n_cols: csr.n_cols(),
+            backend: Backend::Pooled(pool),
+            selection: None,
         }
     }
 
     /// The configuration the models selected (or the caller pinned).
     pub fn config(&self) -> Config {
         self.config
+    }
+
+    /// The selection expectation, when one was attached.
+    pub fn selection(&self) -> Option<Selection> {
+        self.selection
+    }
+
+    /// The residual-tracker key live measurements of this matrix record
+    /// under, when a selection expectation is attached.
+    pub fn residual_key(&self) -> Option<ResidualKey> {
+        self.selection
+            .map(|s| residual_key_for(self.config, s.model))
     }
 
     /// Whether dispatches run on a persistent worker pool.
@@ -495,6 +592,48 @@ mod tests {
             assert_eq!(v, 1);
             assert_eq!(p.spmv(&[1.0; 8])[0], i as f64 + 1.0);
         }
+    }
+
+    #[test]
+    fn selection_metadata_rides_along_and_keys_residuals() {
+        let csr = diag(8, 1.0);
+        let bare = PreparedMatrix::from_config(Config::CSR, &csr);
+        assert_eq!(bare.selection(), None);
+        assert_eq!(bare.residual_key(), None);
+
+        let tagged = PreparedMatrix::from_config(Config::CSR, &csr)
+            .with_selection(Model::Overlap, 1.25e-6);
+        let sel = tagged.selection().unwrap();
+        assert_eq!(sel.model, Model::Overlap);
+        assert_eq!(sel.predicted, 1.25e-6);
+        let key = tagged.residual_key().unwrap();
+        assert_eq!(
+            (key.format.as_str(), key.shape.as_str(), key.kernel.as_str()),
+            ("CSR", "-", "scalar")
+        );
+        assert_eq!(key.model, Model::Overlap.label());
+
+        // prepare() records what it selected.
+        let machine = MachineProfile::paper_testbed();
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let prepared = PreparedMatrix::prepare(&csr, Model::Mem, &machine, &profile, true);
+        let sel = prepared.selection().unwrap();
+        assert_eq!(sel.model, Model::Mem);
+        assert!(sel.predicted > 0.0);
+        assert_eq!(
+            prepared.residual_key().unwrap(),
+            residual_key_for(prepared.config(), Model::Mem)
+        );
+    }
+
+    #[test]
+    fn residual_keys_label_every_family_distinctly() {
+        use std::collections::BTreeSet;
+        let keys: BTreeSet<String> = Config::enumerate_extended(true)
+            .into_iter()
+            .map(|c| residual_key_for(c, Model::Overlap).to_string())
+            .collect();
+        assert_eq!(keys.len(), Config::enumerate_extended(true).len());
     }
 
     #[test]

@@ -8,8 +8,25 @@
 //! model) — so a misprediction shows up as a large mean relative error
 //! on its row of [`ResidualTracker::render`] instead of hiding inside a
 //! suite-wide average.
+//!
+//! # Export hook
+//!
+//! Aggregates answer "how wrong is this model on average", but an online
+//! tuner needs the *stream*: which matrix produced each pair, in what
+//! order, so a windowed detector can tell drift from noise. The tracker
+//! therefore also keeps a bounded in-order event log: [`record_for`]
+//! tags each pair with the serving-side matrix id, and a single consumer
+//! drains it with [`drain_events`]. The log is bounded
+//! ([`DEFAULT_LOG_CAPACITY`]); when the consumer falls behind, the
+//! oldest events are dropped and counted ([`events_dropped`]) rather
+//! than growing without bound — the same drop-not-block discipline as
+//! the event rings.
+//!
+//! [`record_for`]: ResidualTracker::record_for
+//! [`drain_events`]: ResidualTracker::drain_events
+//! [`events_dropped`]: ResidualTracker::events_dropped
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write;
 use std::sync::{Mutex, OnceLock};
 
@@ -86,19 +103,86 @@ impl ResidualStats {
 /// level changed selections in the paper's Figure 3 discussion.
 pub const OUTLIER_THRESHOLD: f64 = 0.30;
 
+/// Default bound on the tracker's event log: old events are dropped
+/// (and counted) past this many undrained entries.
+pub const DEFAULT_LOG_CAPACITY: usize = 65_536;
+
+/// One exported `(predicted, measured)` pair, in recording order.
+///
+/// `matrix` is the serving-side matrix id the pair was observed on
+/// (`0` when recorded through [`ResidualTracker::record`], which has no
+/// matrix context); `seq` grows by one per recorded pair, so a consumer
+/// can detect drops across drains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualEvent {
+    /// Monotonic per-tracker sequence number (starts at 0).
+    pub seq: u64,
+    /// Serving-side matrix id; 0 for matrix-less recordings.
+    pub matrix: u64,
+    /// The prediction population the pair belongs to.
+    pub key: ResidualKey,
+    /// Predicted time, seconds.
+    pub predicted: f64,
+    /// Measured time, seconds.
+    pub measured: f64,
+}
+
+impl ResidualEvent {
+    /// Absolute relative error `|pred - meas| / meas` — the detector
+    /// statistic.
+    pub fn abs_rel(&self) -> f64 {
+        ((self.predicted - self.measured) / self.measured).abs()
+    }
+}
+
+/// Everything under the tracker's one mutex: the per-key aggregates and
+/// the bounded export log.
+#[derive(Debug)]
+struct Inner {
+    map: BTreeMap<ResidualKey, ResidualStats>,
+    log: VecDeque<ResidualEvent>,
+    log_capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
 /// Accumulates `(predicted, measured)` pairs per [`ResidualKey`].
 ///
 /// Thread-safe; recording takes a short mutex (this is bookkeeping for
 /// the measurement harness, not the SpMV hot path).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ResidualTracker {
-    map: Mutex<BTreeMap<ResidualKey, ResidualStats>>,
+    inner: Mutex<Inner>,
+}
+
+impl Default for ResidualTracker {
+    fn default() -> Self {
+        Self::with_log_capacity(DEFAULT_LOG_CAPACITY)
+    }
 }
 
 impl ResidualTracker {
-    /// An empty tracker.
+    /// An empty tracker with the default event-log bound.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty tracker whose event log keeps at most `capacity`
+    /// undrained events (minimum 1).
+    pub fn with_log_capacity(capacity: usize) -> Self {
+        ResidualTracker {
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                log: VecDeque::new(),
+                log_capacity: capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Folds one `(predicted, measured)` pair into `key`'s statistics.
@@ -106,31 +190,58 @@ impl ResidualTracker {
     /// Pairs with non-finite or non-positive `measured` are ignored (a
     /// failed measurement must not poison the aggregate).
     pub fn record(&self, key: &ResidualKey, predicted: f64, measured: f64) {
+        self.record_for(0, key, predicted, measured);
+    }
+
+    /// [`ResidualTracker::record`], tagged with the serving-side matrix
+    /// id the pair was observed on. The pair lands in both the per-key
+    /// aggregate and the bounded export log.
+    pub fn record_for(&self, matrix: u64, key: &ResidualKey, predicted: f64, measured: f64) {
         if !measured.is_finite() || measured <= 0.0 || !predicted.is_finite() {
             return;
         }
-        self.map
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        let mut inner = self.lock();
+        inner
+            .map
             .entry(key.clone())
             .or_default()
             .fold(predicted, measured);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.log.len() == inner.log_capacity {
+            inner.log.pop_front();
+            inner.dropped += 1;
+        }
+        inner.log.push_back(ResidualEvent {
+            seq,
+            matrix,
+            key: key.clone(),
+            predicted,
+            measured,
+        });
+    }
+
+    /// Takes every undrained event, oldest first. Intended for a single
+    /// consumer (the background tuner); concurrent drains partition the
+    /// stream between callers.
+    pub fn drain_events(&self) -> Vec<ResidualEvent> {
+        self.lock().log.drain(..).collect()
+    }
+
+    /// Events evicted from the log before any consumer drained them.
+    pub fn events_dropped(&self) -> u64 {
+        self.lock().dropped
     }
 
     /// The statistics recorded for `key`, if any.
     pub fn stats(&self, key: &ResidualKey) -> Option<ResidualStats> {
-        self.map
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(key)
-            .copied()
+        self.lock().map.get(key).copied()
     }
 
     /// All rows, sorted by key.
     pub fn rows(&self) -> Vec<(ResidualKey, ResidualStats)> {
-        self.map
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        self.lock()
+            .map
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect()
@@ -138,12 +249,7 @@ impl ResidualTracker {
 
     /// Total number of recorded pairs.
     pub fn len(&self) -> usize {
-        self.map
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-            .map(|s| s.n as usize)
-            .sum()
+        self.lock().map.values().map(|s| s.n as usize).sum()
     }
 
     /// Whether nothing has been recorded.
@@ -151,9 +257,14 @@ impl ResidualTracker {
         self.len() == 0
     }
 
-    /// Forgets every recorded pair.
+    /// Forgets every recorded pair, drops undrained events, and clears
+    /// the drop counter. Sequence numbers keep growing (they identify
+    /// pairs for the log's whole lifetime).
     pub fn reset(&self) {
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.log.clear();
+        inner.dropped = 0;
     }
 
     /// Renders the per-(format, shape, kernel, model) residual table,
@@ -265,5 +376,53 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.rows().len(), 2);
         assert_eq!(t.stats(&key("MEM")).unwrap().n, 1);
+    }
+
+    #[test]
+    fn events_export_in_order_with_matrix_tags() {
+        let t = ResidualTracker::new();
+        t.record_for(7, &key("MEM"), 1.5, 1.0);
+        t.record(&key("MEM"), 1.0, 2.0);
+        t.record_for(9, &key("OVERLAP"), 3.0, 3.0);
+        let evs = t.drain_events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs.iter().map(|e| (e.seq, e.matrix)).collect::<Vec<_>>(),
+            vec![(0, 7), (1, 0), (2, 9)]
+        );
+        assert!((evs[0].abs_rel() - 0.5).abs() < 1e-12);
+        assert_eq!(evs[2].abs_rel(), 0.0);
+        // Draining empties the log but not the aggregates.
+        assert!(t.drain_events().is_empty());
+        assert_eq!(t.len(), 3);
+        // Sequence numbers continue across drains.
+        t.record_for(7, &key("MEM"), 1.0, 1.0);
+        assert_eq!(t.drain_events()[0].seq, 3);
+    }
+
+    #[test]
+    fn rejected_pairs_never_reach_the_log() {
+        let t = ResidualTracker::new();
+        t.record_for(1, &key("MEM"), 1.0, f64::NAN);
+        t.record_for(1, &key("MEM"), f64::INFINITY, 1.0);
+        t.record_for(1, &key("MEM"), 1.0, 0.0);
+        assert!(t.drain_events().is_empty());
+        assert_eq!(t.events_dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_log_drops_oldest_and_counts() {
+        let t = ResidualTracker::with_log_capacity(3);
+        for i in 0..5 {
+            t.record_for(i, &key("MEM"), 1.0, 1.0);
+        }
+        assert_eq!(t.events_dropped(), 2);
+        let evs = t.drain_events();
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        // reset clears the drop counter along with the log.
+        t.record_for(9, &key("MEM"), 1.0, 1.0);
+        t.reset();
+        assert_eq!(t.events_dropped(), 0);
+        assert!(t.drain_events().is_empty());
     }
 }

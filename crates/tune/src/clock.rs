@@ -1,0 +1,113 @@
+//! The tuner's time source seam.
+//!
+//! Every timestamp in the tuner — timeline events, and nothing else —
+//! comes through [`TuneClock`]. The decision path itself (stale →
+//! reprofile → rerank → swap) is *count-driven*: the detector advances
+//! on residual observations, never on elapsed time, so no decision ever
+//! reads a clock. That is what makes the state-machine tests in
+//! `tests/adaptive_tuner.rs` fully deterministic: they drive a
+//! [`ManualClock`] and a seeded residual stream, and every transition is
+//! reproducible bit-for-bit with no sleeps.
+//!
+//! Production uses [`SystemClock`], a monotonic `Instant` anchored at
+//! construction, so timeline timestamps read as "nanoseconds since the
+//! tuner started".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic nanosecond source for timeline stamps.
+///
+/// Implementations must be cheap and never go backwards; the tuner
+/// calls [`TuneClock::now_ns`] once per timeline event.
+pub trait TuneClock: Send + Sync {
+    /// Nanoseconds since this clock's epoch (its construction, for the
+    /// system clock; whatever the test set, for a manual one).
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time via a monotonic [`Instant`] anchored at creation.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TuneClock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-cranked clock for deterministic tests.
+///
+/// Time only moves when the test calls [`ManualClock::advance`] (or
+/// [`ManualClock::set`]); share one behind an `Arc` with the tuner and
+/// every timeline stamp becomes an assertable constant.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start_ns`.
+    pub fn new(start_ns: u64) -> Self {
+        Self {
+            ns: AtomicU64::new(start_ns),
+        }
+    }
+
+    /// Moves time forward by `delta_ns`.
+    pub fn advance(&self, delta_ns: u64) {
+        self.ns.fetch_add(delta_ns, Ordering::Relaxed);
+    }
+
+    /// Jumps time to an absolute `now_ns` (tests only; may go backwards).
+    pub fn set(&self, now_ns: u64) {
+        self.ns.store(now_ns, Ordering::Relaxed);
+    }
+}
+
+impl TuneClock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let c = ManualClock::new(100);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.now_ns(), 100);
+        c.advance(25);
+        assert_eq!(c.now_ns(), 125);
+        c.set(7);
+        assert_eq!(c.now_ns(), 7);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic_from_zero() {
+        let c = SystemClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,397 @@
+//! Windowed-residual staleness detection with hysteresis.
+//!
+//! The detector turns a stream of absolute relative prediction errors
+//! (`|predicted − measured| / measured`, from the serving engine's
+//! residual log) into a verdict about whether the currently published
+//! (format, block, kernel) selection is *stale* — i.e. the model inputs
+//! it was ranked under no longer describe reality (structure drifted,
+//! bandwidth changed, a kernel's timing moved).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No flapping.** A single noisy dispatch must never trigger a
+//!    reselection, and the detector must not oscillate when the windowed
+//!    error hovers near the threshold. Two mechanisms enforce this: the
+//!    verdict only escalates after [`DetectorConfig::consecutive`]
+//!    observations whose windowed mean exceeds [`DetectorConfig::enter`],
+//!    and a hysteresis band — once suspicious, the detector only stands
+//!    down when the mean falls below the *lower* threshold
+//!    [`DetectorConfig::exit`]; in between it holds its state.
+//! 2. **Count-driven.** State advances one residual observation at a
+//!    time; there is no clock anywhere, so seeded tests replay decisions
+//!    exactly.
+//! 3. **Swap-aware.** After the tuner republishes, residuals from the
+//!    transient (cold caches, drained batches) are absorbed by a
+//!    [`DetectorConfig::cooldown`] that discards observations, then the
+//!    window refills from scratch; the first post-swap verdict at or
+//!    below `exit` is reported once as [`Verdict::Recovered`] so a
+//!    timeline can prove the swap actually fixed the residuals.
+
+use std::collections::VecDeque;
+
+/// Thresholds and window geometry for [`StalenessDetector`].
+///
+/// Invariants are normalized at construction rather than checked:
+/// `window`, `consecutive`, and `min_samples` are at least 1,
+/// `min_samples` at most `window`, and `exit` at most `enter`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Observations in the sliding window the mean is taken over.
+    pub window: usize,
+    /// Windowed mean `|rel err|` above which an observation counts
+    /// toward staleness.
+    pub enter: f64,
+    /// Windowed mean at or below which a suspicious detector stands
+    /// down (and a post-swap detector reports recovery). Must be below
+    /// `enter`; the gap is the hysteresis band.
+    pub exit: f64,
+    /// Consecutive over-`enter` observations required to go stale.
+    pub consecutive: usize,
+    /// Post-swap observations discarded before the window refills.
+    pub cooldown: usize,
+    /// Window fill required before any verdict besides `Warming`.
+    pub min_samples: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            enter: 0.35,
+            exit: 0.15,
+            consecutive: 3,
+            cooldown: 8,
+            min_samples: 4,
+        }
+    }
+}
+
+impl DetectorConfig {
+    fn normalized(mut self) -> Self {
+        self.window = self.window.max(1);
+        self.consecutive = self.consecutive.max(1);
+        self.min_samples = self.min_samples.clamp(1, self.window);
+        if !(self.enter.is_finite() && self.enter > 0.0) {
+            self.enter = Self::default().enter;
+        }
+        if !(self.exit.is_finite() && self.exit >= 0.0) {
+            self.exit = Self::default().exit;
+        }
+        self.exit = self.exit.min(self.enter);
+        self
+    }
+}
+
+/// What the detector concluded after an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Window not yet filled to `min_samples`; no opinion.
+    Warming,
+    /// Windowed error is at or below the hysteresis band.
+    Healthy,
+    /// Windowed error exceeded `enter` for this many consecutive
+    /// observations (fewer than `consecutive`).
+    Suspect(usize),
+    /// Staleness confirmed; latched until [`StalenessDetector::on_swap`].
+    Stale,
+    /// Post-swap transient being discarded.
+    CoolingDown,
+    /// First at-or-below-`exit` verdict after a swap — reported once,
+    /// then the detector is simply `Healthy`.
+    Recovered,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Warming { after_swap: bool },
+    Healthy,
+    Suspect(usize),
+    Stale,
+    Cooldown(usize),
+}
+
+/// The per-target staleness state machine.
+///
+/// Feed it `|rel err|` values with [`observe`](Self::observe); it
+/// answers with a [`Verdict`]. `Stale` latches until the tuner swaps and
+/// calls [`on_swap`](Self::on_swap).
+#[derive(Debug, Clone)]
+pub struct StalenessDetector {
+    cfg: DetectorConfig,
+    ring: VecDeque<f64>,
+    state: State,
+    observations: u64,
+}
+
+impl StalenessDetector {
+    /// A fresh (warming) detector with normalized `cfg`.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        let cfg = cfg.normalized();
+        Self {
+            ring: VecDeque::with_capacity(cfg.window),
+            cfg,
+            state: State::Warming { after_swap: false },
+            observations: 0,
+        }
+    }
+
+    /// The configuration (post-normalization) this detector runs under.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Mean `|rel err|` over the current window (`0.0` while empty).
+    pub fn windowed(&self) -> f64 {
+        if self.ring.is_empty() {
+            0.0
+        } else {
+            self.ring.iter().sum::<f64>() / self.ring.len() as f64
+        }
+    }
+
+    /// Observations in the current window.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total observations ever fed in (including discarded ones).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Whether the detector is currently latched stale.
+    pub fn is_stale(&self) -> bool {
+        self.state == State::Stale
+    }
+
+    /// The verdict as of the last observation, without observing.
+    pub fn verdict(&self) -> Verdict {
+        match self.state {
+            State::Warming { .. } => Verdict::Warming,
+            State::Healthy => Verdict::Healthy,
+            State::Suspect(k) => Verdict::Suspect(k),
+            State::Stale => Verdict::Stale,
+            State::Cooldown(_) => Verdict::CoolingDown,
+        }
+    }
+
+    /// Incorporates one absolute relative error and returns the verdict
+    /// after it. Non-finite values are ignored (verdict unchanged).
+    pub fn observe(&mut self, abs_rel: f64) -> Verdict {
+        if !abs_rel.is_finite() {
+            return self.verdict();
+        }
+        self.observations += 1;
+
+        // Cooldown discards the post-swap transient entirely: the value
+        // never enters the window.
+        if let State::Cooldown(remaining) = self.state {
+            self.state = if remaining > 1 {
+                State::Cooldown(remaining - 1)
+            } else {
+                State::Warming { after_swap: true }
+            };
+            return Verdict::CoolingDown;
+        }
+
+        if self.ring.len() == self.cfg.window {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(abs_rel);
+        let stat = self.windowed();
+
+        self.state = match self.state {
+            State::Cooldown(_) => unreachable!("handled above"),
+            State::Stale => State::Stale,
+            State::Warming { after_swap } => {
+                if self.ring.len() < self.cfg.min_samples {
+                    State::Warming { after_swap }
+                } else if stat > self.cfg.enter {
+                    self.escalate(1)
+                } else if stat <= self.cfg.exit {
+                    if after_swap {
+                        // Report recovery exactly once, then be Healthy.
+                        self.state = State::Healthy;
+                        return Verdict::Recovered;
+                    }
+                    State::Healthy
+                } else {
+                    // In the hysteresis band: not convincingly healthy
+                    // yet — keep warming so a post-swap `Recovered` only
+                    // ever fires on an at-or-below-`exit` window.
+                    State::Warming { after_swap }
+                }
+            }
+            State::Healthy => {
+                if stat > self.cfg.enter {
+                    self.escalate(1)
+                } else {
+                    State::Healthy
+                }
+            }
+            State::Suspect(k) => {
+                if stat > self.cfg.enter {
+                    self.escalate(k + 1)
+                } else if stat <= self.cfg.exit {
+                    State::Healthy
+                } else {
+                    // Band: hold the count, neither escalate nor clear.
+                    State::Suspect(k)
+                }
+            }
+        };
+        self.verdict()
+    }
+
+    fn escalate(&self, count: usize) -> State {
+        if count >= self.cfg.consecutive {
+            State::Stale
+        } else {
+            State::Suspect(count)
+        }
+    }
+
+    /// Tells the detector the tuner swapped (or republished) the target:
+    /// the window is cleared and the next `cooldown` observations are
+    /// discarded, after which the detector warms up again and reports
+    /// [`Verdict::Recovered`] the first time the refilled window sits at
+    /// or below `exit`.
+    pub fn on_swap(&mut self) {
+        self.ring.clear();
+        self.state = if self.cfg.cooldown > 0 {
+            State::Cooldown(self.cfg.cooldown)
+        } else {
+            State::Warming { after_swap: true }
+        };
+    }
+
+    /// Back to a fresh pre-swap warming state (window cleared).
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.state = State::Warming { after_swap: false };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            window: 4,
+            enter: 0.5,
+            exit: 0.2,
+            consecutive: 2,
+            cooldown: 3,
+            min_samples: 2,
+        }
+    }
+
+    #[test]
+    fn warms_up_then_goes_healthy() {
+        let mut d = StalenessDetector::new(cfg());
+        assert_eq!(d.observe(0.1), Verdict::Warming);
+        assert_eq!(d.observe(0.1), Verdict::Healthy);
+        assert_eq!(d.observe(0.15), Verdict::Healthy);
+        assert!(!d.is_stale());
+    }
+
+    #[test]
+    fn needs_consecutive_hits_to_latch_stale() {
+        let mut d = StalenessDetector::new(cfg());
+        for _ in 0..4 {
+            d.observe(0.05);
+        }
+        assert_eq!(d.observe(3.0), Verdict::Suspect(1)); // mean jumps over enter
+        assert_eq!(d.observe(3.0), Verdict::Stale);
+        // Latched: even tiny residuals don't clear it.
+        assert_eq!(d.observe(0.0), Verdict::Stale);
+        assert!(d.is_stale());
+    }
+
+    #[test]
+    fn hysteresis_band_holds_suspect_without_escalating_or_clearing() {
+        let mut d = StalenessDetector::new(DetectorConfig {
+            window: 1, // stat == last observation, easy band control
+            consecutive: 3,
+            ..cfg()
+        });
+        d.observe(0.1);
+        assert_eq!(d.observe(0.6), Verdict::Suspect(1));
+        // In the band (0.2, 0.5]: count must hold at 1.
+        assert_eq!(d.observe(0.3), Verdict::Suspect(1));
+        assert_eq!(d.observe(0.4), Verdict::Suspect(1));
+        // Back over enter: escalates from the held count.
+        assert_eq!(d.observe(0.9), Verdict::Suspect(2));
+        // Below exit: stands down completely.
+        assert_eq!(d.observe(0.1), Verdict::Healthy);
+        // And re-entering starts the count over — no memory, no flap.
+        assert_eq!(d.observe(0.9), Verdict::Suspect(1));
+    }
+
+    #[test]
+    fn swap_cooldown_discards_then_recovers_exactly_once() {
+        let mut d = StalenessDetector::new(cfg());
+        for _ in 0..2 {
+            d.observe(0.05);
+        }
+        d.observe(5.0);
+        d.observe(5.0);
+        assert!(d.is_stale());
+
+        d.on_swap();
+        assert_eq!(d.verdict(), Verdict::CoolingDown);
+        // cooldown = 3 observations discarded (window stays empty).
+        assert_eq!(d.observe(9.0), Verdict::CoolingDown);
+        assert_eq!(d.observe(9.0), Verdict::CoolingDown);
+        assert_eq!(d.observe(9.0), Verdict::CoolingDown);
+        assert!(d.is_empty());
+        // Refill: min_samples = 2 before a verdict.
+        assert_eq!(d.observe(0.05), Verdict::Warming);
+        assert_eq!(d.observe(0.05), Verdict::Recovered);
+        // Only once.
+        assert_eq!(d.observe(0.05), Verdict::Healthy);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut d = StalenessDetector::new(cfg());
+        d.observe(0.1);
+        let before = (d.len(), d.verdict());
+        assert_eq!(d.observe(f64::NAN), before.1);
+        assert_eq!(d.observe(f64::INFINITY), before.1);
+        assert_eq!(d.len(), before.0);
+    }
+
+    #[test]
+    fn config_normalization_repairs_degenerate_values() {
+        let d = StalenessDetector::new(DetectorConfig {
+            window: 0,
+            enter: f64::NAN,
+            exit: 9.0,
+            consecutive: 0,
+            cooldown: 0,
+            min_samples: 0,
+        });
+        let c = d.config();
+        assert!(c.window >= 1 && c.consecutive >= 1 && c.min_samples >= 1);
+        assert!(c.exit <= c.enter && c.enter.is_finite());
+    }
+
+    #[test]
+    fn zero_cooldown_goes_straight_to_post_swap_warming() {
+        let mut d = StalenessDetector::new(DetectorConfig {
+            cooldown: 0,
+            min_samples: 1,
+            ..cfg()
+        });
+        d.on_swap();
+        assert_eq!(d.verdict(), Verdict::Warming);
+        assert_eq!(d.observe(0.0), Verdict::Recovered);
+    }
+}

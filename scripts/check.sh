@@ -23,9 +23,13 @@ if [ -z "${SPMV_CHECK_OFFLINE:-}" ]; then
         && cargo test --workspace --quiet \
         && cargo test -p spmv-telemetry --features disabled --quiet \
         && cargo test -p spmv-serve --features telemetry-disabled --quiet \
+        && cargo test -p spmv-tune --features telemetry-disabled --quiet \
         && cargo run --release --bin serve_load -- \
             --requests 200 --seed 7 --out target/serving-smoke.txt \
-        && test -s target/serving-smoke.txt; then
+        && test -s target/serving-smoke.txt \
+        && cargo run --release --bin serve_adapt -- \
+            --nodes 1200 --out target/adaptive-smoke.txt \
+        && test -s target/adaptive-smoke.txt; then
         echo "check.sh: cargo build + clippy + test OK"
         exit 0
     fi
@@ -113,6 +117,13 @@ $R --crate-type lib --crate-name spmv_serve crates/serve/src/lib.rs \
     --extern spmv_model="$B/libspmv_model.rlib" \
     --extern spmv_parallel="$B/libspmv_parallel.rlib" \
     --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libspmv_serve.rlib"
+$R --crate-type lib --crate-name spmv_tune crates/tune/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_model="$B/libspmv_model.rlib" \
+    --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+    --extern spmv_serve="$B/libspmv_serve.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libspmv_tune.rlib"
 $R --crate-type lib --crate-name spmv_bench crates/bench/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
@@ -130,6 +141,7 @@ $R --crate-type lib --crate-name blocked_spmv src/lib.rs \
     --extern spmv_parallel="$B/libspmv_parallel.rlib" \
     --extern spmv_bench="$B/libspmv_bench.rlib" \
     --extern spmv_serve="$B/libspmv_serve.rlib" \
+    --extern spmv_tune="$B/libspmv_tune.rlib" \
     --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/libblocked_spmv.rlib"
 
 # The serve crate's `telemetry-disabled` feature maps to the telemetry
@@ -159,6 +171,13 @@ $RD --crate-type lib --crate-name spmv_serve crates/serve/src/lib.rs \
     --extern spmv_model="$BD/libspmv_model.rlib" \
     --extern spmv_parallel="$BD/libspmv_parallel.rlib" \
     --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/libspmv_serve.rlib"
+$RD --crate-type lib --crate-name spmv_tune crates/tune/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_model="$BD/libspmv_model.rlib" \
+    --extern spmv_parallel="$BD/libspmv_parallel.rlib" \
+    --extern spmv_serve="$BD/libspmv_serve.rlib" \
+    --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/libspmv_tune.rlib"
 
 if command -v clippy-driver > /dev/null; then
     echo "== clippy (offline: clippy-driver per crate, -D warnings)"
@@ -191,6 +210,13 @@ if command -v clippy-driver > /dev/null; then
         --extern spmv_model="$B/libspmv_model.rlib" \
         --extern spmv_parallel="$B/libspmv_parallel.rlib" \
         --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
+    $CL --crate-name spmv_tune crates/tune/src/lib.rs \
+        --extern spmv_core="$B/libspmv_core.rlib" \
+        --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+        --extern spmv_model="$B/libspmv_model.rlib" \
+        --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+        --extern spmv_serve="$B/libspmv_serve.rlib" \
+        --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
     $CL --crate-name spmv_bench crates/bench/src/lib.rs \
         --extern spmv_core="$B/libspmv_core.rlib" \
         --extern spmv_kernels="$B/libspmv_kernels.rlib" \
@@ -208,6 +234,7 @@ if command -v clippy-driver > /dev/null; then
         --extern spmv_parallel="$B/libspmv_parallel.rlib" \
         --extern spmv_bench="$B/libspmv_bench.rlib" \
         --extern spmv_serve="$B/libspmv_serve.rlib" \
+        --extern spmv_tune="$B/libspmv_tune.rlib" \
         --extern spmv_telemetry="$B/libspmv_telemetry.rlib"
 else
     echo "== clippy skipped (clippy-driver not installed)"
@@ -265,6 +292,23 @@ $RD --test --crate-name spmv_serve crates/serve/src/lib.rs \
     --extern spmv_parallel="$BD/libspmv_parallel.rlib" \
     --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/t_serve"
 "$BD/t_serve" -q
+$R --test --crate-name spmv_tune crates/tune/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_model="$B/libspmv_model.rlib" \
+    --extern spmv_parallel="$B/libspmv_parallel.rlib" \
+    --extern spmv_serve="$B/libspmv_serve.rlib" \
+    --extern spmv_telemetry="$B/libspmv_telemetry.rlib" -o "$B/t_tune"
+"$B/t_tune" -q
+# ... and the tuner against the disabled-telemetry chain.
+$RD --test --crate-name spmv_tune crates/tune/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_model="$BD/libspmv_model.rlib" \
+    --extern spmv_parallel="$BD/libspmv_parallel.rlib" \
+    --extern spmv_serve="$BD/libspmv_serve.rlib" \
+    --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/t_tune"
+"$BD/t_tune" -q
 $R --test --crate-name spmv_bench crates/bench/src/lib.rs \
     --extern spmv_core="$B/libspmv_core.rlib" \
     --extern spmv_kernels="$B/libspmv_kernels.rlib" \
@@ -279,7 +323,8 @@ echo "== integration tests (property suites use the in-repo harness)"
 for t in differential_equivalence edge_cases kernel_shapes \
          extensions_integration paper_shapes compression_integration \
          format_equivalence kernel_properties model_pipeline \
-         parallel_equivalence serving telemetry_pool telemetry_trace; do
+         parallel_equivalence serving telemetry_pool telemetry_trace \
+         adaptive_tuner adaptive_faults adaptive_property; do
     $R --test "tests/$t.rs" \
         --extern blocked_spmv="$B/libblocked_spmv.rlib" \
         --extern rand="$B/librand.rlib" -o "$B/t_$t"
@@ -303,5 +348,10 @@ $R src/bin/serve_load.rs \
 "$B/serve_load" --requests 200 --seed 7 --out "$B/serving-smoke.txt" > /dev/null
 test -s "$B/serving-smoke.txt" || {
     echo "check.sh: serve_load smoke produced no output" >&2; exit 1; }
+$R src/bin/serve_adapt.rs \
+    --extern blocked_spmv="$B/libblocked_spmv.rlib" -o "$B/serve_adapt"
+"$B/serve_adapt" --nodes 1200 --out "$B/adaptive-smoke.txt" > /dev/null
+test -s "$B/adaptive-smoke.txt" || {
+    echo "check.sh: serve_adapt smoke produced no output" >&2; exit 1; }
 
 echo "check.sh: offline fallback OK"

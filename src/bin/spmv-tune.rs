@@ -11,6 +11,12 @@
 //! spmv-tune --suite 21 --scale 1.0 --verify
 //! spmv-tune --suite 18 --profile calib.txt   # reuse a saved calibration
 //! ```
+//!
+//! This is the *offline* tuner: one matrix, one decision, then exit.
+//! The *online* counterpart — a background tuner that watches live
+//! prediction residuals and hot-swaps selections under the serving
+//! registry — lives in `blocked_spmv::tune` (see `docs/ADAPTIVE.md`
+//! and the `serve_adapt` harness).
 
 use blocked_spmv::core::{Csr, MatrixShape, SpMv};
 use blocked_spmv::gen::{matrixmarket, random_vector, suite};

@@ -28,7 +28,11 @@
 //! * [`serve`] — SpMV-as-a-service: the sharded prepared-matrix
 //!   registry and the batched request engine coalescing `y = A·x`
 //!   traffic into multi-vector dispatches (see `docs/SERVING.md` and
-//!   the `serve_load` load generator).
+//!   the `serve_load` load generator);
+//! * [`tune`] — online adaptive reselection: a residual-driven
+//!   background tuner that detects stale selections and hot-swaps
+//!   re-ranked configurations through the serving registry (see
+//!   `docs/ADAPTIVE.md` and the `serve_adapt` harness).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -41,6 +45,7 @@ pub use spmv_model as model;
 pub use spmv_parallel as parallel;
 pub use spmv_serve as serve;
 pub use spmv_telemetry as telemetry;
+pub use spmv_tune as tune;
 
 pub use spmv_core::{
     Coo, Csr, DenseMatrix, Error, IndexWidth, Precision, Result, Scalar, SpMv, SpMvMulti,
