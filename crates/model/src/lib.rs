@@ -59,9 +59,12 @@ pub use heuristic::{profile_dense, select_bcsr_shape, DenseProfile};
 pub use latency::{
     input_vector_miss_estimate, measure_latency, predict_overlap_lat, LatencyProfile,
 };
-pub use machine::{stream_triad_bandwidth, MachineProfile};
+pub use machine::{stream_triad_bandwidth, stream_triad_bandwidth_with, MachineProfile};
 pub use models::Model;
-pub use multicore::{predict_threaded, predicted_saturation_point};
+pub use multicore::{
+    predict_threaded, predict_threaded_hierarchy, predicted_saturation_point, strip_extents,
+    BandwidthHierarchy, DomainBandwidth,
+};
 pub use persist::{load_profile, read_profile, save_profile, write_profile};
 pub use profile::{profile_kernels, profile_keys, BlockTimes, KernelProfile, ProfileOptions};
 pub use select::{

@@ -103,14 +103,43 @@ fn parse_cache_size(s: &str) -> Option<usize> {
 /// STREAM triad `a[i] = b[i] + s * c[i]` over `elems` doubles per array;
 /// returns bytes/second counting 24 bytes per element (two reads and one
 /// write), exactly as STREAM reports it.
+///
+/// The arrays are allocated and initialized on the calling thread, so on
+/// a NUMA machine first-touch places their pages on the caller's node —
+/// this measures *local* bandwidth when the caller is pinned. To measure
+/// a cross-node stream, allocate the arrays on one node and hand them to
+/// [`stream_triad_bandwidth_with`] on a thread pinned elsewhere.
 pub fn stream_triad_bandwidth(elems: usize, min_time: f64) -> f64 {
     let mut a = vec![0.0f64; elems];
     let b = vec![1.5f64; elems];
     let c = vec![2.5f64; elems];
+    stream_triad_bandwidth_with(&mut a, &b, &c, min_time)
+}
+
+/// The triad loop of [`stream_triad_bandwidth`] over caller-provided
+/// arrays, leaving page placement to the caller.
+///
+/// This is the seam NUMA bandwidth probes use: whoever *initialized*
+/// `a`/`b`/`c` first-touched their pages onto its node, so running the
+/// timed loop from a thread pinned to a different node measures the
+/// remote (interconnect) stream the paper's single-socket testbed never
+/// sees. `a.len()` elements are streamed; `b` and `c` must be at least
+/// as long.
+pub fn stream_triad_bandwidth_with(
+    a: &mut [f64],
+    b: &[f64],
+    c: &[f64],
+    min_time: f64,
+) -> f64 {
+    assert!(
+        b.len() >= a.len() && c.len() >= a.len(),
+        "triad source arrays shorter than destination"
+    );
+    let elems = a.len();
     let s = 3.0f64;
     let secs = timing::measure(
         || {
-            for ((ai, bi), ci) in a.iter_mut().zip(&b).zip(&c) {
+            for ((ai, bi), ci) in a.iter_mut().zip(b).zip(c) {
                 *ai = bi + s * ci;
             }
             std::hint::black_box(&a);
@@ -145,6 +174,18 @@ mod tests {
         // Tiny arrays — this only checks plumbing, not a real number.
         let bw = stream_triad_bandwidth(1 << 14, 0.002);
         assert!(bw > 1e6, "implausible bandwidth {bw}");
+    }
+
+    #[test]
+    fn triad_with_external_arrays_measures_positive_bandwidth() {
+        let n = 1 << 14;
+        let mut a = vec![0.0f64; n];
+        let b = vec![1.5f64; n];
+        let c = vec![2.5f64; n];
+        let bw = stream_triad_bandwidth_with(&mut a, &b, &c, 0.002);
+        assert!(bw > 1e6, "implausible bandwidth {bw}");
+        // The loop really ran: a = b + 3c = 9.0 everywhere.
+        assert!(a.iter().all(|&v| v == 9.0));
     }
 
     #[test]

@@ -35,10 +35,18 @@ use crate::profile::KernelProfile;
 use spmv_core::{Csr, MatrixShape, Scalar};
 
 /// Splits row indices into `threads` contiguous strips balanced by
-/// nonzeros (the model-side mirror of `spmv_parallel::partition_units`;
-/// re-implemented here to keep the model crate's dependencies minimal
-/// and because the model only needs approximate strip extents).
-fn strip_rows<T: Scalar>(csr: &Csr<T>, threads: usize) -> Vec<core::ops::Range<usize>> {
+/// nonzeros — the model-side mirror of `spmv_parallel::partition_units`
+/// over `csr_unit_weights`, re-implemented here to keep the model
+/// crate's dependencies minimal.
+///
+/// Public so the duplication is testable: `tests/numa_partition.rs`
+/// pins this function differentially against the runtime splitter over
+/// a seeded matrix corpus, so the two copies cannot drift apart
+/// silently. Per-strip predictions
+/// ([`predict_threaded`]/[`predict_threaded_hierarchy`]) are only
+/// meaningful because these extents match the strips the pool actually
+/// runs.
+pub fn strip_extents<T: Scalar>(csr: &Csr<T>, threads: usize) -> Vec<core::ops::Range<usize>> {
     let total = csr.nnz() as u64;
     let mut out = Vec::with_capacity(threads);
     let mut start = 0usize;
@@ -78,7 +86,7 @@ pub fn predict_threaded<T: Scalar>(
         bandwidth: machine.bandwidth / threads as f64,
         ..*machine
     };
-    strip_rows(csr, threads)
+    strip_extents(csr, threads)
         .into_iter()
         .map(|rows| {
             let strip = csr.row_slice(rows);
@@ -134,7 +142,7 @@ pub fn predict_threaded_measured<T: Scalar>(
         bandwidth: machine.bandwidth / threads as f64,
         ..*machine
     };
-    let mean_pred = strip_rows(csr, threads)
+    let mean_pred = strip_extents(csr, threads)
         .into_iter()
         .map(|rows| {
             let strip = csr.row_slice(rows);
@@ -143,6 +151,151 @@ pub fn predict_threaded_measured<T: Scalar>(
         .sum::<f64>()
         / threads as f64;
     mean_pred * imbalance_factor(per_strip_seconds)
+}
+
+/// The bandwidths one memory domain (NUMA node) offers, in bytes/sec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainBandwidth {
+    /// Sustainable stream bandwidth for threads pinned to this domain
+    /// reading pages that live on it (STREAM triad, first-touched and
+    /// run on the same node).
+    pub local: f64,
+    /// Sustainable stream bandwidth for a thread on *another* domain
+    /// reading pages that live here — the interconnect-limited path
+    /// (arrays first-touched here, triad run on a remote node).
+    pub remote: f64,
+}
+
+/// Per-domain bandwidth map for NUMA-aware threaded predictions.
+///
+/// The flat model in [`predict_threaded`] shares one `BW` across all
+/// threads; past one socket that undercharges remote strips (which pay
+/// the interconnect) and overcharges domain-spread placements (each
+/// controller serves only its own strips). This hierarchy keeps one
+/// [`DomainBandwidth`] per domain, indexed like
+/// `spmv_parallel::Topology::domains`; measure it with
+/// `spmv_tune::MeasuredSampler::measure_hierarchy` or build it from
+/// STREAM numbers directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthHierarchy {
+    domains: Vec<DomainBandwidth>,
+}
+
+impl BandwidthHierarchy {
+    /// One flat domain whose local and remote paths are the same bus —
+    /// the paper's single-socket testbed. With this hierarchy,
+    /// [`predict_threaded_hierarchy`] reproduces [`predict_threaded`]
+    /// bit for bit (same strip extents, same `bw / threads` division).
+    pub fn flat(bandwidth: f64) -> Self {
+        BandwidthHierarchy {
+            domains: vec![DomainBandwidth {
+                local: bandwidth,
+                remote: bandwidth,
+            }],
+        }
+    }
+
+    /// An explicit per-domain map, in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is empty.
+    pub fn new(domains: Vec<DomainBandwidth>) -> Self {
+        assert!(!domains.is_empty(), "hierarchy needs at least one domain");
+        BandwidthHierarchy { domains }
+    }
+
+    /// Number of memory domains (≥ 1).
+    pub fn n_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The per-domain bandwidths, in node order.
+    pub fn domains(&self) -> &[DomainBandwidth] {
+        &self.domains
+    }
+
+    /// The bandwidth one strip sees: its traffic is charged to the
+    /// domain holding its pages — the local path when the executing
+    /// thread lives there too, the interconnect otherwise — divided by
+    /// the `sharers` strips streaming from that same controller.
+    pub fn strip_bandwidth(&self, exec_domain: usize, pages_domain: usize, sharers: usize) -> f64 {
+        let d = &self.domains[pages_domain];
+        let link = if exec_domain == pages_domain {
+            d.local
+        } else {
+            d.remote
+        };
+        link / sharers.max(1) as f64
+    }
+}
+
+/// Predicted seconds per SpMV under a per-domain bandwidth hierarchy.
+///
+/// Strip `s` (extents from [`strip_extents`], the same split the pool
+/// runs) executes on domain `exec_domains[s]` — defaulting to the
+/// round-robin deal `s % n_domains` that `PinPolicy::Domains` uses —
+/// and its matrix pages live on `pages_on` when given (no first-touch:
+/// everything on one node, the remote-access regime) or on the strip's
+/// own execution domain otherwise (first-touch placement). Each strip
+/// is charged [`BandwidthHierarchy::strip_bandwidth`] for the domain
+/// its pages live on, and the SpMV finishes when the slowest strip does.
+///
+/// With [`BandwidthHierarchy::flat`]`(machine.bandwidth)` this equals
+/// [`predict_threaded`] exactly, threads and strips alike.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_threaded_hierarchy<T: Scalar>(
+    model: Model,
+    csr: &Csr<T>,
+    config: &Config,
+    threads: usize,
+    machine: &MachineProfile,
+    profile: &KernelProfile,
+    hierarchy: &BandwidthHierarchy,
+    exec_domains: Option<&[usize]>,
+    pages_on: Option<usize>,
+) -> f64 {
+    assert!(threads > 0);
+    let nd = hierarchy.n_domains();
+    let exec: Vec<usize> = match exec_domains {
+        Some(e) => {
+            assert_eq!(e.len(), threads, "one execution domain per strip");
+            e.to_vec()
+        }
+        None => (0..threads).map(|s| s % nd).collect(),
+    };
+    assert!(exec.iter().all(|&d| d < nd), "execution domain out of range");
+    if let Some(p) = pages_on {
+        assert!(p < nd, "pages domain out of range");
+    }
+    let pages: Vec<usize> = exec.iter().map(|&e| pages_on.unwrap_or(e)).collect();
+    let mut sharers = vec![0usize; nd];
+    for &p in &pages {
+        sharers[p] += 1;
+    }
+    if threads == 1 {
+        // Mirror predict_threaded's single-thread form (whole matrix,
+        // no slicing) so a flat hierarchy is bitwise-identical to it:
+        // one strip alone on its controller divides by 1, which is
+        // exact.
+        let eff = MachineProfile {
+            bandwidth: hierarchy.strip_bandwidth(exec[0], pages[0], sharers[pages[0]]),
+            ..*machine
+        };
+        return model.predict(&config.substats(csr), &eff, profile);
+    }
+    strip_extents(csr, threads)
+        .into_iter()
+        .enumerate()
+        .map(|(s, rows)| {
+            let eff = MachineProfile {
+                bandwidth: hierarchy.strip_bandwidth(exec[s], pages[s], sharers[pages[s]]),
+                ..*machine
+            };
+            let strip = csr.row_slice(rows);
+            model.predict(&config.substats(&strip), &eff, profile)
+        })
+        .fold(0.0, f64::max)
 }
 
 /// The thread count at which adding threads stops helping according to
@@ -201,7 +354,7 @@ mod tests {
         }
         .build(2);
         for threads in 1..6 {
-            let strips = strip_rows(&csr, threads);
+            let strips = strip_extents(&csr, threads);
             assert_eq!(strips.len(), threads);
             assert_eq!(strips[0].start, 0);
             assert_eq!(strips.last().unwrap().end, 101);
@@ -326,6 +479,111 @@ mod tests {
             &[],
         );
         assert_eq!(structural, fallback);
+    }
+
+    #[test]
+    fn flat_hierarchy_reproduces_predict_threaded_exactly() {
+        let csr = GenSpec::Random {
+            n: 500,
+            m: 500,
+            nnz_per_row: 6,
+        }
+        .build(11);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let h = BandwidthHierarchy::flat(machine().bandwidth);
+        for model in Model::ALL {
+            for threads in 1..=6 {
+                let flat = predict_threaded(model, &csr, &Config::CSR, threads, &machine(), &profile);
+                let hier = predict_threaded_hierarchy(
+                    model, &csr, &Config::CSR, threads, &machine(), &profile, &h, None, None,
+                );
+                assert_eq!(flat, hier, "{model:?} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn remote_pages_cost_more_than_first_touch() {
+        // Two domains; interconnect at a third of local bandwidth. All
+        // pages on node 0 (no first-touch) must predict slower than
+        // pages following their strips.
+        let csr = GenSpec::Random {
+            n: 4_000,
+            m: 4_000,
+            nnz_per_row: 8,
+        }
+        .build(12);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let h = BandwidthHierarchy::new(vec![
+            DomainBandwidth {
+                local: 4e9,
+                remote: 4e9 / 3.0,
+            };
+            2
+        ]);
+        let first_touch = predict_threaded_hierarchy(
+            Model::Mem, &csr, &Config::CSR, 4, &machine(), &profile, &h, None, None,
+        );
+        let all_on_zero = predict_threaded_hierarchy(
+            Model::Mem, &csr, &Config::CSR, 4, &machine(), &profile, &h, None, Some(0),
+        );
+        assert!(
+            all_on_zero > 1.2 * first_touch,
+            "remote pages should be penalized: {first_touch} vs {all_on_zero}"
+        );
+    }
+
+    #[test]
+    fn two_controllers_beat_one_shared_bus() {
+        // Same aggregate silicon, split over two domains: a streaming
+        // kernel that cannot scale on one bus (the memory wall test
+        // above) should roughly halve with first-touch domain spread.
+        let csr = GenSpec::Random {
+            n: 4_000,
+            m: 4_000,
+            nnz_per_row: 8,
+        }
+        .build(13);
+        let profile = KernelProfile::uniform(1e-9, 0.5);
+        let one = BandwidthHierarchy::flat(4e9);
+        let two = BandwidthHierarchy::new(vec![
+            DomainBandwidth {
+                local: 4e9,
+                remote: 1e9,
+            };
+            2
+        ]);
+        let shared = predict_threaded_hierarchy(
+            Model::Mem, &csr, &Config::CSR, 4, &machine(), &profile, &one, None, None,
+        );
+        let spread = predict_threaded_hierarchy(
+            Model::Mem, &csr, &Config::CSR, 4, &machine(), &profile, &two, None, None,
+        );
+        assert!(
+            spread < 0.7 * shared,
+            "domain spread should relieve the bus: {shared} -> {spread}"
+        );
+    }
+
+    #[test]
+    fn strip_bandwidth_charges_the_pages_domain() {
+        let h = BandwidthHierarchy::new(vec![
+            DomainBandwidth {
+                local: 8e9,
+                remote: 2e9,
+            },
+            DomainBandwidth {
+                local: 6e9,
+                remote: 1e9,
+            },
+        ]);
+        assert_eq!(h.strip_bandwidth(0, 0, 1), 8e9);
+        assert_eq!(h.strip_bandwidth(0, 0, 2), 4e9);
+        // Executing on 0, pages on 1: domain 1's interconnect path.
+        assert_eq!(h.strip_bandwidth(0, 1, 1), 1e9);
+        assert_eq!(h.strip_bandwidth(1, 0, 2), 1e9);
+        // Degenerate sharer count never divides by zero.
+        assert_eq!(h.strip_bandwidth(0, 0, 0), 8e9);
     }
 
     #[test]

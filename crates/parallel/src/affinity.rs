@@ -11,6 +11,8 @@
 //! other platform pinning is a documented no-op: [`pin_current_thread`]
 //! returns `false` and the pool keeps running unpinned.
 
+use crate::topology::Topology;
+
 /// How pool workers are assigned to CPU cores.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum PinPolicy {
@@ -24,6 +26,13 @@ pub enum PinPolicy {
     /// Pin worker `i` to `cores[i % cores.len()]` — an explicit core
     /// list, e.g. to keep workers on one NUMA node or skip SMT siblings.
     Cores(Vec<usize>),
+    /// Spread workers round-robin across the topology's memory domains
+    /// (worker `i` → domain `i % D`, consecutive cores within a domain),
+    /// so every memory controller carries an equal share of strips —
+    /// see [`Topology::core_for_worker`] for the exact rule. Combined
+    /// with first-touch strip allocation this is the NUMA-aware
+    /// placement `docs/NUMA.md` describes.
+    Domains(Topology),
 }
 
 impl PinPolicy {
@@ -40,7 +49,41 @@ impl PinPolicy {
                     Some(cores[worker % cores.len()])
                 }
             }
+            PinPolicy::Domains(topology) => Some(topology.core_for_worker(worker)),
         }
+    }
+
+    /// The memory domain the `worker`-th thread executes in, when the
+    /// policy knows one. `Compact`/`Cores` pin but carry no domain map;
+    /// callers wanting per-domain predictions should use `Domains`.
+    pub fn domain_for(&self, worker: usize) -> Option<usize> {
+        match self {
+            PinPolicy::Domains(topology) => Some(topology.domain_for_worker(worker)),
+            _ => None,
+        }
+    }
+
+    /// Whether pinning `n_workers` threads under this policy would land
+    /// two workers on the same core (the policies all round-robin
+    /// rather than fail, which silently serializes the "parallel"
+    /// strips). Pools emit the `pool.pin_oversubscribed` telemetry
+    /// counter and record the condition when this returns `true`.
+    pub fn oversubscribed(&self, n_workers: usize) -> bool {
+        let distinct = match self {
+            PinPolicy::None => return false,
+            PinPolicy::Compact => available_cores(),
+            PinPolicy::Cores(cores) => {
+                if cores.is_empty() {
+                    return false;
+                }
+                let mut sorted = cores.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted.len()
+            }
+            PinPolicy::Domains(topology) => topology.n_cores(),
+        };
+        n_workers > distinct
     }
 }
 
@@ -178,6 +221,34 @@ mod tests {
         // Unpinnable policies still run the work.
         let out = run_pinned(&PinPolicy::None, 3, || "ran");
         assert_eq!(out, "ran");
+    }
+
+    #[test]
+    fn domains_policy_spreads_and_reports_domains() {
+        let t = Topology::from_domains(vec![vec![0, 1], vec![2, 3]]);
+        let p = PinPolicy::Domains(t);
+        assert_eq!(p.core_for(0), Some(0));
+        assert_eq!(p.core_for(1), Some(2));
+        assert_eq!(p.core_for(2), Some(1));
+        assert_eq!(p.core_for(3), Some(3));
+        assert_eq!(p.domain_for(0), Some(0));
+        assert_eq!(p.domain_for(3), Some(1));
+        assert_eq!(PinPolicy::Compact.domain_for(0), None);
+    }
+
+    #[test]
+    fn oversubscription_is_detected_per_policy() {
+        assert!(!PinPolicy::None.oversubscribed(10_000));
+        assert!(!PinPolicy::Cores(vec![]).oversubscribed(3));
+        // Duplicate cores collapse: two workers on {5, 5} oversubscribe.
+        assert!(PinPolicy::Cores(vec![5, 5]).oversubscribed(2));
+        assert!(!PinPolicy::Cores(vec![5, 6]).oversubscribed(2));
+        let t = Topology::from_domains(vec![vec![0], vec![1]]);
+        assert!(!PinPolicy::Domains(t.clone()).oversubscribed(2));
+        assert!(PinPolicy::Domains(t).oversubscribed(3));
+        let n = available_cores();
+        assert!(!PinPolicy::Compact.oversubscribed(n));
+        assert!(PinPolicy::Compact.oversubscribed(n + 1));
     }
 
     #[test]

@@ -43,10 +43,13 @@ pub mod affinity;
 pub mod driver;
 pub mod partition;
 pub mod pool;
+pub mod topology;
 
 pub use affinity::{run_pinned, PinPolicy};
 pub use driver::ParallelSpmv;
 pub use partition::{
-    bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, partition_units, units_to_rows,
+    bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, heavy_unit, partition_units,
+    split_segments, units_to_rows,
 };
-pub use pool::{SpmvPool, StripReport};
+pub use pool::{Placement, SpmvPool, StripReport};
+pub use topology::Topology;

@@ -69,6 +69,64 @@ pub fn partition_units(weights: &[u64], parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// The index of a unit too heavy for any static row-granular split: the
+/// (first) maximum-weight unit, iff its weight alone **exceeds** the
+/// ideal share `total / parts`.
+///
+/// Such a unit forces the strip that holds it past the balance bound no
+/// matter where the boundaries fall, so the pool's nnz-split fallback
+/// shears it across workers instead (Bergmans et al., arXiv:2502.19284,
+/// motivate nonzero-level splitting for exactly these rows). Returns
+/// `None` for `parts <= 1` (nothing to balance against) and whenever
+/// every unit fits the ideal share — i.e. for every matrix the plain
+/// partition already handles well.
+///
+/// ```
+/// use spmv_parallel::heavy_unit;
+/// // One row holds 90 of 100 nonzeros: ideal share at 4 parts is 25.
+/// assert_eq!(heavy_unit(&[2, 90, 3, 5], 4), Some(1));
+/// assert_eq!(heavy_unit(&[25, 25, 25, 25], 4), None);
+/// assert_eq!(heavy_unit(&[2, 90, 3, 5], 1), None);
+/// ```
+pub fn heavy_unit(weights: &[u64], parts: usize) -> Option<usize> {
+    if parts <= 1 || weights.is_empty() {
+        return None;
+    }
+    let (idx, &max) = weights
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &w)| w)?;
+    let total: u64 = weights.iter().sum();
+    // Strict inequality on the cross-multiplied form: max > total/parts
+    // without integer-division truncation.
+    (max as u128 * parts as u128 > total as u128).then_some(idx)
+}
+
+/// Splits `0..nnz` into `parts` contiguous, near-equal segments (sizes
+/// differ by at most one, larger segments first). The segment list a
+/// sheared heavy row's nonzeros are dealt to workers with; segments may
+/// be empty when `parts > nnz`.
+///
+/// ```
+/// use spmv_parallel::split_segments;
+/// assert_eq!(split_segments(10, 3), vec![0..4, 4..7, 7..10]);
+/// assert_eq!(split_segments(2, 4), vec![0..1, 1..2, 2..2, 2..2]);
+/// ```
+pub fn split_segments(nnz: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "at least one segment required");
+    let base = nnz / parts;
+    let extra = nnz % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, nnz);
+    out
+}
+
 /// Converts unit ranges (units of `unit_height` rows) into row ranges,
 /// clamping the final range to `n_rows`.
 ///
@@ -284,6 +342,36 @@ mod tests {
         assert_eq!(w, vec![8, 8, 8, 0]);
         let wd = bcsd_unit_weights(&csr, 2);
         assert_eq!(wd, vec![2, 2, 2, 0]);
+    }
+
+    #[test]
+    fn heavy_unit_triggers_only_past_the_ideal_share() {
+        // Exactly the ideal share is fine; one more nonzero trips it.
+        assert_eq!(heavy_unit(&[25, 25, 25, 25], 4), None);
+        assert_eq!(heavy_unit(&[26, 25, 25, 24], 4), Some(0));
+        assert_eq!(heavy_unit(&[], 4), None);
+        assert_eq!(heavy_unit(&[100], 1), None);
+        // All weight in one unit: always heavy for parts > 1.
+        assert_eq!(heavy_unit(&[0, 7, 0], 3), Some(1));
+    }
+
+    #[test]
+    fn split_segments_cover_contiguously_with_near_equal_sizes() {
+        for nnz in [0usize, 1, 2, 7, 10, 33] {
+            for parts in 1..=5 {
+                let segs = split_segments(nnz, parts);
+                assert_eq!(segs.len(), parts);
+                assert_eq!(segs[0].start, 0);
+                assert_eq!(segs.last().unwrap().end, nnz);
+                for pair in segs.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start);
+                }
+                let (min, max) = segs
+                    .iter()
+                    .fold((usize::MAX, 0), |(lo, hi), r| (lo.min(r.len()), hi.max(r.len())));
+                assert!(max - min <= 1, "nnz={nnz} parts={parts}: {segs:?}");
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,8 @@ use std::time::{Duration, Instant};
 
 use crate::affinity::PinPolicy;
 use crate::driver::ParallelSpmv;
+use crate::partition::{heavy_unit, partition_units, split_segments, units_to_rows};
+use crate::topology::Topology;
 use spmv_core::{Csr, MatrixShape, Scalar, SpMv, SpMvMulti};
 use spmv_telemetry::window::SampleWindow;
 
@@ -163,9 +165,42 @@ struct SharedOutput<T> {
 unsafe impl<T: Send> Sync for SharedOutput<T> {}
 
 impl<T: Scalar> SharedOutput<T> {
+    /// A zeroed buffer whose pages are **untouched**: `alloc_zeroed`
+    /// hands back copy-on-write zero pages, so each page's physical
+    /// placement is decided by its *first writer* — the strip's worker —
+    /// which is the first-touch protocol `docs/NUMA.md` describes.
+    /// (A `vec![ZERO; n]`-style init here would place every output page
+    /// on the driver's node.)
     fn zeroed(n: usize) -> Self {
-        SharedOutput {
-            buf: (0..n).map(|_| UnsafeCell::new(T::ZERO)).collect(),
+        if n == 0 {
+            return SharedOutput {
+                buf: Vec::new().into_boxed_slice(),
+            };
+        }
+        // `Scalar` is implemented for f32/f64 only, whose additive
+        // identity is the all-zero bit pattern; assert it so a future
+        // exotic Scalar impl fails loudly instead of reading garbage.
+        let zero = T::ZERO;
+        // SAFETY: reading the bytes of a live `T` value.
+        let zero_bytes = unsafe {
+            core::slice::from_raw_parts(&zero as *const T as *const u8, core::mem::size_of::<T>())
+        };
+        assert!(
+            zero_bytes.iter().all(|&b| b == 0),
+            "SharedOutput requires T::ZERO to be the all-zero bit pattern"
+        );
+        let layout = std::alloc::Layout::array::<UnsafeCell<T>>(n).expect("output buffer layout");
+        // SAFETY: `layout` is non-zero-sized (n > 0, T is f32/f64); the
+        // zeroed bytes are a valid `[UnsafeCell<T>]` per the assert
+        // above, and `Box::from_raw` pairs with this exact array layout.
+        unsafe {
+            let ptr = std::alloc::alloc_zeroed(layout) as *mut UnsafeCell<T>;
+            if ptr.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            SharedOutput {
+                buf: Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, n)),
+            }
         }
     }
 
@@ -203,6 +238,9 @@ impl<T: Scalar> SharedOutput<T> {
 struct StripTiming {
     window: SampleWindow,
     thread_ids: Vec<ThreadId>,
+    /// Pin outcome of the serving worker: `None` while unknown or when
+    /// the policy did not ask for a core, `Some(ok)` after the attempt.
+    pinned: Option<bool>,
 }
 
 impl StripTiming {
@@ -210,6 +248,7 @@ impl StripTiming {
         StripTiming {
             window: SampleWindow::default(),
             thread_ids: Vec::new(),
+            pinned: None,
         }
     }
 
@@ -242,6 +281,12 @@ pub struct StripReport {
     /// `false` for a healthy pool, since workers live for the pool's
     /// whole lifetime.
     pub respawned: bool,
+    /// Whether the worker's pin attempt succeeded: `None` when the
+    /// policy asked for no core (or the worker has not reported yet),
+    /// `Some(false)` when `sched_setaffinity` rejected the mask — the
+    /// pool keeps running unpinned, but placement-sensitive callers
+    /// (e.g. a NUMA sweep) can see the degradation here.
+    pub pinned: Option<bool>,
 }
 
 /// One worker's synchronization + instrumentation state, cache-line
@@ -257,6 +302,86 @@ impl WorkerState {
         WorkerState {
             done: AtomicU64::new(0),
             timing: Mutex::new(StripTiming::new()),
+        }
+    }
+}
+
+/// Driver-side state of an active heavy-row nnz split (see
+/// [`Placement`]): the sheared row, its nonzero count, and the products
+/// scratch the workers fill.
+///
+/// Bitwise-reproducibility protocol: workers write only the elementwise
+/// **products** `val[p] * x[col[p]]` of their disjoint segment into
+/// `scratch` (never partial sums), and the driver — still holding the
+/// epoch guard, so the pool is quiescent — folds the products in
+/// nonzero order with the same `product + acc` addition the serial CSR
+/// kernel uses. Identical multiplications in identical positions plus an
+/// identical left-fold addition order reproduce the serial rounding
+/// exactly, which floating-point re-association could not.
+struct SplitShared<T> {
+    row: usize,
+    nnz: usize,
+    /// `nnz * POOL_EPOCH_K` product slots, vector-major: epoch vector
+    /// `t` owns `[t * nnz, (t + 1) * nnz)`.
+    scratch: SharedOutput<T>,
+}
+
+/// One worker's share of a sheared heavy row: the column indices and
+/// values of its contiguous nonzero segment, plus where that segment's
+/// products land in [`SplitShared::scratch`].
+struct SplitSeg<T> {
+    cols: Vec<usize>,
+    vals: Vec<T>,
+    offset: usize,
+}
+
+/// How a pool places its workers and pages — the NUMA-aware superset of
+/// a bare [`PinPolicy`].
+///
+/// * `pin` — worker → core assignment (use [`PinPolicy::Domains`] to
+///   spread workers across memory domains);
+/// * `first_touch` — build each worker's strip *on that worker* after
+///   pinning, and leave output pages untouched until the owning worker
+///   first writes them, so all strip-local pages land on the worker's
+///   node;
+/// * `nnz_split` — when one row is heavier than the ideal per-worker
+///   share, shear its nonzeros across all workers with a
+///   deterministic, bitwise-reproducible merge (see `docs/NUMA.md`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Placement {
+    /// Worker → core pinning policy.
+    pub pin: PinPolicy,
+    /// Build strips on their own (pinned) workers — first-touch pages.
+    pub first_touch: bool,
+    /// Shear a too-heavy row across workers instead of accepting the
+    /// imbalance (only applies to row-granular partitions,
+    /// `unit_height == 1`).
+    pub nnz_split: bool,
+}
+
+impl Placement {
+    /// No pinning, caller-side allocation, no splitting — byte-for-byte
+    /// the behaviour of [`SpmvPool::from_csr`] with [`PinPolicy::None`].
+    pub fn none() -> Self {
+        Placement::default()
+    }
+
+    /// Pin under `pin` but keep caller-side allocation and no
+    /// splitting — the pre-NUMA pool behaviour.
+    pub fn pinned(pin: PinPolicy) -> Self {
+        Placement {
+            pin,
+            ..Placement::default()
+        }
+    }
+
+    /// The full NUMA-aware placement: domain-spread pinning,
+    /// first-touch allocation, and the heavy-row split.
+    pub fn domain_aware(topology: Topology) -> Self {
+        Placement {
+            pin: PinPolicy::Domains(topology),
+            first_touch: true,
+            nnz_split: true,
         }
     }
 }
@@ -277,6 +402,8 @@ struct PoolShared<T> {
     /// `k ≤ POOL_EPOCH_K` output columns out contiguously at its base —
     /// disjointness follows from strip disjointness, as for `y`.
     y_multi: SharedOutput<T>,
+    /// Active heavy-row nnz split, if the placement sheared one.
+    split: Option<SplitShared<T>>,
     workers: Vec<WorkerState>,
 }
 
@@ -326,6 +453,18 @@ pub struct SpmvPool<T: Scalar> {
     n_cols: usize,
     nnz_stored: usize,
     matrix_bytes: usize,
+    pin_oversubscribed: bool,
+}
+
+/// Shared strip-conversion closure, cloned into every deferred worker.
+type BuildFn<T, F> = Arc<dyn Fn(&Csr<T>) -> F + Send + Sync>;
+
+/// How a worker obtains its strip: pre-built on the caller (the classic
+/// path), or deferred so the conversion runs on the pinned worker and
+/// the strip's pages are first-touched on the local node.
+enum StripSource<T: Scalar, F> {
+    Built(F),
+    Deferred { sub: Csr<T>, build: BuildFn<T, F> },
 }
 
 impl<T: Scalar> SpmvPool<T> {
@@ -343,22 +482,91 @@ impl<T: Scalar> SpmvPool<T> {
     where
         F: SpMvMulti<T> + Send + 'static,
     {
-        let mut prev_end = 0usize;
         for (rows, mat) in &strips {
+            assert_eq!(mat.n_rows(), rows.len(), "strip shape disagrees with its range");
+            assert_eq!(mat.n_cols(), n_cols, "strip column count disagrees");
+        }
+        Self::build_inner(
+            strips
+                .into_iter()
+                .map(|(r, m)| (r, StripSource::Built(m)))
+                .collect(),
+            n_rows,
+            n_cols,
+            pin,
+            None,
+        )
+    }
+
+    /// The shared constructor behind every public entry point: validates
+    /// the strip ranges, spawns the workers (pre-built or deferred
+    /// first-touch strips), wires up an optional heavy-row split, and
+    /// records pin oversubscription.
+    fn build_inner<F>(
+        sources: Vec<(Range<usize>, StripSource<T, F>)>,
+        n_rows: usize,
+        n_cols: usize,
+        pin: PinPolicy,
+        split_plan: Option<(usize, Vec<usize>, Vec<T>)>,
+    ) -> Self
+    where
+        F: SpMvMulti<T> + Send + 'static,
+    {
+        let mut prev_end = 0usize;
+        for (rows, _) in &sources {
             assert!(!rows.is_empty(), "empty strip {rows:?}");
             assert!(rows.start >= prev_end, "strips overlap or are unsorted at {rows:?}");
             assert!(rows.end <= n_rows, "strip {rows:?} exceeds {n_rows} rows");
-            assert_eq!(mat.n_rows(), rows.len(), "strip shape disagrees with its range");
-            assert_eq!(mat.n_cols(), n_cols, "strip column count disagrees");
             prev_end = rows.end;
         }
-        let nnz_stored = strips.iter().map(|(_, m)| m.nnz_stored()).sum();
-        let matrix_bytes = strips.iter().map(|(_, m)| m.matrix_bytes()).sum();
-        let strip_rows: Vec<Range<usize>> = strips.iter().map(|(r, _)| r.clone()).collect();
+        let strip_rows: Vec<Range<usize>> = sources.iter().map(|(r, _)| r.clone()).collect();
+        let n_strips = sources.len();
+
+        let pin_oversubscribed = pin.oversubscribed(n_strips);
+        if pin_oversubscribed {
+            spmv_telemetry::counter("pool.pin_oversubscribed", 1);
+        }
+
+        // Pre-built strips are summed here; deferred strips report their
+        // stats over the channel once built on their workers.
+        let mut nnz_stored = 0usize;
+        let mut matrix_bytes = 0usize;
+        let mut n_deferred = 0usize;
+        for (_, src) in &sources {
+            match src {
+                StripSource::Built(m) => {
+                    nnz_stored += m.nnz_stored();
+                    matrix_bytes += m.matrix_bytes();
+                }
+                StripSource::Deferred { .. } => n_deferred += 1,
+            }
+        }
+
+        // Heavy-row split: one contiguous product segment per worker.
+        let mut segs: Vec<Option<SplitSeg<T>>> = (0..n_strips).map(|_| None).collect();
+        let split = split_plan.map(|(row, cols, vals)| {
+            let nnz = cols.len();
+            nnz_stored += nnz;
+            matrix_bytes += nnz * (core::mem::size_of::<usize>() + T::BYTES);
+            for (w, r) in split_segments(nnz, n_strips.max(1)).into_iter().enumerate() {
+                if w < n_strips && !r.is_empty() {
+                    segs[w] = Some(SplitSeg {
+                        cols: cols[r.clone()].to_vec(),
+                        vals: vals[r.clone()].to_vec(),
+                        offset: r.start,
+                    });
+                }
+            }
+            SplitShared {
+                row,
+                nnz,
+                scratch: SharedOutput::zeroed(nnz * POOL_EPOCH_K),
+            }
+        });
 
         // Workers + the driving thread all need their own hardware
         // thread for busy-waiting to be profitable.
-        let oversubscribed = strips.len() + 1 > crate::affinity::available_cores();
+        let oversubscribed = n_strips + 1 > crate::affinity::available_cores();
         let shared = Arc::new(PoolShared {
             epoch: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
@@ -366,20 +574,48 @@ impl<T: Scalar> SpmvPool<T> {
             x: XSlot::new(),
             y: SharedOutput::zeroed(n_rows),
             y_multi: SharedOutput::zeroed(n_rows * POOL_EPOCH_K),
-            workers: strips.iter().map(|_| WorkerState::new()).collect(),
+            split,
+            workers: (0..n_strips).map(|_| WorkerState::new()).collect(),
         });
 
-        let mut handles = Vec::with_capacity(strips.len());
-        let mut worker_threads = Vec::with_capacity(strips.len());
-        for (idx, (rows, mat)) in strips.into_iter().enumerate() {
+        let (stats_tx, stats_rx) = std::sync::mpsc::channel();
+        let mut handles = Vec::with_capacity(n_strips);
+        let mut worker_threads = Vec::with_capacity(n_strips);
+        for (idx, ((rows, src), seg)) in sources.into_iter().zip(segs).enumerate() {
             let shared = Arc::clone(&shared);
             let core = pin.core_for(idx);
+            let stats = matches!(src, StripSource::Deferred { .. }).then(|| stats_tx.clone());
             let handle = thread::Builder::new()
                 .name(format!("spmv-pool-{idx}"))
-                .spawn(move || worker_loop(shared, idx, rows, mat, core))
+                .spawn(move || worker_loop(shared, idx, rows, src, core, seg, stats))
                 .expect("spawn pool worker");
             worker_threads.push(handle.thread().clone());
             handles.push(handle);
+        }
+        drop(stats_tx);
+
+        // Block until every deferred strip is built (also the moment any
+        // build failure surfaces — tear the pool down and propagate).
+        let mut failures: Vec<String> = Vec::new();
+        for _ in 0..n_deferred {
+            match stats_rx.recv() {
+                Ok(Ok((nnz, bytes))) => {
+                    nnz_stored += nnz;
+                    matrix_bytes += bytes;
+                }
+                Ok(Err(msg)) => failures.push(msg),
+                Err(_) => failures.push("pool worker exited during strip construction".into()),
+            }
+        }
+        if !failures.is_empty() {
+            shared.epoch.store(SHUTDOWN, Ordering::Release);
+            for t in &worker_threads {
+                t.unpark();
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+            panic!("pool strip construction failed: {}", failures.join("; "));
         }
 
         SpmvPool {
@@ -392,6 +628,7 @@ impl<T: Scalar> SpmvPool<T> {
             n_cols,
             nnz_stored,
             matrix_bytes,
+            pin_oversubscribed,
         }
     }
 
@@ -424,9 +661,103 @@ impl<T: Scalar> SpmvPool<T> {
         )
     }
 
+    /// Like [`SpmvPool::from_csr`], but NUMA-aware per `placement`:
+    ///
+    /// * with `placement.first_touch`, each strip's format conversion
+    ///   runs **on its own pinned worker**, so the strip's matrix pages
+    ///   — and, via untouched zero pages, its output slots — are
+    ///   first-touched on the worker's memory domain;
+    /// * with `placement.nnz_split` (row-granular partitions only,
+    ///   `unit_height == 1`), a single row heavier than the ideal
+    ///   per-worker share is sheared across all workers and merged by
+    ///   the driver in a bitwise-reproducible order (the result is
+    ///   exactly the serial CSR result — see `docs/NUMA.md`);
+    /// * `placement.pin` places workers, with [`PinPolicy::Domains`]
+    ///   spreading them round-robin across memory domains.
+    ///
+    /// With [`Placement::pinned`] this behaves exactly like
+    /// [`SpmvPool::from_csr`].
+    pub fn from_csr_placed<F>(
+        csr: &Csr<T>,
+        n_threads: usize,
+        unit_weights: &[u64],
+        unit_height: usize,
+        build: impl Fn(&Csr<T>) -> F + Send + Sync + 'static,
+        placement: Placement,
+    ) -> Self
+    where
+        F: SpMvMulti<T> + Send + 'static,
+    {
+        assert!(n_threads > 0, "at least one thread required");
+        let n_rows = csr.n_rows();
+        let split_row = if placement.nnz_split && unit_height == 1 {
+            heavy_unit(unit_weights, n_threads)
+        } else {
+            None
+        };
+
+        // With a sheared row, the strips are built from the matrix with
+        // that row emptied and the partition re-balanced without it.
+        let (split_plan, rest) = match split_row {
+            Some(row) => {
+                let (cols_raw, vals_raw) = csr.row(row);
+                let cols: Vec<usize> = cols_raw.iter().map(|&c| c as usize).collect();
+                (Some((row, cols, vals_raw.to_vec())), Some(remove_row(csr, row)))
+            }
+            None => (None, None),
+        };
+        let source = rest.as_ref().unwrap_or(csr);
+        let weights_rest;
+        let weights = match split_row {
+            Some(row) => {
+                let mut w = unit_weights.to_vec();
+                w[row] = 0;
+                weights_rest = w;
+                &weights_rest[..]
+            }
+            None => unit_weights,
+        };
+        let ranges: Vec<Range<usize>> =
+            units_to_rows(&partition_units(weights, n_threads), unit_height, n_rows)
+                .into_iter()
+                .filter(|r| !r.is_empty())
+                .collect();
+
+        let build: BuildFn<T, F> = Arc::new(build);
+        let sources: Vec<(Range<usize>, StripSource<T, F>)> = ranges
+            .into_iter()
+            .map(|r| {
+                let sub = source.row_slice(r.clone());
+                let src = if placement.first_touch {
+                    StripSource::Deferred {
+                        sub,
+                        build: Arc::clone(&build),
+                    }
+                } else {
+                    StripSource::Built(build(&sub))
+                };
+                (r, src)
+            })
+            .collect();
+        Self::build_inner(sources, n_rows, csr.n_cols(), placement.pin, split_plan)
+    }
+
     /// Number of live workers (= non-empty strips, ≤ requested threads).
     pub fn n_workers(&self) -> usize {
         self.strip_rows.len()
+    }
+
+    /// Whether the pin policy would land two workers on one core (also
+    /// emitted as the `pool.pin_oversubscribed` telemetry counter at
+    /// construction). See [`PinPolicy::oversubscribed`].
+    pub fn pin_oversubscribed(&self) -> bool {
+        self.pin_oversubscribed
+    }
+
+    /// The row sheared across workers by the nnz-split fallback, if the
+    /// placement activated one.
+    pub fn split_row(&self) -> Option<usize> {
+        self.shared.split.as_ref().map(|s| s.row)
     }
 
     /// The row ranges assigned to each worker.
@@ -452,6 +783,7 @@ impl<T: Scalar> SpmvPool<T> {
                     min_ns: t.window.min(),
                     median_ns: t.window.median(),
                     respawned: t.thread_ids.len() > 1,
+                    pinned: t.pinned,
                 }
             })
             .collect()
@@ -559,6 +891,32 @@ impl<T: Scalar> SpmvPool<T> {
         );
         st
     }
+
+    /// Folds the heavy-row product scratch into one sum per epoch
+    /// vector, in nonzero order — the deterministic merge reduction.
+    ///
+    /// The products were computed by the workers with the same multiply
+    /// the serial CSR kernel uses, and this fold adds them in the same
+    /// order with the same `product + acc` operand shape, so the merged
+    /// value is bitwise-equal to the serial row result. Must be called
+    /// while the guard returned by [`SpmvPool::run_epoch`] is alive (the
+    /// scratch read requires quiescence).
+    fn merge_split(&self, k: usize) -> Option<(usize, Vec<T>)> {
+        let sp = self.shared.split.as_ref()?;
+        // SAFETY: the caller holds the epoch guard, so no worker is
+        // writing the scratch.
+        let scratch = unsafe { sp.scratch.as_slice() };
+        let sums = (0..k)
+            .map(|t| {
+                let mut acc = T::ZERO;
+                for &p in &scratch[t * sp.nnz..(t + 1) * sp.nnz] {
+                    acc = p + acc;
+                }
+                acc
+            })
+            .collect();
+        Some((sp.row, sums))
+    }
 }
 
 impl<T: Scalar> MatrixShape for SpmvPool<T> {
@@ -581,11 +939,16 @@ impl<T: Scalar> SpMv<T> for SpmvPool<T> {
             return;
         }
         let guard = self.run_epoch(x, 1);
+        let merged = self.merge_split(1);
         // SAFETY: `guard` keeps the pool quiescent; uncovered rows were
         // zero-initialized and are never written, so a straight copy is
         // complete.
         y.copy_from_slice(unsafe { self.shared.y.as_slice() });
         drop(guard);
+        // The sheared row is empty in every strip; its merged sum wins.
+        if let Some((row, sums)) = merged {
+            y[row] = sums[0];
+        }
     }
 
     fn nnz_stored(&self) -> usize {
@@ -612,6 +975,7 @@ impl<T: Scalar> SpMvMulti<T> for SpmvPool<T> {
         while t0 < k {
             let kc = (k - t0).min(POOL_EPOCH_K);
             let guard = self.run_epoch(&x[t0 * m..(t0 + kc) * m], kc);
+            let merged = self.merge_split(kc);
             // SAFETY (both arms): `guard` keeps the pool quiescent while
             // the epoch's output is copied out.
             if kc == 1 {
@@ -629,6 +993,11 @@ impl<T: Scalar> SpMvMulti<T> for SpmvPool<T> {
                 }
             }
             drop(guard);
+            if let Some((row, sums)) = merged {
+                for (t, s) in sums.into_iter().enumerate() {
+                    y[(t0 + t) * n + row] = s;
+                }
+            }
             t0 += kc;
         }
     }
@@ -651,24 +1020,57 @@ impl<T: Scalar> Drop for SpmvPool<T> {
     }
 }
 
-/// The body of one pool worker: pin, then serve epochs until shutdown.
+/// The body of one pool worker: pin, build the strip if it was deferred
+/// for first-touch placement, then serve epochs until shutdown.
 fn worker_loop<T: Scalar, F: SpMvMulti<T>>(
     shared: Arc<PoolShared<T>>,
     idx: usize,
     rows: Range<usize>,
-    mat: F,
+    source: StripSource<T, F>,
     core: Option<usize>,
+    split_seg: Option<SplitSeg<T>>,
+    stats: Option<std::sync::mpsc::Sender<Result<(usize, usize), String>>>,
 ) {
-    if let Some(c) = core {
-        // Best-effort: a rejected mask (e.g. restricted cpuset) leaves
-        // the worker unpinned but fully functional.
-        let _ = crate::affinity::pin_current_thread(c);
-    }
+    // Best-effort: a rejected mask (e.g. restricted cpuset) leaves the
+    // worker unpinned but fully functional; the outcome is recorded so
+    // placement-sensitive callers can detect the degradation.
+    let pin_result = core.map(crate::affinity::pin_current_thread);
     let me = &shared.workers[idx];
-    me.timing
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .note_thread(thread::current().id());
+    {
+        let mut t = me.timing.lock().unwrap_or_else(|e| e.into_inner());
+        t.note_thread(thread::current().id());
+        t.pinned = pin_result;
+    }
+
+    // Deferred strips are converted here, *after* pinning, so the
+    // format's pages are first-touched on this worker's memory domain.
+    let mat = match source {
+        StripSource::Built(m) => m,
+        StripSource::Deferred { sub, build } => {
+            let built = catch_unwind(AssertUnwindSafe(|| {
+                let m = build(&sub);
+                assert_eq!(m.n_rows(), rows.len(), "strip shape disagrees with its range");
+                assert_eq!(m.n_cols(), sub.n_cols(), "strip column count disagrees");
+                m
+            }));
+            match built {
+                Ok(m) => {
+                    if let Some(tx) = &stats {
+                        let _ = tx.send(Ok((m.nnz_stored(), m.matrix_bytes())));
+                    }
+                    m
+                }
+                Err(_) => {
+                    shared.poisoned.store(true, Ordering::Release);
+                    if let Some(tx) = &stats {
+                        let _ = tx.send(Err(format!("strip {idx} build panicked")));
+                    }
+                    return;
+                }
+            }
+        }
+    };
+    drop(stats);
 
     let mut done = 0u64;
     loop {
@@ -713,6 +1115,23 @@ fn worker_loop<T: Scalar, F: SpMvMulti<T>>(
                 let y = unsafe { shared.y_multi.slice_mut(base..base + rows.len() * k) };
                 mat.spmv_multi_into(x, y, k);
             }
+            // Heavy-row split: write this worker's segment of products
+            // (never partial sums — the driver's in-order fold is what
+            // keeps the merge bitwise-equal to the serial kernel).
+            if let (Some(seg), Some(sp)) = (&split_seg, &shared.split) {
+                let kk = k.max(1);
+                let m = x.len() / kk.max(1);
+                for t in 0..kk {
+                    let xt = &x[t * m..(t + 1) * m];
+                    let base = t * sp.nnz + seg.offset;
+                    // SAFETY: segments partition the row's nonzeros, so
+                    // this range is disjoint from every other worker's.
+                    let out = unsafe { sp.scratch.slice_mut(base..base + seg.cols.len()) };
+                    for ((o, &c), &v) in out.iter_mut().zip(&seg.cols).zip(&seg.vals) {
+                        *o = v * xt[c];
+                    }
+                }
+            }
         }));
         let ns = t0.elapsed().as_nanos() as u64;
         if armed {
@@ -729,6 +1148,24 @@ fn worker_loop<T: Scalar, F: SpMvMulti<T>>(
         done = target;
         me.done.store(done, Ordering::Release);
     }
+}
+
+/// A copy of `csr` with row `row`'s nonzeros dropped — the row itself
+/// stays (empty), so shapes and strip boundaries are unchanged. Values
+/// and intra-row column order are preserved exactly, so the rest-matrix
+/// rows stay bitwise-identical to the original rows.
+fn remove_row<T: Scalar>(csr: &Csr<T>, row: usize) -> Csr<T> {
+    let mut coo = spmv_core::Coo::new(csr.n_rows(), csr.n_cols());
+    for i in 0..csr.n_rows() {
+        if i == row {
+            continue;
+        }
+        let (cols, vals) = csr.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let _ = coo.push(i, c as usize, v);
+        }
+    }
+    Csr::from_coo(&coo)
 }
 
 #[cfg(test)]
@@ -958,6 +1395,178 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn placed_pool_first_touch_matches_bitwise() {
+        let csr = fixture(97, 53);
+        let x: Vec<f64> = (0..53).map(|i| 0.25 + (i % 7) as f64).collect();
+        let want = csr.spmv(&x);
+        for threads in [1, 2, 4] {
+            let placement = Placement {
+                pin: PinPolicy::None,
+                first_touch: true,
+                nnz_split: false,
+            };
+            let pool = SpmvPool::from_csr_placed(
+                &csr,
+                threads,
+                &csr_unit_weights(&csr),
+                1,
+                Csr::clone,
+                placement,
+            );
+            assert_eq!(pool.spmv(&x), want, "threads = {threads}");
+            // Deferred builds must aggregate the same stats as eager ones.
+            let eager = pool_for(&csr, threads);
+            assert_eq!(pool.nnz_stored(), eager.nnz_stored());
+            assert_eq!(pool.matrix_bytes(), eager.matrix_bytes());
+        }
+    }
+
+    #[test]
+    fn split_pool_shears_a_heavy_row_and_stays_bitwise() {
+        // Row 2 holds most of the matrix: heavier than any ideal share.
+        let mut coo = Coo::new(8, 64);
+        for j in 0..60 {
+            let _ = coo.push(2, j, 1.0 + (j % 9) as f64 * 0.125);
+        }
+        for i in 0..8 {
+            let _ = coo.push(i, (7 * i + 3) % 64, 2.5 + i as f64);
+        }
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..64).map(|i| 0.5 + (i % 13) as f64 * 0.25).collect();
+        let want = csr.spmv(&x);
+        for threads in [2, 3, 4] {
+            let placement = Placement {
+                pin: PinPolicy::None,
+                first_touch: false,
+                nnz_split: true,
+            };
+            let pool = SpmvPool::from_csr_placed(
+                &csr,
+                threads,
+                &csr_unit_weights(&csr),
+                1,
+                Csr::clone,
+                placement,
+            );
+            assert_eq!(pool.split_row(), Some(2), "threads = {threads}");
+            assert_eq!(pool.spmv(&x), want, "threads = {threads}");
+            // Multi-vector epochs merge per vector.
+            let k = 9; // one 8-wide epoch + one single
+            let xk: Vec<f64> = (0..64 * k).map(|i| 0.1 + (i % 17) as f64 * 0.5).collect();
+            let got = pool.spmv_multi(&xk, k);
+            for t in 0..k {
+                let want_t = csr.spmv(&xk[t * 64..(t + 1) * 64]);
+                assert_eq!(got[t * 8..(t + 1) * 8], want_t, "threads={threads} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_does_not_trigger_on_balanced_matrices() {
+        let csr = fixture(64, 64);
+        let placement = Placement {
+            pin: PinPolicy::None,
+            first_touch: false,
+            nnz_split: true,
+        };
+        let pool = SpmvPool::from_csr_placed(
+            &csr,
+            2,
+            &csr_unit_weights(&csr),
+            1,
+            Csr::clone,
+            placement,
+        );
+        // The fixture spreads 1–4 nnz per row; no row exceeds half the total.
+        assert_eq!(pool.split_row(), None);
+    }
+
+    #[test]
+    fn single_row_matrix_splits_to_one_worker_and_stays_bitwise() {
+        // Pathological: every nonzero in one row — the rest partition
+        // collapses to one covering strip and the split is segment 0..nnz.
+        let mut coo = Coo::new(4, 40);
+        for j in 0..40 {
+            let _ = coo.push(1, j, 0.75 + (j % 5) as f64);
+        }
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..40).map(|i| 1.0 + (i % 3) as f64 * 0.5).collect();
+        let pool = SpmvPool::from_csr_placed(
+            &csr,
+            4,
+            &csr_unit_weights(&csr),
+            1,
+            Csr::clone,
+            Placement {
+                pin: PinPolicy::None,
+                first_touch: false,
+                nnz_split: true,
+            },
+        );
+        assert_eq!(pool.split_row(), Some(1));
+        assert_eq!(pool.spmv(&x), csr.spmv(&x));
+    }
+
+    #[test]
+    fn oversubscribed_pin_policy_is_recorded() {
+        let csr = fixture(30, 30);
+        // Two workers forced onto one core: oversubscribed by definition.
+        let pool = SpmvPool::from_csr(
+            &csr,
+            2,
+            &csr_unit_weights(&csr),
+            1,
+            Csr::clone,
+            PinPolicy::Cores(vec![0]),
+        );
+        assert!(pool.pin_oversubscribed());
+        let unpinned = pool_for(&csr, 2);
+        assert!(!unpinned.pin_oversubscribed());
+    }
+
+    #[test]
+    fn pin_failure_is_recorded_and_results_stay_bitwise() {
+        let csr = fixture(40, 40);
+        let x = vec![1.5; 40];
+        let want = csr.spmv(&x);
+        // An absurd core index: pin_current_thread refuses it, the pool
+        // runs unpinned, and the strip reports say so.
+        let pool = SpmvPool::from_csr(
+            &csr,
+            2,
+            &csr_unit_weights(&csr),
+            1,
+            Csr::clone,
+            PinPolicy::Cores(vec![1 << 20]),
+        );
+        assert_eq!(pool.spmv(&x), want);
+        for report in pool.strip_reports() {
+            assert_eq!(report.pinned, Some(false), "pin should have failed");
+        }
+        // No-pin policies report no pin attempt at all.
+        for report in pool_for(&csr, 2).strip_reports() {
+            assert_eq!(report.pinned, None);
+        }
+    }
+
+    #[test]
+    fn domain_placed_pool_computes_correctly_on_fake_topology() {
+        let csr = fixture(80, 80);
+        let x: Vec<f64> = (0..80).map(|i| 0.5 + (i % 9) as f64).collect();
+        let want = csr.spmv(&x);
+        let topo = crate::topology::Topology::from_domains(vec![vec![0], vec![1]]);
+        let pool = SpmvPool::from_csr_placed(
+            &csr,
+            2,
+            &csr_unit_weights(&csr),
+            1,
+            Csr::clone,
+            Placement::domain_aware(topo),
+        );
+        assert_eq!(pool.spmv(&x), want);
     }
 
     #[test]

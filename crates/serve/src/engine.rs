@@ -337,6 +337,12 @@ pub struct EngineReport {
     /// This is what separates pre- from post-swap latency in an
     /// adaptive run: `latency` would smear both regimes together.
     pub window_latency: Option<LatencySummary>,
+    /// One-line operator warnings. Currently: one line per registered
+    /// matrix whose pool pin policy oversubscribes cores (two workers
+    /// on one core silently serialize the "parallel" strips — also
+    /// counted by the `pool.pin_oversubscribed` telemetry counter).
+    /// Empty when everything is healthy.
+    pub warnings: Vec<String>,
 }
 
 impl EngineReport {
@@ -556,6 +562,17 @@ impl<T: SimdScalar> ServeEngine<T> {
     /// A point-in-time copy of the engine's counters and latency
     /// percentiles.
     pub fn report(&self) -> EngineReport {
+        let mut warnings = Vec::new();
+        for id in self.registry.ids() {
+            if let Some(m) = self.registry.get(id) {
+                if m.pin_oversubscribed() {
+                    warnings.push(format!(
+                        "matrix {id} ({}): pin policy oversubscribes cores; pool strips may serialize",
+                        m.config()
+                    ));
+                }
+            }
+        }
         let s = self.stats_lock();
         EngineReport {
             submitted: s.submitted,
@@ -571,6 +588,7 @@ impl<T: SimdScalar> ServeEngine<T> {
             ],
             latency: percentiles(&s.latencies_ns),
             window_latency: percentiles(&s.latencies_ns[s.window_start.min(s.latencies_ns.len())..]),
+            warnings,
         }
     }
 

@@ -34,7 +34,7 @@ use spmv_kernels::KernelImpl;
 use spmv_model::{
     select_extended, BlockConfig, BuiltFormat, Config, KernelProfile, MachineProfile, Model,
 };
-use spmv_parallel::{csr_unit_weights, PinPolicy, SpmvPool};
+use spmv_parallel::{csr_unit_weights, Placement, PinPolicy, SpmvPool};
 use spmv_telemetry::residual::ResidualKey;
 
 /// Identity of a matrix in the registry: an opaque 64-bit id chosen by
@@ -163,15 +163,40 @@ impl<T: SimdScalar> PreparedMatrix<T> {
         n_threads: usize,
         pin: PinPolicy,
     ) -> Self {
+        Self::prepare_pooled_placed(
+            csr,
+            model,
+            machine,
+            profile,
+            include_simd,
+            n_threads,
+            Placement::pinned(pin),
+        )
+    }
+
+    /// Like [`PreparedMatrix::prepare_pooled`], with a full
+    /// [`Placement`] — pin policy plus the NUMA levers (first-touch
+    /// strip allocation, nnz-split of pathologically heavy rows). Use
+    /// [`Placement::domain_aware`] to serve a matrix spread across
+    /// memory domains; see `docs/NUMA.md`.
+    pub fn prepare_pooled_placed(
+        csr: &Csr<T>,
+        model: Model,
+        machine: &MachineProfile,
+        profile: &KernelProfile,
+        include_simd: bool,
+        n_threads: usize,
+        placement: Placement,
+    ) -> Self {
         let choice = select_extended(model, csr, machine, profile, include_simd);
         let config = choice.config;
-        let pool = SpmvPool::from_csr(
+        let pool = SpmvPool::from_csr_placed(
             csr,
             n_threads,
             &csr_unit_weights(csr),
             1,
             move |sub| config.build(sub),
-            pin,
+            placement,
         );
         PreparedMatrix {
             config,
@@ -194,13 +219,24 @@ impl<T: SimdScalar> PreparedMatrix<T> {
         n_threads: usize,
         pin: PinPolicy,
     ) -> Self {
-        let pool = SpmvPool::from_csr(
+        Self::from_config_pooled_placed(config, csr, n_threads, Placement::pinned(pin))
+    }
+
+    /// Like [`PreparedMatrix::from_config_pooled`], with a full
+    /// [`Placement`].
+    pub fn from_config_pooled_placed(
+        config: Config,
+        csr: &Csr<T>,
+        n_threads: usize,
+        placement: Placement,
+    ) -> Self {
+        let pool = SpmvPool::from_csr_placed(
             csr,
             n_threads,
             &csr_unit_weights(csr),
             1,
             move |sub| config.build(sub),
-            pin,
+            placement,
         );
         PreparedMatrix {
             config,
@@ -231,6 +267,17 @@ impl<T: SimdScalar> PreparedMatrix<T> {
     /// Whether dispatches run on a persistent worker pool.
     pub fn is_pooled(&self) -> bool {
         matches!(self.backend, Backend::Pooled(_))
+    }
+
+    /// Whether the backing pool's pin policy landed two workers on one
+    /// core (always `false` for direct backends). Surfaced per matrix in
+    /// `EngineReport::warnings` — an oversubscribed "parallel" pool
+    /// silently serializes its strips.
+    pub fn pin_oversubscribed(&self) -> bool {
+        match &self.backend {
+            Backend::Direct(_) => false,
+            Backend::Pooled(pool) => pool.pin_oversubscribed(),
+        }
     }
 }
 

@@ -23,9 +23,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use spmv_kernels::simd::SimdScalar;
 use spmv_model::{
-    profile_keys, stream_triad_bandwidth, BlockTimes, KernelKey, MachineProfile, ProfileOptions,
+    profile_keys, stream_triad_bandwidth, stream_triad_bandwidth_with, BandwidthHierarchy,
+    BlockTimes, DomainBandwidth, KernelKey, MachineProfile, ProfileOptions,
 };
-use spmv_parallel::{run_pinned, PinPolicy};
+use spmv_parallel::{run_pinned, PinPolicy, Topology};
 
 /// Supplies fresh measurements to a stale-triggered rerank.
 ///
@@ -95,6 +96,66 @@ impl<T: SimdScalar> MeasuredSampler<T> {
             triad_min_time: 0.02,
             _marker: PhantomData,
         }
+    }
+
+    /// Measures a per-domain [`BandwidthHierarchy`] for `topology` with
+    /// pinned STREAM-triad sweeps.
+    ///
+    /// For each domain: the **local** number runs the triad on a thread
+    /// pinned to the domain's first core, so first-touch puts the three
+    /// arrays on that node and the loop streams from the local
+    /// controller. The **remote** number first-touches the arrays on
+    /// the home domain, then hands them to
+    /// [`spmv_model::stream_triad_bandwidth_with`] on a thread pinned
+    /// to the *next* domain — the same pages, now reached across the
+    /// interconnect. A one-domain topology reports `remote == local`
+    /// (there is no interconnect to cross), which makes the resulting
+    /// hierarchy equivalent to [`BandwidthHierarchy::flat`].
+    ///
+    /// Probes that come back non-finite or non-positive (e.g. pinning
+    /// rejected inside a restricted cpuset) fall back to the stored
+    /// `machine.bandwidth` so the hierarchy is always usable.
+    pub fn measure_hierarchy(&self, topology: &Topology) -> BandwidthHierarchy {
+        let elems = self.triad_elems;
+        let min_time = self.triad_min_time;
+        let nd = topology.n_domains();
+        let sane = |bw: f64, fallback: f64| {
+            if bw.is_finite() && bw > 0.0 {
+                bw
+            } else {
+                fallback
+            }
+        };
+        let mut domains = Vec::with_capacity(nd);
+        for d in 0..nd {
+            let home = PinPolicy::Cores(vec![topology.domains()[d][0]]);
+            let local = sane(
+                run_pinned(&home, 0, || stream_triad_bandwidth(elems, min_time)),
+                self.machine.bandwidth,
+            );
+            let remote = if nd == 1 {
+                local
+            } else {
+                // vec![1.0; n] really writes every element, so the pages
+                // are touched (and placed) here, not by the remote loop.
+                let (mut a, b, c) = run_pinned(&home, 0, || {
+                    (
+                        vec![1.0f64; elems],
+                        vec![1.5f64; elems],
+                        vec![2.5f64; elems],
+                    )
+                });
+                let away = PinPolicy::Cores(vec![topology.domains()[(d + 1) % nd][0]]);
+                sane(
+                    run_pinned(&away, 0, move || {
+                        stream_triad_bandwidth_with(&mut a, &b, &c, min_time)
+                    }),
+                    local,
+                )
+            };
+            domains.push(DomainBandwidth { local, remote });
+        }
+        BandwidthHierarchy::new(domains)
     }
 }
 
@@ -225,5 +286,25 @@ mod tests {
     fn null_sampler_measures_nothing() {
         assert_eq!(NullSampler.bandwidth(), None);
         assert!(NullSampler.reprofile(&[KernelKey::Csr]).is_empty());
+    }
+
+    #[test]
+    fn measured_hierarchy_covers_every_domain() {
+        // Tiny triad: this checks plumbing and shape, not real numbers.
+        let mut s = MeasuredSampler::<f64>::new(MachineProfile::paper_testbed(), PinPolicy::None);
+        s.triad_elems = 1 << 12;
+        s.triad_min_time = 0.001;
+
+        let flat = s.measure_hierarchy(&Topology::flat(2));
+        assert_eq!(flat.n_domains(), 1);
+        // One domain has no interconnect: remote is the local number.
+        assert_eq!(flat.domains()[0].remote, flat.domains()[0].local);
+        assert!(flat.domains()[0].local > 0.0);
+
+        let two = s.measure_hierarchy(&Topology::from_domains(vec![vec![0], vec![1]]));
+        assert_eq!(two.n_domains(), 2);
+        for d in two.domains() {
+            assert!(d.local > 0.0 && d.remote > 0.0);
+        }
     }
 }

@@ -29,7 +29,10 @@ if [ -z "${SPMV_CHECK_OFFLINE:-}" ]; then
         && test -s target/serving-smoke.txt \
         && cargo run --release --bin serve_adapt -- \
             --nodes 1200 --out target/adaptive-smoke.txt \
-        && test -s target/adaptive-smoke.txt; then
+        && test -s target/adaptive-smoke.txt \
+        && cargo run --release --bin numa_scale -- \
+            --flat --threads 2 --n 4000 --reps 5 --trials 2 --out target/numa-smoke.txt \
+        && test -s target/numa-smoke.txt; then
         echo "check.sh: cargo build + clippy + test OK"
         exit 0
     fi
@@ -324,7 +327,8 @@ for t in differential_equivalence edge_cases kernel_shapes \
          extensions_integration paper_shapes compression_integration \
          format_equivalence kernel_properties model_pipeline \
          parallel_equivalence serving telemetry_pool telemetry_trace \
-         adaptive_tuner adaptive_faults adaptive_property; do
+         adaptive_tuner adaptive_faults adaptive_property \
+         numa_partition; do
     $R --test "tests/$t.rs" \
         --extern blocked_spmv="$B/libblocked_spmv.rlib" \
         --extern rand="$B/librand.rlib" -o "$B/t_$t"
@@ -353,5 +357,11 @@ $R src/bin/serve_adapt.rs \
 "$B/serve_adapt" --nodes 1200 --out "$B/adaptive-smoke.txt" > /dev/null
 test -s "$B/adaptive-smoke.txt" || {
     echo "check.sh: serve_adapt smoke produced no output" >&2; exit 1; }
+$R src/bin/numa_scale.rs \
+    --extern blocked_spmv="$B/libblocked_spmv.rlib" -o "$B/numa_scale"
+"$B/numa_scale" --flat --threads 2 --n 4000 --reps 5 --trials 2 \
+    --out "$B/numa-smoke.txt" > /dev/null
+test -s "$B/numa-smoke.txt" || {
+    echo "check.sh: numa_scale smoke produced no output" >&2; exit 1; }
 
 echo "check.sh: offline fallback OK"
