@@ -61,6 +61,10 @@ pub struct CompressionStat {
     /// Index-structure bytes streamed per nonzero (matrix bytes minus
     /// the value array).
     pub index_bytes_per_nnz: f64,
+    /// Padded-zero value bytes streamed per nonzero: the price of the
+    /// format's fill. Zero for padding-free formats (CSR, the masked
+    /// blocked variants, decomposed full blocks).
+    pub fill_bytes_per_nnz: f64,
     /// OVERLAP-model prediction for that configuration, seconds.
     pub predicted: f64,
     /// Measured time, seconds.
@@ -80,6 +84,8 @@ fn family(block: BlockConfig) -> &'static str {
         BlockConfig::Bcsd(_) => "BCSD",
         BlockConfig::BcsdNarrow(_) => "BCSD16",
         BlockConfig::BcsdDec(_) => "BCSD-DEC",
+        BlockConfig::BcsrMasked(_) => "BCSR-MASK",
+        BlockConfig::BcsdMasked(_) => "BCSD-MASK",
     }
 }
 
@@ -89,10 +95,16 @@ fn family(block: BlockConfig) -> &'static str {
 fn shape_label(block: BlockConfig) -> String {
     match block {
         BlockConfig::Csr | BlockConfig::CsrDelta => "-".to_string(),
-        BlockConfig::Bcsr(s) | BlockConfig::BcsrDec(s) | BlockConfig::BcsrNarrow(s) => {
+        BlockConfig::Bcsr(s)
+        | BlockConfig::BcsrDec(s)
+        | BlockConfig::BcsrNarrow(s)
+        | BlockConfig::BcsrMasked(s) => {
             format!("{}x{}", s.r, s.c)
         }
-        BlockConfig::Bcsd(b) | BlockConfig::BcsdDec(b) | BlockConfig::BcsdNarrow(b) => {
+        BlockConfig::Bcsd(b)
+        | BlockConfig::BcsdDec(b)
+        | BlockConfig::BcsdNarrow(b)
+        | BlockConfig::BcsdMasked(b) => {
             format!("b{b}")
         }
     }
@@ -112,14 +124,16 @@ fn residual_key(c: Config, model: Model) -> ResidualKey {
 }
 
 /// Family display order of the compression report.
-const FAMILIES: [&str; 8] = [
+const FAMILIES: [&str; 10] = [
     "CSR",
     "CSR-DELTA",
     "BCSR",
     "BCSR16",
+    "BCSR-MASK",
     "BCSR-DEC",
     "BCSD",
     "BCSD16",
+    "BCSD-MASK",
     "BCSD-DEC",
 ];
 
@@ -217,23 +231,27 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
         let _matrix_span = spmv_telemetry::span_with("bench.matrix", *id as u64);
         let x: Vec<T> = random_vector(spmv_core::MatrixShape::n_cols(csr), opts.seed);
         // Real times and index footprints for the whole model-space.
-        let reals: Vec<(Config, f64, f64)> = configs
+        let reals: Vec<(Config, f64, f64, f64)> = configs
             .iter()
             .map(|&c| {
                 let built = c.build(csr);
-                let idx_pn = (built.matrix_bytes() - built.nnz_stored() * T::BYTES) as f64
-                    / csr.nnz().max(1) as f64;
+                let nnz = csr.nnz().max(1) as f64;
+                let idx_pn =
+                    (built.matrix_bytes() - built.nnz_stored() * T::BYTES) as f64 / nnz;
+                let fill_pn =
+                    built.nnz_stored().saturating_sub(csr.nnz()) as f64 * T::BYTES as f64 / nnz;
                 (
                     c,
                     measure_spmv(&built, &x, opts.min_time, opts.batches),
                     idx_pn,
+                    fill_pn,
                 )
             })
             .collect();
         let (best_config, best_real) = reals
             .iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|&(c, t, _)| (c, t))
+            .map(|&(c, t, ..)| (c, t))
             .expect("non-empty");
 
         let mut avg_norm_pred = [0.0; 3];
@@ -244,7 +262,7 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
             // Prediction accuracy over every configuration.
             let mut norm_sum = 0.0;
             let mut dist_sum = 0.0;
-            for &(c, real, _) in &reals {
+            for &(c, real, ..) in &reals {
                 let pred = model.predict(&c.substats(csr), &machine, &profile);
                 norm_sum += pred / real;
                 dist_sum += (pred - real).abs() / real;
@@ -258,7 +276,7 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
             let real_of_chosen = reals
                 .iter()
                 .find(|(c, ..)| *c == chosen)
-                .map(|&(_, t, _)| t)
+                .map(|&(_, t, ..)| t)
                 .expect("selection comes from the same space");
             sel_norm[mi] = real_of_chosen / best_real;
             sel_correct[mi] = chosen == best_config;
@@ -272,11 +290,12 @@ pub fn run<T: SimdScalar>(opts: &ExpOpts) -> ModelEvalResult {
                 .iter()
                 .filter(|(c, ..)| family(c.block) == fam)
                 .min_by(|a, b| a.1.total_cmp(&b.1));
-            if let Some(&(c, real, idx_pn)) = best {
+            if let Some(&(c, real, idx_pn, fill_pn)) = best {
                 compression.push(CompressionStat {
                     family: fam,
                     label: c.to_string(),
                     index_bytes_per_nnz: idx_pn,
+                    fill_bytes_per_nnz: fill_pn,
                     predicted: Model::Overlap.predict(&c.substats(csr), &machine, &profile),
                     real,
                 });
@@ -352,11 +371,12 @@ pub fn render_compression(result: &ModelEvalResult) -> Table {
         "Family",
         "Best config",
         "idx B/nnz",
+        "fill B/nnz",
         "pred ms",
         "real ms",
     ])
     .title(format!(
-        "Index compression ({}): per-family index footprint and times",
+        "Index compression ({}): per-family index and fill footprint and times",
         result.precision.label()
     ));
     for m in &result.per_matrix {
@@ -366,6 +386,7 @@ pub fn render_compression(result: &ModelEvalResult) -> Table {
                 c.family.to_string(),
                 c.label.clone(),
                 f2(c.index_bytes_per_nnz),
+                f2(c.fill_bytes_per_nnz),
                 format!("{:.4}", c.predicted * 1e3),
                 format!("{:.4}", c.real * 1e3),
             ]);
@@ -447,6 +468,13 @@ mod tests {
                     .expect("family present")
             };
             assert!(idx_of("CSR-DELTA") < idx_of("CSR"));
+            // Padding-free families must report zero fill bytes.
+            for c in &m.compression {
+                assert!(c.fill_bytes_per_nnz >= 0.0);
+                if matches!(c.family, "CSR" | "CSR-DELTA" | "BCSR-MASK" | "BCSD-MASK") {
+                    assert_eq!(c.fill_bytes_per_nnz, 0.0, "{} must be padding-free", c.family);
+                }
+            }
         }
         // Render without panicking.
         let _ = render_figure3(&res).to_string();

@@ -11,6 +11,8 @@
 //! | [`Bcsd`] | BCSD | fixed-size diagonal blocks, padding |
 //! | [`BcsrDec`] | BCSR-DEC | decomposed: full BCSR blocks + CSR rest |
 //! | [`BcsdDec`] | BCSD-DEC | decomposed: full BCSD blocks + CSR rest |
+//! | [`BcsrMasked`] | BCSR-MASK | fixed-size 2-D blocks, occupancy masks, no padding (extension) |
+//! | [`BcsdMasked`] | BCSD-MASK | fixed-size diagonal blocks, occupancy masks, no padding (extension) |
 //! | [`Vbl`] | 1D-VBL | variable-size 1-D blocks, no padding |
 //! | [`Vbr`] | VBR | variable-size 2-D blocks (described in §II, not in the model study) |
 //! | [`CsrDelta`] | CSR-Δ | delta-encoded, narrow-width column indices (extension) |
@@ -33,6 +35,7 @@ pub mod bcsd;
 pub mod bcsr;
 pub mod csr_delta;
 pub mod decomposed;
+pub mod masked;
 mod narrow;
 pub mod stats;
 pub mod vbl;
@@ -42,9 +45,10 @@ pub use bcsd::Bcsd;
 pub use bcsr::Bcsr;
 pub use csr_delta::{csr_delta_stats, CsrDelta, DeltaStats};
 pub use decomposed::{BcsdDec, BcsrDec, Decomposed};
+pub use masked::{BcsdMasked, BcsrMasked};
 pub use stats::{
-    bcsd_dec_stats, bcsd_stats, bcsr_dec_stats, bcsr_stats, bcsr_stats_sampled, vbl_stats,
-    FormatStats,
+    bcsd_dec_stats, bcsd_masked_stats, bcsd_stats, bcsr_dec_stats, bcsr_masked_stats, bcsr_stats,
+    bcsr_stats_sampled, vbl_stats, FormatStats,
 };
 pub use vbl::Vbl;
 pub use vbr::Vbr;
@@ -135,6 +139,11 @@ pub enum FormatKind {
     Bcsd,
     /// Decomposed BCSD.
     BcsdDec,
+    /// Masked BCSR: per-block occupancy bitmasks instead of padding
+    /// (padding-free extension beyond the paper).
+    BcsrMasked,
+    /// Masked BCSD: per-block occupancy bitmasks instead of padding.
+    BcsdMasked,
     /// One-dimensional Variable Block Length.
     Vbl,
     /// Variable Block Row (§II extension; not part of the model study).
@@ -152,6 +161,8 @@ impl FormatKind {
             FormatKind::BcsrDec => "BCSR-DEC",
             FormatKind::Bcsd => "BCSD",
             FormatKind::BcsdDec => "BCSD-DEC",
+            FormatKind::BcsrMasked => "BCSR-MASK",
+            FormatKind::BcsdMasked => "BCSD-MASK",
             FormatKind::Vbl => "1D-VBL",
             FormatKind::Vbr => "VBR",
             FormatKind::CsrDelta => "CSR-DELTA",

@@ -1,0 +1,1237 @@
+//! Padding-free blocked formats with per-block occupancy bitmasks.
+//!
+//! [`BcsrMasked`] and [`BcsdMasked`] store the same block structure as
+//! [`Bcsr`](crate::Bcsr) / [`Bcsd`](crate::Bcsd) — same block starts,
+//! same block order, same row pointers — but keep **only the true
+//! nonzeros** in the value array, plus one occupancy byte per block (bit
+//! `slot` set ⇔ position `slot` of the block holds a stored value; block
+//! shapes are capped at eight elements, so a `u8` always suffices). The
+//! kernels expand each partial block into a zeroed stack buffer and run
+//! the very same const-generic block step as the padded formats, so the
+//! accumulation order — and therefore the floating-point result — is
+//! bitwise identical to the padded format with the same structure; blocks
+//! whose mask is all-ones skip the expansion and borrow the packed
+//! values directly.
+//!
+//! The trade: padded formats stream `nb·r·c` values, masked formats
+//! stream `nnz` values plus `nb` mask bytes and pay a scatter per partial
+//! block. At fill ratio `f = nnz / (nb·r·c)` the value traffic shrinks by
+//! `(1-f)·nb·r·c·sizeof(T) - nb` bytes, so masked storage wins exactly
+//! where padding hurts — the low-fill shapes the performance models
+//! currently have to discard.
+//!
+//! No per-block value offset array is stored: block `k`'s values start at
+//! the popcount of all masks before `k`, and SpMV walks blocks in order,
+//! so a running cursor recovers every offset. Recomputing those
+//! popcounts on *every* multiply is not free, though — it measurably
+//! drags on well-blocked matrices — so the formats keep one value
+//! offset per block **row** (`brow_val_ptr`, the same granularity as
+//! `brow_ptr`), and per-call popcounts survive only for the rare
+//! boundary-clipped block runs.
+
+use crate::narrow::ColIdx;
+use crate::{SpMvAcc, SpMvMultiAcc};
+use spmv_core::{Csr, Error, Index, IndexWidth, MatrixShape, Result, SpMv, SpMvMulti, MAX_INDEX};
+use spmv_kernels::masked::{
+    bcsd_masked_seg_clipped, bcsd_masked_seg_multi_clipped, bcsr_masked_row_clipped,
+    bcsr_masked_row_multi_clipped, full_mask,
+};
+use spmv_kernels::registry::{
+    bcsd_masked_seg_kernel, bcsd_masked_seg_multi_kernel, bcsr_masked_row_kernel,
+    bcsr_masked_row_multi_kernel, BcsdMaskedSegKernel, BcsrMaskedRowKernel,
+};
+use spmv_kernels::simd::SimdScalar;
+use spmv_kernels::{multi_chunk, BlockShape, KernelImpl, Mask};
+
+/// Stored values across a run of masks (the value-array span of a block
+/// range).
+#[inline]
+fn popcount(masks: &[Mask]) -> usize {
+    masks.iter().map(|m| m.count_ones() as usize).sum()
+}
+
+/// BCSR with per-block occupancy masks instead of padding.
+///
+/// Block structure (aligned starts, block order, row pointers) matches
+/// [`Bcsr::from_csr`](crate::Bcsr::from_csr) exactly; only the value
+/// storage differs. `pval` holds the nonzeros of each block in slot order
+/// (row-major within the block), `masks` one occupancy byte per block.
+///
+/// ```
+/// use spmv_core::{Coo, Csr, SpMv};
+/// use spmv_formats::{Bcsr, BcsrMasked};
+/// use spmv_kernels::{BlockShape, KernelImpl};
+///
+/// let csr = Csr::from_coo(&Coo::from_triplets(4, 4, vec![
+///     (0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 3, 4.0),
+/// ]).unwrap());
+/// let shape = BlockShape::new(2, 2).unwrap();
+/// let padded = Bcsr::from_csr(&csr, shape, KernelImpl::Scalar);
+/// let masked = BcsrMasked::from_csr(&csr, shape, KernelImpl::Scalar);
+/// // Same structure, half the stored values, bitwise-equal results.
+/// assert_eq!(padded.nnz_stored(), 8);
+/// assert_eq!(masked.nnz_stored(), 4);
+/// assert_eq!(masked.spmv(&[1.0; 4]), padded.spmv(&[1.0; 4]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcsrMasked<T> {
+    n_rows: usize,
+    n_cols: usize,
+    shape: BlockShape,
+    imp: KernelImpl,
+    /// Offset of each block row's first block; `n_brows + 1` entries.
+    brow_ptr: Vec<Index>,
+    /// Start column of each block (aligned: multiples of `c`), sorted per
+    /// block row.
+    bcol_start: ColIdx,
+    /// One occupancy byte per block; bit `i*c + j` set ⇔ position `(i, j)`
+    /// of the block is stored.
+    masks: Vec<Mask>,
+    /// Packed nonzero values, slot order within each block; length is the
+    /// total mask popcount (no padding).
+    pval: Vec<T>,
+    /// Offset of each block row's first value in `pval`; `n_brows + 1`
+    /// entries. Saves SpMV from re-popcounting every row's masks on
+    /// every call just to track the value cursor.
+    brow_val_ptr: Vec<Index>,
+    nnz_orig: usize,
+}
+
+impl<T: SimdScalar> BcsrMasked<T> {
+    /// Converts `csr` to masked BCSR with aligned blocks of `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block count overflows the `u32` index type.
+    pub fn from_csr(csr: &Csr<T>, shape: BlockShape, imp: KernelImpl) -> Self {
+        let (r, c) = (shape.rows(), shape.cols());
+        let n_rows = csr.n_rows();
+        let n_cols = csr.n_cols();
+        let n_brows = n_rows.div_ceil(r);
+
+        let mut brow_ptr: Vec<Index> = Vec::with_capacity(n_brows + 1);
+        brow_ptr.push(0);
+        let mut brow_val_ptr: Vec<Index> = Vec::with_capacity(n_brows + 1);
+        brow_val_ptr.push(0);
+        let mut bcol_start: Vec<Index> = Vec::new();
+        let mut masks: Vec<Mask> = Vec::new();
+        let mut pval: Vec<T> = Vec::new();
+
+        // (aligned start column, slot, value) per block row.
+        let mut temp: Vec<(Index, usize, T)> = Vec::new();
+        let mut starts: Vec<Index> = Vec::new();
+        let mut bufs: Vec<[T; 8]> = Vec::new();
+
+        for rb in 0..n_brows {
+            temp.clear();
+            starts.clear();
+            let row_hi = ((rb + 1) * r).min(n_rows);
+            for i in rb * r..row_hi {
+                let il = i - rb * r;
+                let (rcols, rvals) = csr.row(i);
+                for (&j, &v) in rcols.iter().zip(rvals) {
+                    let j0 = (j as usize / c * c) as Index;
+                    temp.push((j0, il * c + (j as usize - j0 as usize), v));
+                }
+            }
+            starts.extend(temp.iter().map(|e| e.0));
+            starts.sort_unstable();
+            starts.dedup();
+
+            assert!(
+                bcol_start.len() + starts.len() <= MAX_INDEX,
+                "masked BCSR block count overflows u32"
+            );
+            let base = masks.len();
+            bcol_start.extend_from_slice(&starts);
+            masks.resize(base + starts.len(), 0);
+            bufs.clear();
+            bufs.resize(starts.len(), [T::ZERO; 8]);
+            for &(j0, slot, v) in &temp {
+                let k = starts.binary_search(&j0).expect("start recorded");
+                masks[base + k] |= 1 << slot;
+                bufs[k][slot] = v;
+            }
+            for (k, buf) in bufs.iter().enumerate() {
+                let mut m = masks[base + k];
+                while m != 0 {
+                    pval.push(buf[m.trailing_zeros() as usize]);
+                    m &= m - 1;
+                }
+            }
+            brow_ptr.push(bcol_start.len() as Index);
+            brow_val_ptr.push(pval.len() as Index);
+        }
+
+        BcsrMasked {
+            n_rows,
+            n_cols,
+            shape,
+            imp,
+            brow_ptr,
+            bcol_start: ColIdx::wide(bcol_start),
+            masks,
+            pval,
+            brow_val_ptr,
+            nnz_orig: csr.nnz(),
+        }
+    }
+
+    /// Converts `csr` to masked BCSR storing start columns at the
+    /// narrowest width [`IndexWidth::for_cols`] allows. Kernels and
+    /// results are identical to [`BcsrMasked::from_csr`].
+    pub fn from_csr_narrow(csr: &Csr<T>, shape: BlockShape, imp: KernelImpl) -> Self {
+        let mut bm = Self::from_csr(csr, shape, imp);
+        bm.bcol_start = core::mem::replace(&mut bm.bcol_start, ColIdx::wide(Vec::new()))
+            .with_width(IndexWidth::for_cols(csr.n_cols()));
+        bm
+    }
+
+    /// The storage width of the start-column array.
+    pub fn index_width(&self) -> IndexWidth {
+        self.bcol_start.width()
+    }
+
+    /// The block shape.
+    pub fn shape(&self) -> BlockShape {
+        self.shape
+    }
+
+    /// The kernel implementation used by `spmv`.
+    pub fn kernel_impl(&self) -> KernelImpl {
+        self.imp
+    }
+
+    /// Switches between the scalar and SIMD kernel in place.
+    pub fn set_kernel_impl(&mut self, imp: KernelImpl) {
+        self.imp = imp;
+    }
+
+    /// Total number of blocks, `nb`.
+    pub fn n_blocks(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Explicit padding zeros stored — always zero; that is the point.
+    pub fn padding(&self) -> usize {
+        0
+    }
+
+    /// Nonzeros of the source matrix.
+    pub fn nnz_orig(&self) -> usize {
+        self.nnz_orig
+    }
+
+    /// Fraction of block *slots* that hold a stored value — what
+    /// [`Bcsr::fill_ratio`](crate::Bcsr::fill_ratio) would report for the
+    /// same structure with padding.
+    pub fn occupancy(&self) -> f64 {
+        if self.masks.is_empty() {
+            1.0
+        } else {
+            self.pval.len() as f64 / (self.masks.len() * self.shape.elems()) as f64
+        }
+    }
+
+    /// Converts back to CSR (exact inverse of [`BcsrMasked::from_csr`] up
+    /// to explicit zero values, which CSR construction drops).
+    pub fn to_csr(&self) -> Csr<T> {
+        let (r, c) = (self.shape.rows(), self.shape.cols());
+        let mut coo = spmv_core::Coo::with_capacity(self.n_rows, self.n_cols, self.pval.len());
+        let mut cur = 0usize;
+        for rb in 0..self.brow_ptr.len() - 1 {
+            for k in self.brow_ptr[rb] as usize..self.brow_ptr[rb + 1] as usize {
+                let j0 = self.bcol_start.get(k) as usize;
+                let mut m = self.masks[k];
+                while m != 0 {
+                    let slot = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let (row, col) = (rb * r + slot / c, j0 + slot % c);
+                    let v = self.pval[cur];
+                    cur += 1;
+                    if v != T::ZERO {
+                        coo.push(row, col, v).expect("inside matrix");
+                    }
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    /// Checks the structural invariants of the format.
+    pub fn validate(&self) -> Result<()> {
+        let (r, c) = (self.shape.rows(), self.shape.cols());
+        let n_brows = self.n_rows.div_ceil(r);
+        if self.brow_ptr.len() != n_brows + 1 {
+            return Err(Error::InvalidStructure(format!(
+                "brow_ptr has {} entries, expected {}",
+                self.brow_ptr.len(),
+                n_brows + 1
+            )));
+        }
+        if self.brow_ptr.first() != Some(&0)
+            || *self.brow_ptr.last().unwrap() as usize != self.bcol_start.len()
+        {
+            return Err(Error::InvalidStructure("brow_ptr endpoints wrong".into()));
+        }
+        if self.masks.len() != self.bcol_start.len() {
+            return Err(Error::InvalidStructure("one mask per block required".into()));
+        }
+        let full = full_mask(r * c);
+        for (k, &m) in self.masks.iter().enumerate() {
+            if m == 0 {
+                return Err(Error::InvalidStructure(format!("block {k}: empty mask")));
+            }
+            if m & !full != 0 {
+                return Err(Error::InvalidStructure(format!(
+                    "block {k}: mask bits outside the {r}x{c} shape"
+                )));
+            }
+        }
+        if self.pval.len() != popcount(&self.masks) {
+            return Err(Error::InvalidStructure("pval length mismatch".into()));
+        }
+        if self.brow_val_ptr.len() != self.brow_ptr.len() {
+            return Err(Error::InvalidStructure(
+                "brow_val_ptr length must match brow_ptr".into(),
+            ));
+        }
+        for rb in 0..n_brows {
+            let vals = self.brow_val_ptr[rb + 1].checked_sub(self.brow_val_ptr[rb]);
+            let span = self.brow_ptr[rb] as usize..self.brow_ptr[rb + 1] as usize;
+            if vals.map(|v| v as usize) != Some(popcount(&self.masks[span])) {
+                return Err(Error::InvalidStructure(format!(
+                    "block row {rb}: brow_val_ptr disagrees with mask popcount"
+                )));
+            }
+            let range = self.brow_ptr[rb] as usize..self.brow_ptr[rb + 1] as usize;
+            for k in range.clone().skip(1) {
+                if self.bcol_start.get(k - 1) >= self.bcol_start.get(k) {
+                    return Err(Error::InvalidStructure(format!(
+                        "block row {rb}: duplicate or unsorted blocks"
+                    )));
+                }
+            }
+            for k in range {
+                let j0 = self.bcol_start.get(k) as usize;
+                if !j0.is_multiple_of(c) || j0 >= self.n_cols {
+                    return Err(Error::InvalidStructure(format!(
+                        "block row {rb}: bad start column {j0}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn spmv_acc_impl(&self, x: &[T], y: &mut [T]) {
+        let (r, c) = (self.shape.rows(), self.shape.cols());
+        let kern: BcsrMaskedRowKernel<T> = bcsr_masked_row_kernel(self.shape, self.imp);
+        let n_brows = self.brow_ptr.len() - 1;
+        let mut scratch: Vec<Index> = Vec::new();
+        for rb in 0..n_brows {
+            let start = self.brow_ptr[rb] as usize;
+            let end = self.brow_ptr[rb + 1] as usize;
+            if start == end {
+                continue;
+            }
+            // Block k's values start at the popcount of all masks before
+            // it; `brow_val_ptr` precomputes that at row granularity, so
+            // only the (rare) clipped suffix needs a popcount here.
+            let cur = self.brow_val_ptr[rb] as usize;
+            let stop = self.brow_val_ptr[rb + 1] as usize;
+            let y0 = rb * r;
+            if y0 + r <= self.n_rows {
+                // Blocks overhanging the last column form a sorted suffix.
+                let mut fast_end = end;
+                while fast_end > start
+                    && self.bcol_start.get(fast_end - 1) as usize + c > self.n_cols
+                {
+                    fast_end -= 1;
+                }
+                let mid = stop - popcount(&self.masks[fast_end..end]);
+                let yrow = &mut y[y0..y0 + r];
+                if fast_end > start {
+                    kern(
+                        &self.pval[cur..mid],
+                        self.bcol_start.slice(start..fast_end, &mut scratch),
+                        &self.masks[start..fast_end],
+                        x,
+                        yrow,
+                    );
+                }
+                if end > fast_end {
+                    bcsr_masked_row_clipped(
+                        r,
+                        c,
+                        &self.pval[mid..stop],
+                        self.bcol_start.slice(fast_end..end, &mut scratch),
+                        &self.masks[fast_end..end],
+                        x,
+                        yrow,
+                    );
+                }
+            } else {
+                bcsr_masked_row_clipped(
+                    r,
+                    c,
+                    &self.pval[cur..stop],
+                    self.bcol_start.slice(start..end, &mut scratch),
+                    &self.masks[start..end],
+                    x,
+                    &mut y[y0..self.n_rows],
+                );
+            }
+        }
+    }
+
+    /// Shared implementation of `spmv_multi_acc` (greedy chunking, as in
+    /// BCSR).
+    fn spmv_multi_acc_impl(&self, x: &[T], y: &mut [T], k: usize) {
+        let (m, n) = (self.n_cols, self.n_rows);
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = multi_chunk(k - t0);
+            self.multi_acc_chunk(&x[t0 * m..(t0 + kc) * m], &mut y[t0 * n..(t0 + kc) * n], kc);
+            t0 += kc;
+        }
+    }
+
+    /// One `kc`-vector pass, mirroring the interior/clipped split of
+    /// `spmv_acc_impl`.
+    fn multi_acc_chunk(&self, x: &[T], y: &mut [T], kc: usize) {
+        let (r, c) = (self.shape.rows(), self.shape.cols());
+        let kern = bcsr_masked_row_multi_kernel::<T>(self.shape, kc, self.imp)
+            .expect("chunked to a specialized vector count");
+        let (m, n) = (self.n_cols, self.n_rows);
+        let n_brows = self.brow_ptr.len() - 1;
+        let mut scratch: Vec<Index> = Vec::new();
+        for rb in 0..n_brows {
+            let start = self.brow_ptr[rb] as usize;
+            let end = self.brow_ptr[rb + 1] as usize;
+            if start == end {
+                continue;
+            }
+            let cur = self.brow_val_ptr[rb] as usize;
+            let stop = self.brow_val_ptr[rb + 1] as usize;
+            let y0 = rb * r;
+            if y0 + r <= n {
+                let mut fast_end = end;
+                while fast_end > start && self.bcol_start.get(fast_end - 1) as usize + c > m {
+                    fast_end -= 1;
+                }
+                let mid = stop - popcount(&self.masks[fast_end..end]);
+                if fast_end > start {
+                    kern(
+                        &self.pval[cur..mid],
+                        self.bcol_start.slice(start..fast_end, &mut scratch),
+                        &self.masks[start..fast_end],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                    );
+                }
+                if end > fast_end {
+                    bcsr_masked_row_multi_clipped(
+                        r,
+                        c,
+                        kc,
+                        &self.pval[mid..stop],
+                        self.bcol_start.slice(fast_end..end, &mut scratch),
+                        &self.masks[fast_end..end],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                        r,
+                    );
+                }
+            } else {
+                bcsr_masked_row_multi_clipped(
+                    r,
+                    c,
+                    kc,
+                    &self.pval[cur..stop],
+                    self.bcol_start.slice(start..end, &mut scratch),
+                    &self.masks[start..end],
+                    x,
+                    m,
+                    y,
+                    n,
+                    y0,
+                    n - y0,
+                );
+            }
+        }
+    }
+}
+
+impl<T> MatrixShape for BcsrMasked<T> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+}
+
+impl<T: SimdScalar> SpMv<T> for BcsrMasked<T> {
+    fn spmv_into(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        y.fill(T::ZERO);
+        self.spmv_acc_impl(x, y);
+    }
+
+    fn nnz_stored(&self) -> usize {
+        self.pval.len()
+    }
+
+    fn matrix_bytes(&self) -> usize {
+        self.pval.len() * T::BYTES
+            + self.masks.len() * core::mem::size_of::<Mask>()
+            + self.bcol_start.bytes()
+            + (self.brow_ptr.len() + self.brow_val_ptr.len()) * core::mem::size_of::<Index>()
+    }
+}
+
+impl<T: SimdScalar> SpMvAcc<T> for BcsrMasked<T> {
+    fn spmv_acc(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        self.spmv_acc_impl(x, y);
+    }
+}
+
+impl<T: SimdScalar> SpMvMulti<T> for BcsrMasked<T> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        y.fill(T::ZERO);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+impl<T: SimdScalar> SpMvMultiAcc<T> for BcsrMasked<T> {
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+/// BCSD with per-block occupancy masks instead of padding.
+///
+/// Block structure matches [`Bcsd::from_csr`](crate::Bcsd::from_csr)
+/// exactly (same segments, biased start columns, block order); `pval`
+/// stores only the occupied diagonal positions, `masks` bit `t` ⇔
+/// position `t` of the block's diagonal is stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcsdMasked<T> {
+    n_rows: usize,
+    n_cols: usize,
+    b: usize,
+    imp: KernelImpl,
+    /// Offset of each segment's first block; `n_segments + 1` entries.
+    brow_ptr: Vec<Index>,
+    /// Start column of each block, biased by `+b`, sorted per segment.
+    bcol_biased: ColIdx,
+    /// One occupancy byte per block; bit `t` set ⇔ diagonal position `t`
+    /// is stored.
+    masks: Vec<Mask>,
+    /// Packed nonzero values, diagonal order within each block.
+    pval: Vec<T>,
+    /// Offset of each segment's first value in `pval`; `n_segments + 1`
+    /// entries (see [`BcsrMasked`]).
+    brow_val_ptr: Vec<Index>,
+    nnz_orig: usize,
+}
+
+impl<T: SimdScalar> BcsdMasked<T> {
+    /// Converts `csr` to masked BCSD with diagonal blocks of size `b`
+    /// (`1 <= b <= 8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is outside `1..=8` or the block count overflows the
+    /// `u32` index type.
+    pub fn from_csr(csr: &Csr<T>, b: usize, imp: KernelImpl) -> Self {
+        assert!((1..=8).contains(&b), "BCSD block size must be in 1..=8");
+        let n_rows = csr.n_rows();
+        let n_cols = csr.n_cols();
+        let n_segs = n_rows.div_ceil(b);
+
+        let mut brow_ptr: Vec<Index> = Vec::with_capacity(n_segs + 1);
+        brow_ptr.push(0);
+        let mut brow_val_ptr: Vec<Index> = Vec::with_capacity(n_segs + 1);
+        brow_val_ptr.push(0);
+        let mut bcol_biased: Vec<Index> = Vec::new();
+        let mut masks: Vec<Mask> = Vec::new();
+        let mut pval: Vec<T> = Vec::new();
+
+        let mut temp: Vec<(Index, usize, T)> = Vec::new(); // (biased start, t, value)
+        let mut starts: Vec<Index> = Vec::new();
+        let mut bufs: Vec<[T; 8]> = Vec::new();
+
+        for s in 0..n_segs {
+            temp.clear();
+            starts.clear();
+            let row_hi = ((s + 1) * b).min(n_rows);
+            for i in s * b..row_hi {
+                let t = i - s * b;
+                let (rcols, rvals) = csr.row(i);
+                for (&j, &v) in rcols.iter().zip(rvals) {
+                    let biased = (j as i64 - t as i64 + b as i64) as Index;
+                    temp.push((biased, t, v));
+                }
+            }
+            starts.extend(temp.iter().map(|e| e.0));
+            starts.sort_unstable();
+            starts.dedup();
+
+            assert!(
+                bcol_biased.len() + starts.len() <= MAX_INDEX,
+                "masked BCSD block count overflows u32"
+            );
+            let base = masks.len();
+            bcol_biased.extend_from_slice(&starts);
+            masks.resize(base + starts.len(), 0);
+            bufs.clear();
+            bufs.resize(starts.len(), [T::ZERO; 8]);
+            for &(biased, t, v) in &temp {
+                let k = starts.binary_search(&biased).expect("start recorded");
+                masks[base + k] |= 1 << t;
+                bufs[k][t] = v;
+            }
+            for (k, buf) in bufs.iter().enumerate() {
+                let mut m = masks[base + k];
+                while m != 0 {
+                    pval.push(buf[m.trailing_zeros() as usize]);
+                    m &= m - 1;
+                }
+            }
+            brow_ptr.push(bcol_biased.len() as Index);
+            brow_val_ptr.push(pval.len() as Index);
+        }
+
+        BcsdMasked {
+            n_rows,
+            n_cols,
+            b,
+            imp,
+            brow_ptr,
+            bcol_biased: ColIdx::wide(bcol_biased),
+            masks,
+            pval,
+            brow_val_ptr,
+            nnz_orig: csr.nnz(),
+        }
+    }
+
+    /// Converts `csr` to masked BCSD storing the biased start columns at
+    /// the narrowest width [`IndexWidth::for_cols`] allows (the shared
+    /// bound already absorbs the `+b <= +8` bias). Kernels and results
+    /// are identical to [`BcsdMasked::from_csr`].
+    pub fn from_csr_narrow(csr: &Csr<T>, b: usize, imp: KernelImpl) -> Self {
+        let mut bm = Self::from_csr(csr, b, imp);
+        bm.bcol_biased = core::mem::replace(&mut bm.bcol_biased, ColIdx::wide(Vec::new()))
+            .with_width(IndexWidth::for_cols(csr.n_cols()));
+        bm
+    }
+
+    /// The storage width of the biased start-column array.
+    pub fn index_width(&self) -> IndexWidth {
+        self.bcol_biased.width()
+    }
+
+    /// The diagonal block size `b`.
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// The kernel implementation used by `spmv`.
+    pub fn kernel_impl(&self) -> KernelImpl {
+        self.imp
+    }
+
+    /// Switches between the scalar and SIMD kernel in place.
+    pub fn set_kernel_impl(&mut self, imp: KernelImpl) {
+        self.imp = imp;
+    }
+
+    /// Total number of diagonal blocks, `nb`.
+    pub fn n_blocks(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Explicit padding zeros stored — always zero.
+    pub fn padding(&self) -> usize {
+        0
+    }
+
+    /// Nonzeros of the source matrix.
+    pub fn nnz_orig(&self) -> usize {
+        self.nnz_orig
+    }
+
+    /// Fraction of diagonal slots that hold a stored value.
+    pub fn occupancy(&self) -> f64 {
+        if self.masks.is_empty() {
+            1.0
+        } else {
+            self.pval.len() as f64 / (self.masks.len() * self.b) as f64
+        }
+    }
+
+    /// Converts back to CSR (inverse of [`BcsdMasked::from_csr`] up to
+    /// explicit zero values).
+    pub fn to_csr(&self) -> Csr<T> {
+        let b = self.b;
+        let mut coo = spmv_core::Coo::with_capacity(self.n_rows, self.n_cols, self.pval.len());
+        let mut cur = 0usize;
+        for s in 0..self.brow_ptr.len() - 1 {
+            for k in self.brow_ptr[s] as usize..self.brow_ptr[s + 1] as usize {
+                let j0 = self.bcol_biased.get(k) as i64 - b as i64;
+                let mut m = self.masks[k];
+                while m != 0 {
+                    let t = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let (row, col) = (s * b + t, j0 + t as i64);
+                    let v = self.pval[cur];
+                    cur += 1;
+                    if v != T::ZERO {
+                        debug_assert!(row < self.n_rows && (0..self.n_cols as i64).contains(&col));
+                        coo.push(row, col as usize, v).expect("inside matrix");
+                    }
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    /// Checks the structural invariants of the format.
+    pub fn validate(&self) -> Result<()> {
+        let n_segs = self.n_rows.div_ceil(self.b);
+        if self.brow_ptr.len() != n_segs + 1 {
+            return Err(Error::InvalidStructure(format!(
+                "brow_ptr has {} entries, expected {}",
+                self.brow_ptr.len(),
+                n_segs + 1
+            )));
+        }
+        if self.brow_ptr.first() != Some(&0)
+            || *self.brow_ptr.last().unwrap() as usize != self.bcol_biased.len()
+        {
+            return Err(Error::InvalidStructure("brow_ptr endpoints wrong".into()));
+        }
+        if self.masks.len() != self.bcol_biased.len() {
+            return Err(Error::InvalidStructure("one mask per block required".into()));
+        }
+        let full = full_mask(self.b);
+        for (k, &m) in self.masks.iter().enumerate() {
+            if m == 0 {
+                return Err(Error::InvalidStructure(format!("block {k}: empty mask")));
+            }
+            if m & !full != 0 {
+                return Err(Error::InvalidStructure(format!(
+                    "block {k}: mask bits outside diagonal size {}",
+                    self.b
+                )));
+            }
+        }
+        if self.pval.len() != popcount(&self.masks) {
+            return Err(Error::InvalidStructure("pval length mismatch".into()));
+        }
+        if self.brow_val_ptr.len() != self.brow_ptr.len() {
+            return Err(Error::InvalidStructure(
+                "brow_val_ptr length must match brow_ptr".into(),
+            ));
+        }
+        for s in 0..n_segs {
+            let vals = self.brow_val_ptr[s + 1].checked_sub(self.brow_val_ptr[s]);
+            let span = self.brow_ptr[s] as usize..self.brow_ptr[s + 1] as usize;
+            if vals.map(|v| v as usize) != Some(popcount(&self.masks[span])) {
+                return Err(Error::InvalidStructure(format!(
+                    "segment {s}: brow_val_ptr disagrees with mask popcount"
+                )));
+            }
+            let range = self.brow_ptr[s] as usize..self.brow_ptr[s + 1] as usize;
+            for k in range.clone().skip(1) {
+                if self.bcol_biased.get(k - 1) >= self.bcol_biased.get(k) {
+                    return Err(Error::InvalidStructure(format!(
+                        "segment {s}: duplicate or unsorted blocks"
+                    )));
+                }
+            }
+            for k in range {
+                let j0 = self.bcol_biased.get(k) as i64 - self.b as i64;
+                if j0 <= -(self.b as i64) || j0 >= self.n_cols as i64 {
+                    return Err(Error::InvalidStructure(format!(
+                        "segment {s}: block start {j0} entirely outside the matrix"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn spmv_acc_impl(&self, x: &[T], y: &mut [T]) {
+        let b = self.b;
+        let kern: BcsdMaskedSegKernel<T> = bcsd_masked_seg_kernel(b, self.imp);
+        let n_segs = self.brow_ptr.len() - 1;
+        let mut scratch: Vec<Index> = Vec::new();
+        for s in 0..n_segs {
+            let start = self.brow_ptr[s] as usize;
+            let end = self.brow_ptr[s + 1] as usize;
+            if start == end {
+                continue;
+            }
+            // Precomputed per-segment value offsets; popcounts remain
+            // only for the (rare) clipped prefix and suffix.
+            let cur = self.brow_val_ptr[s] as usize;
+            let stop = self.brow_val_ptr[s + 1] as usize;
+            let y0 = s * b;
+            if y0 + b <= self.n_rows {
+                let yseg = &mut y[y0..y0 + b];
+                // Left-clipped blocks form a sorted prefix, right-clipped a
+                // sorted suffix, as in the padded format.
+                let mut lo = start;
+                while lo < end && (self.bcol_biased.get(lo) as usize) < b {
+                    lo += 1;
+                }
+                let mut hi = end;
+                while hi > lo && self.bcol_biased.get(hi - 1) as usize > self.n_cols {
+                    hi -= 1;
+                }
+                let c_lo = cur + popcount(&self.masks[start..lo]);
+                let c_hi = stop - popcount(&self.masks[hi..end]);
+                if lo > start {
+                    bcsd_masked_seg_clipped(
+                        b,
+                        &self.pval[cur..c_lo],
+                        self.bcol_biased.slice(start..lo, &mut scratch),
+                        &self.masks[start..lo],
+                        x,
+                        yseg,
+                    );
+                }
+                if hi > lo {
+                    kern(
+                        &self.pval[c_lo..c_hi],
+                        self.bcol_biased.slice(lo..hi, &mut scratch),
+                        &self.masks[lo..hi],
+                        x,
+                        yseg,
+                    );
+                }
+                if end > hi {
+                    bcsd_masked_seg_clipped(
+                        b,
+                        &self.pval[c_hi..stop],
+                        self.bcol_biased.slice(hi..end, &mut scratch),
+                        &self.masks[hi..end],
+                        x,
+                        yseg,
+                    );
+                }
+            } else {
+                bcsd_masked_seg_clipped(
+                    b,
+                    &self.pval[cur..stop],
+                    self.bcol_biased.slice(start..end, &mut scratch),
+                    &self.masks[start..end],
+                    x,
+                    &mut y[y0..self.n_rows],
+                );
+            }
+        }
+    }
+
+    /// Shared implementation of `spmv_multi_acc` (greedy chunking).
+    fn spmv_multi_acc_impl(&self, x: &[T], y: &mut [T], k: usize) {
+        let (m, n) = (self.n_cols, self.n_rows);
+        let mut t0 = 0;
+        while t0 < k {
+            let kc = multi_chunk(k - t0);
+            self.multi_acc_chunk(&x[t0 * m..(t0 + kc) * m], &mut y[t0 * n..(t0 + kc) * n], kc);
+            t0 += kc;
+        }
+    }
+
+    /// One `kc`-vector pass, mirroring the interior/clipped split of
+    /// `spmv_acc_impl`.
+    fn multi_acc_chunk(&self, x: &[T], y: &mut [T], kc: usize) {
+        let b = self.b;
+        let kern = bcsd_masked_seg_multi_kernel::<T>(b, kc, self.imp)
+            .expect("chunked to a specialized vector count");
+        let (m, n) = (self.n_cols, self.n_rows);
+        let n_segs = self.brow_ptr.len() - 1;
+        let mut scratch: Vec<Index> = Vec::new();
+        for s in 0..n_segs {
+            let start = self.brow_ptr[s] as usize;
+            let end = self.brow_ptr[s + 1] as usize;
+            if start == end {
+                continue;
+            }
+            let cur = self.brow_val_ptr[s] as usize;
+            let stop = self.brow_val_ptr[s + 1] as usize;
+            let y0 = s * b;
+            if y0 + b <= n {
+                let mut lo = start;
+                while lo < end && (self.bcol_biased.get(lo) as usize) < b {
+                    lo += 1;
+                }
+                let mut hi = end;
+                while hi > lo && self.bcol_biased.get(hi - 1) as usize > m {
+                    hi -= 1;
+                }
+                let c_lo = cur + popcount(&self.masks[start..lo]);
+                let c_hi = stop - popcount(&self.masks[hi..end]);
+                if lo > start {
+                    bcsd_masked_seg_multi_clipped(
+                        b,
+                        kc,
+                        &self.pval[cur..c_lo],
+                        self.bcol_biased.slice(start..lo, &mut scratch),
+                        &self.masks[start..lo],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                        b,
+                    );
+                }
+                if hi > lo {
+                    kern(
+                        &self.pval[c_lo..c_hi],
+                        self.bcol_biased.slice(lo..hi, &mut scratch),
+                        &self.masks[lo..hi],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                    );
+                }
+                if end > hi {
+                    bcsd_masked_seg_multi_clipped(
+                        b,
+                        kc,
+                        &self.pval[c_hi..stop],
+                        self.bcol_biased.slice(hi..end, &mut scratch),
+                        &self.masks[hi..end],
+                        x,
+                        m,
+                        y,
+                        n,
+                        y0,
+                        b,
+                    );
+                }
+            } else {
+                bcsd_masked_seg_multi_clipped(
+                    b,
+                    kc,
+                    &self.pval[cur..stop],
+                    self.bcol_biased.slice(start..end, &mut scratch),
+                    &self.masks[start..end],
+                    x,
+                    m,
+                    y,
+                    n,
+                    y0,
+                    n - y0,
+                );
+            }
+        }
+    }
+}
+
+impl<T> MatrixShape for BcsdMasked<T> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+}
+
+impl<T: SimdScalar> SpMv<T> for BcsdMasked<T> {
+    fn spmv_into(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        y.fill(T::ZERO);
+        self.spmv_acc_impl(x, y);
+    }
+
+    fn nnz_stored(&self) -> usize {
+        self.pval.len()
+    }
+
+    fn matrix_bytes(&self) -> usize {
+        self.pval.len() * T::BYTES
+            + self.masks.len() * core::mem::size_of::<Mask>()
+            + self.bcol_biased.bytes()
+            + (self.brow_ptr.len() + self.brow_val_ptr.len()) * core::mem::size_of::<Index>()
+    }
+}
+
+impl<T: SimdScalar> SpMvAcc<T> for BcsdMasked<T> {
+    fn spmv_acc(&self, x: &[T], y: &mut [T]) {
+        spmv_core::traits::check_spmv_dims(self, x, y);
+        self.spmv_acc_impl(x, y);
+    }
+}
+
+impl<T: SimdScalar> SpMvMulti<T> for BcsdMasked<T> {
+    fn spmv_multi_into(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        y.fill(T::ZERO);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+impl<T: SimdScalar> SpMvMultiAcc<T> for BcsdMasked<T> {
+    fn spmv_multi_acc(&self, x: &[T], y: &mut [T], k: usize) {
+        spmv_core::traits::check_spmv_multi_dims(self, x, y, k);
+        self.spmv_multi_acc_impl(x, y, k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bcsd, Bcsr};
+    use spmv_core::Coo;
+
+    fn fixture_csr(n: usize, m: usize, seed: u64) -> Csr<f64> {
+        let mut coo = Coo::new(n, m);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            if i < m {
+                let _ = coo.push(i, i, 2.0 + (i % 5) as f64);
+            }
+            let _ = coo.push(i, (next() as usize) % m, 1.0 + (next() % 7) as f64);
+            let _ = coo.push(i, 0, 0.5);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn bcsr_masked_matches_padded_bitwise_all_shapes() {
+        let csr = fixture_csr(23, 19, 11);
+        let x: Vec<f64> = (0..19).map(|i| 1.0 + (i % 7) as f64).collect();
+        for shape in BlockShape::search_space() {
+            for imp in KernelImpl::ALL {
+                let padded = Bcsr::from_csr(&csr, shape, imp);
+                let masked = BcsrMasked::from_csr(&csr, shape, imp);
+                masked.validate().unwrap();
+                assert_eq!(masked.spmv(&x), padded.spmv(&x), "shape {shape} imp {imp}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcsd_masked_matches_padded_bitwise_all_sizes() {
+        let csr = fixture_csr(23, 19, 11);
+        let x: Vec<f64> = (0..19).map(|i| 1.0 + (i % 7) as f64).collect();
+        for b in spmv_kernels::BCSD_SIZES {
+            for imp in KernelImpl::ALL {
+                let padded = Bcsd::from_csr(&csr, b, imp);
+                let masked = BcsdMasked::from_csr(&csr, b, imp);
+                masked.validate().unwrap();
+                assert_eq!(masked.spmv(&x), padded.spmv(&x), "b {b} imp {imp}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_stores_only_nonzeros() {
+        let csr = fixture_csr(23, 19, 3);
+        let shape = BlockShape::new(2, 4).unwrap();
+        let padded = Bcsr::from_csr(&csr, shape, KernelImpl::Scalar);
+        let masked = BcsrMasked::from_csr(&csr, shape, KernelImpl::Scalar);
+        assert_eq!(masked.n_blocks(), padded.n_blocks());
+        assert_eq!(masked.nnz_stored(), csr.nnz());
+        assert_eq!(masked.padding(), 0);
+        assert!(padded.padding() > 0);
+        assert!(masked.matrix_bytes() < padded.matrix_bytes());
+        assert!((masked.occupancy() - padded.fill_ratio()).abs() < 1e-12);
+
+        let bd_padded = Bcsd::from_csr(&csr, 4, KernelImpl::Scalar);
+        let bd_masked = BcsdMasked::from_csr(&csr, 4, KernelImpl::Scalar);
+        assert_eq!(bd_masked.n_blocks(), bd_padded.n_blocks());
+        assert_eq!(bd_masked.nnz_stored(), csr.nnz());
+        assert!(bd_masked.matrix_bytes() < bd_padded.matrix_bytes());
+    }
+
+    #[test]
+    fn masked_multi_matches_per_column_spmv() {
+        let csr = fixture_csr(23, 19, 7);
+        let shape = BlockShape::new(2, 3).unwrap();
+        for imp in KernelImpl::ALL {
+            let br = BcsrMasked::from_csr(&csr, shape, imp);
+            let bd = BcsdMasked::from_csr(&csr, 4, imp);
+            for k in [1, 2, 5, 8] {
+                let x: Vec<f64> = (0..19 * k).map(|i| 1.0 + (i % 7) as f64).collect();
+                let got_r = br.spmv_multi(&x, k);
+                let got_d = bd.spmv_multi(&x, k);
+                for t in 0..k {
+                    let xcol = &x[t * 19..(t + 1) * 19];
+                    assert_eq!(got_r[t * 23..(t + 1) * 23], br.spmv(xcol), "bcsr k={k} t={t}");
+                    assert_eq!(got_d[t * 23..(t + 1) * 23], bd.spmv(xcol), "bcsd k={k} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_multi_matches_padded_multi_bitwise() {
+        let csr = fixture_csr(23, 19, 9);
+        let shape = BlockShape::new(2, 2).unwrap();
+        let x: Vec<f64> = (0..19 * 4).map(|i| 1.0 + (i % 7) as f64).collect();
+        for imp in KernelImpl::ALL {
+            assert_eq!(
+                BcsrMasked::from_csr(&csr, shape, imp).spmv_multi(&x, 4),
+                Bcsr::from_csr(&csr, shape, imp).spmv_multi(&x, 4),
+                "bcsr imp {imp}"
+            );
+            assert_eq!(
+                BcsdMasked::from_csr(&csr, 4, imp).spmv_multi(&x, 4),
+                Bcsd::from_csr(&csr, 4, imp).spmv_multi(&x, 4),
+                "bcsd imp {imp}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_csr_roundtrips() {
+        let csr = fixture_csr(17, 13, 5);
+        let shape = BlockShape::new(3, 2).unwrap();
+        let masked = BcsrMasked::from_csr(&csr, shape, KernelImpl::Scalar);
+        assert_eq!(masked.to_csr(), csr);
+        let bd = BcsdMasked::from_csr(&csr, 3, KernelImpl::Scalar);
+        assert_eq!(bd.to_csr(), csr);
+    }
+
+    #[test]
+    fn narrow_indices_are_bitwise_equal_and_smaller() {
+        let csr = fixture_csr(23, 19, 11);
+        let shape = BlockShape::new(2, 2).unwrap();
+        let wide = BcsrMasked::from_csr(&csr, shape, KernelImpl::Simd);
+        let narrow = BcsrMasked::from_csr_narrow(&csr, shape, KernelImpl::Simd);
+        narrow.validate().unwrap();
+        assert_eq!(narrow.index_width(), IndexWidth::U16);
+        assert!(narrow.matrix_bytes() < wide.matrix_bytes());
+        let x: Vec<f64> = (0..19).map(|i| 1.0 + (i % 7) as f64).collect();
+        assert_eq!(narrow.spmv(&x), wide.spmv(&x));
+
+        let dw = BcsdMasked::from_csr(&csr, 4, KernelImpl::Simd);
+        let dn = BcsdMasked::from_csr_narrow(&csr, 4, KernelImpl::Simd);
+        dn.validate().unwrap();
+        assert_eq!(dn.index_width(), IndexWidth::U16);
+        assert_eq!(dn.spmv(&x), dw.spmv(&x));
+    }
+
+    #[test]
+    fn full_blocks_take_the_dense_path() {
+        // A dense 4x4 matrix under 2x2 blocks: every mask is all-ones,
+        // occupancy 1.0, and masked storage equals padded value storage.
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                coo.push(i, j, (1 + i * 4 + j) as f64).unwrap();
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        let shape = BlockShape::new(2, 2).unwrap();
+        let masked = BcsrMasked::from_csr(&csr, shape, KernelImpl::Scalar);
+        assert_eq!(masked.occupancy(), 1.0);
+        assert_eq!(masked.nnz_stored(), 16);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(masked.spmv(&x), Bcsr::from_csr(&csr, shape, KernelImpl::Scalar).spmv(&x));
+    }
+
+    #[test]
+    fn single_entry_blocks_and_short_final_rows() {
+        // One entry per block (minimal masks), n_rows not a multiple of r,
+        // plus a left-edge BCSD corner entry.
+        let csr =
+            Csr::from_coo(&Coo::from_triplets(5, 7, vec![(4, 6, 3.0), (3, 0, 7.0)]).unwrap());
+        let shape = BlockShape::new(2, 4).unwrap();
+        let masked = BcsrMasked::from_csr(&csr, shape, KernelImpl::Scalar);
+        masked.validate().unwrap();
+        assert_eq!(masked.nnz_stored(), 2);
+        let x: Vec<f64> = (0..7).map(|i| 1.0 + i as f64).collect();
+        assert_eq!(masked.spmv(&x), Bcsr::from_csr(&csr, shape, KernelImpl::Scalar).spmv(&x));
+
+        let bd = BcsdMasked::from_csr(&csr, 4, KernelImpl::Scalar);
+        bd.validate().unwrap();
+        assert_eq!(bd.nnz_stored(), 2);
+        assert_eq!(bd.spmv(&x), Bcsd::from_csr(&csr, 4, KernelImpl::Scalar).spmv(&x));
+    }
+
+    #[test]
+    fn single_precision_matches_padded_bitwise() {
+        let mut coo = Coo::<f32>::new(12, 12);
+        for i in 0..12 {
+            coo.push(i, i, 1.5).unwrap();
+            coo.push(i, (i + 2) % 12, 0.5).unwrap();
+        }
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f32> = (0..12).map(|i| i as f32 * 0.25).collect();
+        let shape = BlockShape::new(2, 2).unwrap();
+        for imp in KernelImpl::ALL {
+            assert_eq!(
+                BcsrMasked::from_csr(&csr, shape, imp).spmv(&x),
+                Bcsr::from_csr(&csr, shape, imp).spmv(&x)
+            );
+            assert_eq!(
+                BcsdMasked::from_csr(&csr, 4, imp).spmv(&x),
+                Bcsd::from_csr(&csr, 4, imp).spmv(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn spmv_acc_accumulates() {
+        let csr = fixture_csr(9, 9, 5);
+        let masked = BcsrMasked::from_csr(&csr, BlockShape::new(3, 1).unwrap(), KernelImpl::Scalar);
+        let x = vec![1.0; 9];
+        let base = csr.spmv(&x);
+        let mut y = base.clone();
+        masked.spmv_acc(&x, &mut y);
+        for (a, b) in y.iter().zip(&base) {
+            assert!((a - 2.0 * b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rectangular_wide_and_tall() {
+        let wide = fixture_csr(6, 20, 2);
+        let tall = fixture_csr(20, 6, 2);
+        let xw: Vec<f64> = (0..20).map(|i| 1.0 + i as f64).collect();
+        let xt: Vec<f64> = (0..6).map(|i| 1.0 + i as f64).collect();
+        for shape in [BlockShape::new(1, 8).unwrap(), BlockShape::new(4, 2).unwrap()] {
+            let mw = BcsrMasked::from_csr(&wide, shape, KernelImpl::Scalar);
+            let mt = BcsrMasked::from_csr(&tall, shape, KernelImpl::Scalar);
+            mw.validate().unwrap();
+            mt.validate().unwrap();
+            assert_eq!(mw.spmv(&xw), Bcsr::from_csr(&wide, shape, KernelImpl::Scalar).spmv(&xw));
+            assert_eq!(mt.spmv(&xt), Bcsr::from_csr(&tall, shape, KernelImpl::Scalar).spmv(&xt));
+        }
+        for b in [2usize, 5, 8] {
+            let mw = BcsdMasked::from_csr(&wide, b, KernelImpl::Scalar);
+            let mt = BcsdMasked::from_csr(&tall, b, KernelImpl::Scalar);
+            mw.validate().unwrap();
+            mt.validate().unwrap();
+            assert_eq!(mw.spmv(&xw), Bcsd::from_csr(&wide, b, KernelImpl::Scalar).spmv(&xw));
+            assert_eq!(mt.spmv(&xt), Bcsd::from_csr(&tall, b, KernelImpl::Scalar).spmv(&xt));
+        }
+    }
+}

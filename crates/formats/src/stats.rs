@@ -27,6 +27,10 @@ pub struct FormatStats {
     /// Rows of the main structure's pointer array minus one (block rows or
     /// segments), for byte accounting.
     pub index_rows: usize,
+    /// Bytes spent on padded-zero *values* in the main submatrix — the
+    /// part of the value stream that carries no information. Zero for
+    /// padding-free formats (decomposed mains, 1D-VBL, masked).
+    pub fill_bytes: usize,
 }
 
 impl FormatStats {
@@ -68,6 +72,22 @@ pub fn bcsr_stats<T: Scalar>(csr: &Csr<T>, shape: BlockShape) -> FormatStats {
         stored: nb * r * c,
         rest_nnz: 0,
         index_rows: n_brows,
+        fill_bytes: (nb * r * c - csr.nnz()) * T::BYTES,
+    }
+}
+
+/// Statistics for masked BCSR ([`crate::BcsrMasked`]): same block
+/// structure as aligned BCSR, but the value stream holds only the `nnz`
+/// true nonzeros (no fill bytes) plus one occupancy byte per block —
+/// which the working-set accounting charges via `nb`.
+pub fn bcsr_masked_stats<T: Scalar>(csr: &Csr<T>, shape: BlockShape) -> FormatStats {
+    let st = bcsr_stats(csr, shape);
+    FormatStats {
+        nb: st.nb,
+        stored: csr.nnz(),
+        rest_nnz: 0,
+        index_rows: st.index_rows,
+        fill_bytes: 0,
     }
 }
 
@@ -107,6 +127,7 @@ pub fn bcsr_dec_stats<T: Scalar>(csr: &Csr<T>, shape: BlockShape) -> FormatStats
         stored: covered,
         rest_nnz: csr.nnz() - covered,
         index_rows: n_brows,
+        fill_bytes: 0,
     }
 }
 
@@ -135,6 +156,20 @@ pub fn bcsd_stats<T: Scalar>(csr: &Csr<T>, b: usize) -> FormatStats {
         stored: nb * b,
         rest_nnz: 0,
         index_rows: n_segs,
+        fill_bytes: (nb * b - csr.nnz()) * T::BYTES,
+    }
+}
+
+/// Statistics for masked BCSD ([`crate::BcsdMasked`]): BCSD block
+/// structure with an `nnz`-value stream and one mask byte per block.
+pub fn bcsd_masked_stats<T: Scalar>(csr: &Csr<T>, b: usize) -> FormatStats {
+    let st = bcsd_stats(csr, b);
+    FormatStats {
+        nb: st.nb,
+        stored: csr.nnz(),
+        rest_nnz: 0,
+        index_rows: st.index_rows,
+        fill_bytes: 0,
     }
 }
 
@@ -174,6 +209,7 @@ pub fn bcsd_dec_stats<T: Scalar>(csr: &Csr<T>, b: usize) -> FormatStats {
         stored: covered,
         rest_nnz: csr.nnz() - covered,
         index_rows: n_segs,
+        fill_bytes: 0,
     }
 }
 
@@ -200,6 +236,7 @@ pub fn vbl_stats<T: Scalar>(csr: &Csr<T>) -> FormatStats {
         stored: csr.nnz(),
         rest_nnz: 0,
         index_rows: csr.n_rows(),
+        fill_bytes: 0,
     }
 }
 
@@ -259,6 +296,8 @@ pub fn bcsr_stats_sampled<T: Scalar>(
         stored: nb * r * c,
         rest_nnz: 0,
         index_rows: n_brows,
+        // The estimated block count can undershoot nnz; clamp at zero.
+        fill_bytes: (nb * r * c).saturating_sub(csr.nnz()) * T::BYTES,
     }
 }
 
@@ -346,6 +385,42 @@ mod tests {
         let real = Vbl::from_csr(&csr, KernelImpl::Scalar);
         assert_eq!(est.nb, real.n_blocks());
         assert_eq!(est.stored, real.nnz_stored());
+    }
+
+    #[test]
+    fn masked_stats_match_constructed_formats() {
+        let csr = fixture(10);
+        for shape in [BlockShape::new(2, 2).unwrap(), BlockShape::new(1, 8).unwrap()] {
+            let est = bcsr_masked_stats(&csr, shape);
+            let real = crate::BcsrMasked::from_csr(&csr, shape, KernelImpl::Scalar);
+            assert_eq!(est.nb, real.n_blocks(), "shape {shape}");
+            assert_eq!(est.stored, real.nnz_stored(), "shape {shape}");
+            assert_eq!(est.fill_bytes, 0);
+        }
+        for b in [3usize, 4] {
+            let est = bcsd_masked_stats(&csr, b);
+            let real = crate::BcsdMasked::from_csr(&csr, b, KernelImpl::Scalar);
+            assert_eq!(est.nb, real.n_blocks(), "b {b}");
+            assert_eq!(est.stored, real.nnz_stored(), "b {b}");
+            assert_eq!(est.fill_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_accounts_padded_zero_values() {
+        let csr = fixture(11);
+        let shape = BlockShape::new(2, 3).unwrap();
+        let est = bcsr_stats(&csr, shape);
+        let real = Bcsr::from_csr(&csr, shape, KernelImpl::Scalar);
+        assert_eq!(est.fill_bytes, real.padding() * 8);
+        assert_eq!(est.fill_bytes, est.padding(csr.nnz()) * 8);
+        let d = bcsd_stats(&csr, 4);
+        let dreal = Bcsd::from_csr(&csr, 4, KernelImpl::Scalar);
+        assert_eq!(d.fill_bytes, dreal.padding() * 8);
+        // Padding-free formats report zero fill bytes.
+        assert_eq!(bcsr_dec_stats(&csr, shape).fill_bytes, 0);
+        assert_eq!(bcsd_dec_stats(&csr, 4).fill_bytes, 0);
+        assert_eq!(vbl_stats(&csr).fill_bytes, 0);
     }
 
     #[test]

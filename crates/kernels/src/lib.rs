@@ -22,14 +22,23 @@
 //! the decomposed formats (BCSR-DEC, BCSD-DEC) run k sub-multiplications
 //! into a single output vector.
 
+pub mod block;
+pub mod engine;
+#[cfg(test)]
+mod gate;
+pub mod masked;
 pub mod registry;
 pub mod scalar;
 pub mod shapes;
 pub mod simd;
 
+pub use masked::Mask;
 pub use registry::{
-    bcsd_seg_kernel, bcsd_seg_multi_kernel, bcsr_row_kernel, bcsr_row_multi_kernel, dot_run,
-    dot_run_multi, BcsdSegKernel, BcsdSegMultiKernel, BcsrRowKernel, BcsrRowMultiKernel,
+    bcsd_masked_seg_kernel, bcsd_masked_seg_multi_kernel, bcsd_seg_kernel, bcsd_seg_multi_kernel,
+    bcsr_masked_row_kernel, bcsr_masked_row_multi_kernel, bcsr_row_kernel, bcsr_row_multi_kernel,
+    dot_run, dot_run_multi, BcsdMaskedSegKernel, BcsdMaskedSegMultiKernel, BcsdSegKernel,
+    BcsdSegMultiKernel, BcsrMaskedRowKernel, BcsrMaskedRowMultiKernel, BcsrRowKernel,
+    BcsrRowMultiKernel,
 };
 pub use shapes::{BlockShape, KernelImpl, BCSD_SIZES, MAX_BLOCK_ELEMS};
 

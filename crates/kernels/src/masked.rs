@@ -1,0 +1,528 @@
+//! Masked (padding-free) block kernels.
+//!
+//! Blocked formats classically zero-pad partially filled blocks so the
+//! per-shape kernels can run dense — every padded zero costs a stored
+//! value byte and a multiply. The masked variants instead store **only
+//! the real nonzeros**, packed in position order, plus one occupancy
+//! byte per block: bit `p` of the [`Mask`] is set iff dense position `p`
+//! (row-major `i*C + j` for BCSR, diagonal offset for BCSD) is present.
+//! `r·c <= 8` ([`crate::MAX_BLOCK_ELEMS`]) makes a `u8` always enough.
+//!
+//! The kernels take the *expand* strategy from Bramas & Kus: a partial
+//! block is scattered into a dense stack buffer and then runs through
+//! the **same** per-block accumulation step as the dense core
+//! ([`crate::block::bcsr_block_step`] / [`bcsd_block_step`]); a
+//! full-occupancy block (mask all-ones, the common case in well-blocked
+//! regions) skips the copy and borrows the packed values directly. Two
+//! buffer slots alternate in a short software pipeline — block `k+1` is
+//! scattered while block `k` is multiplied — and each scatter clears
+//! only the positions its slot's *previous* tenant populated, so the
+//! per-block cost is two table-driven popcount-bounded store loops, not
+//! an eight-element wipe (see [`bcsr_masked_core`]).
+//! Because padded zeros contribute exact-zero products to finite
+//! accumulators, a masked SpMV is **bitwise equal** to the padded one —
+//! structurally so, since both run the identical step code — while
+//! storing zero padded values and skipping their memory traffic.
+//!
+//! All kernels accumulate (`+=`) into their output slice, like the rest
+//! of the crate.
+
+use crate::block::{bcsd_block_step, bcsd_epilogue, bcsr_block_step, bcsr_epilogue};
+use crate::engine::LaneEngine;
+use crate::MAX_BLOCK_ELEMS;
+use spmv_core::{Index, Scalar};
+
+/// Per-block occupancy bitmask: bit `p` set ⇔ dense position `p` holds a
+/// real nonzero (row-major within a BCSR block, diagonal offset within a
+/// BCSD block).
+pub type Mask = u8;
+
+/// The all-ones mask for a block of `elems` dense positions
+/// (`1 <= elems <= 8`).
+#[inline]
+pub fn full_mask(elems: usize) -> Mask {
+    debug_assert!((1..=MAX_BLOCK_ELEMS).contains(&elems));
+    (u16::from(u8::MAX) >> (8 - elems)) as Mask
+}
+
+/// Per-mask expansion plan, built once at compile time: for every mask
+/// value, the packed-array index each of the 8 dense positions reads
+/// (the prefix popcount, clamped into `0..popcount(mask)` so unset
+/// positions load a valid-but-ignored element), plus the popcount
+/// itself. One 8-byte table row replaces the per-bit
+/// `trailing_zeros`-and-clear loop, whose data-dependent branches and
+/// software popcounts (baseline x86-64 has no POPCNT) dominated the
+/// masked kernels' time on partially filled blocks.
+struct ExpandPlan {
+    idx: [[u8; MAX_BLOCK_ELEMS]; 256],
+    /// `pos[m][t]` = dense position of the `t`-th set bit of `m`
+    /// (unused entries stay 0).
+    pos: [[u8; MAX_BLOCK_ELEMS]; 256],
+    count: [u8; 256],
+}
+
+static EXPAND_PLAN: ExpandPlan = build_expand_plan();
+
+const fn build_expand_plan() -> ExpandPlan {
+    let mut plan = ExpandPlan {
+        idx: [[0; MAX_BLOCK_ELEMS]; 256],
+        pos: [[0; MAX_BLOCK_ELEMS]; 256],
+        count: [0; 256],
+    };
+    let mut m = 0usize;
+    while m < 256 {
+        let n = (m as u8).count_ones() as u8;
+        plan.count[m] = n;
+        let last = if n == 0 { 0 } else { n - 1 };
+        let mut p = 0;
+        while p < MAX_BLOCK_ELEMS {
+            let before = (m & ((1 << p) - 1)) as u8;
+            let s = before.count_ones() as u8;
+            plan.idx[m][p] = if s > last { last } else { s };
+            if m >> p & 1 == 1 {
+                plan.pos[m][s as usize] = p as u8;
+            }
+            p += 1;
+        }
+        m += 1;
+    }
+    plan
+}
+
+/// Writes the `popcount(mask)` packed values to their dense positions of
+/// `buf` without touching the other positions, and returns how many
+/// values were consumed. The caller owns keeping the untouched positions
+/// zero (see [`unscatter_block`]); together the pair replaces a full
+/// 8-position rewrite with `2·popcount` plain stores — the dominant cost
+/// of the expand strategy at low fill.
+#[inline(always)]
+fn scatter_block<T: Scalar>(packed: &[T], mask: Mask, buf: &mut [T; MAX_BLOCK_ELEMS]) -> usize {
+    let n = EXPAND_PLAN.count[mask as usize] as usize;
+    let pos = &EXPAND_PLAN.pos[mask as usize];
+    for (t, &v) in packed[..n].iter().enumerate() {
+        buf[(pos[t] & 7) as usize] = v;
+    }
+    n
+}
+
+/// Re-zeroes the positions of `buf` that [`scatter_block`] wrote for
+/// `mask`, restoring the all-zero state the next scatter relies on.
+#[inline(always)]
+fn unscatter_block<T: Scalar>(mask: Mask, buf: &mut [T; MAX_BLOCK_ELEMS]) {
+    let n = EXPAND_PLAN.count[mask as usize] as usize;
+    let pos = &EXPAND_PLAN.pos[mask as usize];
+    for &p in &pos[..n] {
+        buf[(p & 7) as usize] = T::ZERO;
+    }
+}
+
+/// How many blocks ahead of the running step the masked cores prepare
+/// their expansion buffers. One step of distance keeps the scatter's
+/// narrow scalar stores out of the same cycle as the step's wide vector
+/// loads (an immediate wide read over two narrow stores misses
+/// store-to-load forwarding); measured against a depth-3 ring, the
+/// two-slot ring wins — the loop is issue-throughput-bound, so the
+/// extra ring bookkeeping costs more than the added store distance
+/// saves.
+const PIPELINE: usize = 2;
+
+/// Prepares block `k` for the masked cores' step loop: a full block is
+/// recorded as a `pvals` borrow (`pend[s] = offset`), a partial block is
+/// scattered into ring slot `s = k % PIPELINE` on top of a zeroed
+/// buffer (`pend[s] = usize::MAX`). `elems` is the dense block size
+/// (`R·C` or `B`), constant-folded after inlining.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn prep_block<T: Scalar>(
+    k: usize,
+    full: Mask,
+    elems: usize,
+    pvals: &[T],
+    masks: &[Mask],
+    bufs: &mut [[T; MAX_BLOCK_ELEMS]; PIPELINE],
+    dirty: &mut [Mask; PIPELINE],
+    pend: &mut [usize; PIPELINE],
+    cur: &mut usize,
+) {
+    let m = masks[k];
+    let s = k % PIPELINE;
+    if m == full {
+        pend[s] = *cur;
+        *cur += elems;
+    } else {
+        unscatter_block(dirty[s], &mut bufs[s]);
+        *cur += scatter_block(&pvals[*cur..], m, &mut bufs[s]);
+        dirty[s] = m;
+        pend[s] = usize::MAX;
+    }
+}
+
+/// Scatters the first `popcount(mask)` packed values into their dense
+/// positions of `out`, zeroing unset positions, and returns how many
+/// packed values were consumed.
+///
+/// Branch-free on purpose: each position loads unconditionally at its
+/// table-clamped packed index and selects between the value and zero —
+/// a fixed 8-step pattern the out-of-order core can run ahead on,
+/// instead of a serial per-set-bit loop that mispredicts on every
+/// data-dependent mask.
+#[inline(always)]
+pub fn expand_block<T: Scalar>(packed: &[T], mask: Mask, out: &mut [T]) -> usize {
+    let n = EXPAND_PLAN.count[mask as usize] as usize;
+    if n == 0 {
+        out.fill(T::ZERO);
+        return 0;
+    }
+    let packed = &packed[..n];
+    let idxs = &EXPAND_PLAN.idx[mask as usize];
+    for (p, (o, &s)) in out.iter_mut().zip(idxs).enumerate() {
+        // SAFETY: table entries are clamped below `n == packed.len()`.
+        let v = unsafe { *packed.get_unchecked(s as usize) };
+        *o = if (mask >> p) & 1 == 1 { v } else { T::ZERO };
+    }
+    n
+}
+
+/// One masked BCSR block row against `K` input vectors.
+///
+/// `pvals` holds the packed nonzeros of all blocks back to back (block
+/// `kb` contributes `popcount(masks[kb])` values); `bcols` and the
+/// stride/offset conventions match [`crate::block::bcsr_core`], which
+/// this is bitwise-equal to on the padded expansion of the same blocks.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn bcsr_masked_core<
+    T: Scalar,
+    E: LaneEngine<T>,
+    const R: usize,
+    const C: usize,
+    const K: usize,
+>(
+    pvals: &[T],
+    bcols: &[Index],
+    masks: &[Mask],
+    x: &[T],
+    xs: usize,
+    y: &mut [T],
+    ys: usize,
+    y0: usize,
+) {
+    debug_assert_eq!(bcols.len(), masks.len());
+    debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
+    let full = full_mask(R * C);
+    // Fully-blocked rows (every mask all-ones) are the dense layout
+    // exactly — hand the whole row to the padded core. The test is O(1)
+    // and touches no mask bytes: `pvals` is exactly this row's packed
+    // values, and the popcounts (each ≤ R·C) can only sum to `nb·R·C`
+    // when every block is full, so dense regions never stream the mask
+    // array at all.
+    if pvals.len() == bcols.len() * (R * C) {
+        return crate::block::bcsr_core::<T, E, R, C, K>(pvals, bcols, x, xs, y, ys, y0);
+    }
+    let mut accv = [[E::zero(); K]; R];
+    let mut accs = [[T::ZERO; K]; R];
+    // A ring of persistent expansion buffers, prepared [`PIPELINE`] - 1
+    // blocks ahead of the step (see [`prep_block`]). Each buffer only
+    // re-zeroes the positions its previous tenant set (`dirty`), so a
+    // partial block costs `2·popcount` stores, not a full 8-position
+    // rewrite. Only expansion moves ahead — steps still run in block
+    // order, so results are unchanged.
+    let mut bufs = [[T::ZERO; MAX_BLOCK_ELEMS]; PIPELINE];
+    let mut dirty = [0 as Mask; PIPELINE];
+    // `pvals` offset of the slot's block when full, `usize::MAX` when it
+    // is expanded into its ring buffer.
+    let mut pend = [usize::MAX; PIPELINE];
+    let nb = bcols.len();
+    let mut cur = 0usize;
+    for k in 0..nb.min(PIPELINE - 1) {
+        prep_block(k, full, R * C, pvals, masks, &mut bufs, &mut dirty, &mut pend, &mut cur);
+    }
+    // Indexed loop on purpose: `kb` drives three things (the prep
+    // lookahead, the ring slot, and the column load), and the
+    // enumerate() form measured ~5% slower on the banded sweep.
+    #[allow(clippy::needless_range_loop)]
+    for kb in 0..nb {
+        if kb + PIPELINE - 1 < nb {
+            let k = kb + PIPELINE - 1;
+            prep_block(k, full, R * C, pvals, masks, &mut bufs, &mut dirty, &mut pend, &mut cur);
+        }
+        let s = kb % PIPELINE;
+        let blk: &[T] = if pend[s] == usize::MAX {
+            &bufs[s][..R * C]
+        } else {
+            &pvals[pend[s]..pend[s] + R * C]
+        };
+        bcsr_block_step::<T, E, R, C, K>(blk, bcols[kb] as usize, x, xs, &mut accv, &mut accs);
+    }
+    debug_assert_eq!(cur, pvals.len());
+    bcsr_epilogue::<T, E, R, C, K>(&accv, &accs, y, ys, y0);
+}
+
+/// One masked BCSD segment against `K` input vectors; `bcols` carries
+/// the `+B` column bias of [`crate::block::bcsd_core`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn bcsd_masked_core<T: Scalar, E: LaneEngine<T>, const B: usize, const K: usize>(
+    pvals: &[T],
+    bcols: &[Index],
+    masks: &[Mask],
+    x: &[T],
+    xs: usize,
+    y: &mut [T],
+    ys: usize,
+    y0: usize,
+) {
+    debug_assert_eq!(bcols.len(), masks.len());
+    debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
+    let full = full_mask(B);
+    // All-full segments are the dense layout exactly; the O(1) length
+    // test is the same popcount-sum argument as [`bcsr_masked_core`].
+    if pvals.len() == bcols.len() * B {
+        return crate::block::bcsd_core::<T, E, B, K>(pvals, bcols, x, xs, y, ys, y0);
+    }
+    let mut accv = [[E::zero(); K]; B];
+    let mut acct = [[T::ZERO; K]; 7];
+    // Same scatter-ahead ring buffering as [`bcsr_masked_core`].
+    let mut bufs = [[T::ZERO; MAX_BLOCK_ELEMS]; PIPELINE];
+    let mut dirty = [0 as Mask; PIPELINE];
+    let mut pend = [usize::MAX; PIPELINE];
+    let nb = bcols.len();
+    let mut cur = 0usize;
+    for k in 0..nb.min(PIPELINE - 1) {
+        prep_block(k, full, B, pvals, masks, &mut bufs, &mut dirty, &mut pend, &mut cur);
+    }
+    // Indexed loop on purpose; see [`bcsr_masked_core`].
+    #[allow(clippy::needless_range_loop)]
+    for kb in 0..nb {
+        if kb + PIPELINE - 1 < nb {
+            let k = kb + PIPELINE - 1;
+            prep_block(k, full, B, pvals, masks, &mut bufs, &mut dirty, &mut pend, &mut cur);
+        }
+        let s = kb % PIPELINE;
+        let blk: &[T] = if pend[s] == usize::MAX {
+            &bufs[s][..B]
+        } else {
+            &pvals[pend[s]..pend[s] + B]
+        };
+        let j0 = bcols[kb] as usize;
+        debug_assert!(j0 >= B, "left-clipped block in interior kernel");
+        bcsd_block_step::<T, E, B, K>(blk, j0 - B, x, xs, &mut accv, &mut acct);
+    }
+    debug_assert_eq!(cur, pvals.len());
+    bcsd_epilogue::<T, E, B, K>(&accv, &acct, y, ys, y0);
+}
+
+/// Single-vector masked BCSR block-row kernel (`K = 1` instantiation of
+/// [`bcsr_masked_core`]).
+#[inline]
+pub fn bcsr_masked_row<T: Scalar, E: LaneEngine<T>, const R: usize, const C: usize>(
+    pvals: &[T],
+    bcols: &[Index],
+    masks: &[Mask],
+    x: &[T],
+    yrow: &mut [T],
+) {
+    debug_assert_eq!(yrow.len(), R);
+    bcsr_masked_core::<T, E, R, C, 1>(pvals, bcols, masks, x, 0, yrow, 0, 0);
+}
+
+/// Single-vector masked BCSD segment kernel (`K = 1` instantiation of
+/// [`bcsd_masked_core`]).
+#[inline]
+pub fn bcsd_masked_seg<T: Scalar, E: LaneEngine<T>, const B: usize>(
+    pvals: &[T],
+    bcols: &[Index],
+    masks: &[Mask],
+    x: &[T],
+    yseg: &mut [T],
+) {
+    debug_assert_eq!(yseg.len(), B);
+    bcsd_masked_core::<T, E, B, 1>(pvals, bcols, masks, x, 0, yseg, 0, 0);
+}
+
+/// Boundary-safe masked BCSR block-row kernel with runtime shape:
+/// expands each block and delegates to
+/// [`crate::scalar::bcsr_block_row_clipped`] one block at a time (that
+/// kernel flushes its accumulator per block, so per-block delegation is
+/// bitwise-equal to the padded range call).
+pub fn bcsr_masked_row_clipped<T: Scalar>(
+    r: usize,
+    c: usize,
+    pvals: &[T],
+    bcols: &[Index],
+    masks: &[Mask],
+    x: &[T],
+    yrow: &mut [T],
+) {
+    debug_assert_eq!(bcols.len(), masks.len());
+    let mut cur = 0;
+    for (kb, &bc) in bcols.iter().enumerate() {
+        let mut buf = [T::ZERO; MAX_BLOCK_ELEMS];
+        cur += expand_block(&pvals[cur..], masks[kb], &mut buf);
+        crate::scalar::bcsr_block_row_clipped(r, c, &buf[..r * c], &[bc], x, yrow);
+    }
+    debug_assert_eq!(cur, pvals.len());
+}
+
+/// Boundary-safe masked multi-vector BCSR block-row kernel with runtime
+/// shape and vector count; mirrors [`bcsr_masked_row_clipped`].
+#[allow(clippy::too_many_arguments)]
+pub fn bcsr_masked_row_multi_clipped<T: Scalar>(
+    r: usize,
+    c: usize,
+    k: usize,
+    pvals: &[T],
+    bcols: &[Index],
+    masks: &[Mask],
+    x: &[T],
+    xs: usize,
+    y: &mut [T],
+    ys: usize,
+    y0: usize,
+    rows_valid: usize,
+) {
+    debug_assert_eq!(bcols.len(), masks.len());
+    let mut cur = 0;
+    for (kb, &bc) in bcols.iter().enumerate() {
+        let mut buf = [T::ZERO; MAX_BLOCK_ELEMS];
+        cur += expand_block(&pvals[cur..], masks[kb], &mut buf);
+        crate::scalar::bcsr_block_row_multi_clipped(
+            r,
+            c,
+            k,
+            &buf[..r * c],
+            &[bc],
+            x,
+            xs,
+            y,
+            ys,
+            y0,
+            rows_valid,
+        );
+    }
+    debug_assert_eq!(cur, pvals.len());
+}
+
+/// Boundary-safe masked BCSD segment kernel with runtime block size;
+/// expands and delegates to [`crate::scalar::bcsd_segment_clipped`] per
+/// block (which updates `yseg` in place per element, so per-block
+/// delegation is bitwise-equal to the padded range call).
+pub fn bcsd_masked_seg_clipped<T: Scalar>(
+    b: usize,
+    pvals: &[T],
+    bcols: &[Index],
+    masks: &[Mask],
+    x: &[T],
+    yseg: &mut [T],
+) {
+    debug_assert_eq!(bcols.len(), masks.len());
+    let mut cur = 0;
+    for (kb, &biased) in bcols.iter().enumerate() {
+        let mut buf = [T::ZERO; MAX_BLOCK_ELEMS];
+        cur += expand_block(&pvals[cur..], masks[kb], &mut buf);
+        crate::scalar::bcsd_segment_clipped(b, &buf[..b], &[biased], x, yseg);
+    }
+    debug_assert_eq!(cur, pvals.len());
+}
+
+/// Boundary-safe masked multi-vector BCSD segment kernel; mirrors
+/// [`bcsd_masked_seg_clipped`].
+#[allow(clippy::too_many_arguments)]
+pub fn bcsd_masked_seg_multi_clipped<T: Scalar>(
+    b: usize,
+    k: usize,
+    pvals: &[T],
+    bcols: &[Index],
+    masks: &[Mask],
+    x: &[T],
+    xs: usize,
+    y: &mut [T],
+    ys: usize,
+    y0: usize,
+    rows_valid: usize,
+) {
+    debug_assert_eq!(bcols.len(), masks.len());
+    let mut cur = 0;
+    for (kb, &biased) in bcols.iter().enumerate() {
+        let mut buf = [T::ZERO; MAX_BLOCK_ELEMS];
+        cur += expand_block(&pvals[cur..], masks[kb], &mut buf);
+        crate::scalar::bcsd_segment_multi_clipped(
+            b,
+            k,
+            &buf[..b],
+            &[biased],
+            x,
+            xs,
+            y,
+            ys,
+            y0,
+            rows_valid,
+        );
+    }
+    debug_assert_eq!(cur, pvals.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ScalarEngine;
+
+    #[test]
+    fn full_mask_covers_all_positions() {
+        assert_eq!(full_mask(1), 0b1);
+        assert_eq!(full_mask(3), 0b111);
+        assert_eq!(full_mask(8), 0xFF);
+    }
+
+    #[test]
+    fn expand_scatters_in_position_order() {
+        let packed = [1.0f64, 2.0, 3.0];
+        let mut out = [0.0f64; 8];
+        let used = expand_block(&packed, 0b1001_0010, &mut out);
+        assert_eq!(used, 3);
+        assert_eq!(out, [0.0, 1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn masked_row_matches_padded_expansion() {
+        // Two 2x2 blocks: one partial (mask 0b0110), one full.
+        let pvals = [5.0f64, -3.0, 1.0, 2.0, 3.0, 4.0];
+        let masks = [0b0110u8, 0b1111];
+        let bcols = [0u32, 4];
+        let padded = [0.0, 5.0, -3.0, 0.0, 1.0, 2.0, 3.0, 4.0];
+        let x: Vec<f64> = (0..6).map(|i| 0.5 + i as f64).collect();
+        let mut ym = [1.0f64; 2];
+        let mut yp = [1.0f64; 2];
+        bcsr_masked_row::<f64, ScalarEngine, 2, 2>(&pvals, &bcols, &masks, &x, &mut ym);
+        crate::block::bcsr_row::<f64, ScalarEngine, 2, 2>(&padded, &bcols, &x, &mut yp);
+        assert_eq!(ym.map(f64::to_bits), yp.map(f64::to_bits));
+    }
+
+    #[test]
+    fn masked_seg_matches_padded_expansion() {
+        // Two size-3 diagonal blocks, first missing its middle element.
+        let pvals = [1.0f64, 3.0, 4.0, 5.0, 6.0];
+        let masks = [0b101u8, 0b111];
+        let bcols = [3u32, 7]; // true starts 0 and 4, +3 bias
+        let padded = [1.0, 0.0, 3.0, 4.0, 5.0, 6.0];
+        let x: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+        let mut ym = [0.5f64; 3];
+        let mut yp = [0.5f64; 3];
+        bcsd_masked_seg::<f64, ScalarEngine, 3>(&pvals, &bcols, &masks, &x, &mut ym);
+        crate::block::bcsd_seg::<f64, ScalarEngine, 3>(&padded, &bcols, &x, &mut yp);
+        assert_eq!(ym.map(f64::to_bits), yp.map(f64::to_bits));
+    }
+
+    #[test]
+    fn masked_clipped_skips_out_of_matrix_columns() {
+        // One 1x4 block at column 4 of a 6-column matrix storing only
+        // the two in-matrix values.
+        let pvals = [2.0f64, 3.0];
+        let masks = [0b0011u8];
+        let bcols = [4u32];
+        let x: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let mut y = [0.0f64];
+        bcsr_masked_row_clipped(1, 4, &pvals, &bcols, &masks, &x, &mut y);
+        assert_eq!(y[0], 2.0 * 4.0 + 3.0 * 5.0);
+    }
+}

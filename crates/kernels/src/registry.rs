@@ -1,9 +1,87 @@
 //! Runtime dispatch from `(shape, implementation)` to kernel functions.
+//!
+//! Every kernel here is an instantiation of the generic cores in
+//! [`crate::block`] / [`crate::masked`]: the dispatch macros below map a
+//! runtime shape (or BCSD size, or vector count) onto the matching
+//! monomorphization, and the [`KernelImpl`] chooses the lane engine —
+//! [`ScalarEngine`] for `Scalar`, [`SimdScalar::Engine`] for `Simd`.
 
-use crate::scalar;
+use crate::block;
+use crate::engine::{LaneEngine, ScalarEngine};
+use crate::masked::{self, Mask};
 use crate::shapes::{BlockShape, KernelImpl};
-use crate::simd::{dispatch_k, dispatch_shape, dispatch_size, SimdScalar};
-use spmv_core::Index;
+use crate::simd::SimdScalar;
+use spmv_core::{Index, Scalar};
+
+/// Expands to a `match` mapping a runtime [`BlockShape`] onto a
+/// monomorphized `<const R, const C>` kernel.
+///
+/// `$apply` is a caller-defined callback macro receiving the two literal
+/// shape dimensions; it must expand to `Some(<kernel fn pointer>)` (or an
+/// `Option` of one). The indirection lets one dispatch table serve
+/// kernels with different generic signatures.
+macro_rules! dispatch_shape {
+    ($shape:expr, $apply:ident) => {
+        match ($shape.r, $shape.c) {
+            (1, 1) => $apply!(1, 1),
+            (1, 2) => $apply!(1, 2),
+            (1, 3) => $apply!(1, 3),
+            (1, 4) => $apply!(1, 4),
+            (1, 5) => $apply!(1, 5),
+            (1, 6) => $apply!(1, 6),
+            (1, 7) => $apply!(1, 7),
+            (1, 8) => $apply!(1, 8),
+            (2, 1) => $apply!(2, 1),
+            (2, 2) => $apply!(2, 2),
+            (2, 3) => $apply!(2, 3),
+            (2, 4) => $apply!(2, 4),
+            (3, 1) => $apply!(3, 1),
+            (3, 2) => $apply!(3, 2),
+            (4, 1) => $apply!(4, 1),
+            (4, 2) => $apply!(4, 2),
+            (5, 1) => $apply!(5, 1),
+            (6, 1) => $apply!(6, 1),
+            (7, 1) => $apply!(7, 1),
+            (8, 1) => $apply!(8, 1),
+            _ => None,
+        }
+    };
+}
+
+/// Expands to a `match` mapping a runtime BCSD size onto a monomorphized
+/// `<const B>` kernel; same callback convention as [`dispatch_shape`].
+macro_rules! dispatch_size {
+    ($b:expr, $apply:ident) => {
+        match $b {
+            1 => $apply!(1),
+            2 => $apply!(2),
+            3 => $apply!(3),
+            4 => $apply!(4),
+            5 => $apply!(5),
+            6 => $apply!(6),
+            7 => $apply!(7),
+            8 => $apply!(8),
+            _ => None,
+        }
+    };
+}
+
+/// Expands to a `match` mapping a runtime vector count `k` onto a
+/// monomorphized kernel whose **last** const parameter is `K`; the
+/// leading generic parameters (scalar type, engine, shape dims) are
+/// passed through. Only the specialized counts `k ∈ {1, 2, 4, 8}` exist —
+/// other counts return `None` and callers chunk `k` greedily (8, 4, 2, 1).
+macro_rules! dispatch_k {
+    ($k:expr, [$($kern:tt)+], $ty:ty, $($dims:tt),+) => {
+        match $k {
+            1 => Some($($kern)+::<$($dims),+, 1> as $ty),
+            2 => Some($($kern)+::<$($dims),+, 2> as $ty),
+            4 => Some($($kern)+::<$($dims),+, 4> as $ty),
+            8 => Some($($kern)+::<$($dims),+, 8> as $ty),
+            _ => None,
+        }
+    };
+}
 
 /// A kernel processing one BCSR block row:
 /// `kernel(bvals, bcols, x, yrow)` accumulates the products of the block
@@ -14,63 +92,6 @@ pub type BcsrRowKernel<T> = fn(&[T], &[Index], &[T], &mut [T]);
 /// `kernel(bvals, start_cols, x, yseg)` accumulates the diagonal products
 /// into the `b` entries of `yseg`.
 pub type BcsdSegKernel<T> = fn(&[T], &[Index], &[T], &mut [T]);
-
-/// Scalar BCSR block-row kernel for `shape`.
-///
-/// # Panics
-///
-/// Panics if `shape` is outside the supported search space (which
-/// [`BlockShape::new`] prevents constructing).
-pub fn bcsr_row_kernel_scalar<T: SimdScalar>(shape: BlockShape) -> BcsrRowKernel<T> {
-    macro_rules! apply {
-        ($r:literal, $c:literal) => {
-            Some(scalar::bcsr_block_row::<T, $r, $c> as BcsrRowKernel<T>)
-        };
-    }
-    dispatch_shape!(shape, apply).unwrap_or_else(|| panic!("unsupported BCSR shape {shape}"))
-}
-
-/// Scalar BCSD segment kernel for diagonal size `b` (1 ≤ b ≤ 8).
-pub fn bcsd_seg_kernel_scalar<T: SimdScalar>(b: usize) -> BcsdSegKernel<T> {
-    macro_rules! apply {
-        ($b:literal) => {
-            Some(scalar::bcsd_segment::<T, $b> as BcsdSegKernel<T>)
-        };
-    }
-    dispatch_size!(b, apply).unwrap_or_else(|| panic!("unsupported BCSD size {b}"))
-}
-
-/// BCSR block-row kernel for `(shape, imp)`.
-///
-/// Requesting [`KernelImpl::Simd`] on a target without SIMD support (or a
-/// shape without a SIMD variant) transparently returns the scalar kernel,
-/// so callers can sweep both implementations unconditionally.
-pub fn bcsr_row_kernel<T: SimdScalar>(shape: BlockShape, imp: KernelImpl) -> BcsrRowKernel<T> {
-    match imp {
-        KernelImpl::Scalar => bcsr_row_kernel_scalar(shape),
-        KernelImpl::Simd => {
-            T::bcsr_row_simd(shape).unwrap_or_else(|| bcsr_row_kernel_scalar(shape))
-        }
-    }
-}
-
-/// BCSD segment kernel for `(b, imp)`, with the same SIMD fallback rule as
-/// [`bcsr_row_kernel`].
-pub fn bcsd_seg_kernel<T: SimdScalar>(b: usize, imp: KernelImpl) -> BcsdSegKernel<T> {
-    match imp {
-        KernelImpl::Scalar => bcsd_seg_kernel_scalar(b),
-        KernelImpl::Simd => T::bcsd_seg_simd(b).unwrap_or_else(|| bcsd_seg_kernel_scalar(b)),
-    }
-}
-
-/// Dot product of a contiguous value run (1D-VBL inner kernel) for `imp`.
-#[inline]
-pub fn dot_run<T: SimdScalar>(vals: &[T], x: &[T], imp: KernelImpl) -> T {
-    match imp {
-        KernelImpl::Scalar => scalar::dot_run_scalar(vals, x),
-        KernelImpl::Simd => T::dot_run_simd(vals, x),
-    }
-}
 
 /// A kernel processing one BCSR block row against several input vectors:
 /// `kernel(bvals, bcols, x, xstride, y, ystride, y0)` accumulates into the
@@ -83,22 +104,174 @@ pub type BcsrRowMultiKernel<T> = fn(&[T], &[Index], &[T], usize, &mut [T], usize
 /// same signature convention as [`BcsrRowMultiKernel`].
 pub type BcsdSegMultiKernel<T> = fn(&[T], &[Index], &[T], usize, &mut [T], usize, usize);
 
-/// Scalar multi-vector BCSR block-row kernel for `(shape, k)`, if `k` is
-/// one of the specialized counts `{1, 2, 4, 8}`.
-///
-/// Returns `None` for other counts (callers chunk `k` greedily into the
-/// specialized sizes) — but panics on an unsupported *shape*, which
-/// [`BlockShape::new`] prevents constructing.
-pub fn bcsr_row_multi_kernel_scalar<T: SimdScalar>(
+/// A masked BCSR block-row kernel:
+/// `kernel(pvals, bcols, masks, x, yrow)` — packed nonzeros plus one
+/// occupancy [`Mask`] per block instead of padded dense values.
+pub type BcsrMaskedRowKernel<T> = fn(&[T], &[Index], &[Mask], &[T], &mut [T]);
+
+/// A masked BCSD segment kernel; masked sibling of [`BcsdSegKernel`].
+pub type BcsdMaskedSegKernel<T> = fn(&[T], &[Index], &[Mask], &[T], &mut [T]);
+
+/// A masked multi-vector BCSR block-row kernel; masked sibling of
+/// [`BcsrRowMultiKernel`].
+pub type BcsrMaskedRowMultiKernel<T> =
+    fn(&[T], &[Index], &[Mask], &[T], usize, &mut [T], usize, usize);
+
+/// A masked multi-vector BCSD segment kernel; masked sibling of
+/// [`BcsdSegMultiKernel`].
+pub type BcsdMaskedSegMultiKernel<T> =
+    fn(&[T], &[Index], &[Mask], &[T], usize, &mut [T], usize, usize);
+
+fn bcsr_row_kernel_engine<T: Scalar, E: LaneEngine<T>>(
+    shape: BlockShape,
+) -> Option<BcsrRowKernel<T>> {
+    macro_rules! apply {
+        ($r:literal, $c:literal) => {
+            Some(block::bcsr_row::<T, E, $r, $c> as BcsrRowKernel<T>)
+        };
+    }
+    dispatch_shape!(shape, apply)
+}
+
+fn bcsd_seg_kernel_engine<T: Scalar, E: LaneEngine<T>>(b: usize) -> Option<BcsdSegKernel<T>> {
+    macro_rules! apply {
+        ($b:literal) => {
+            Some(block::bcsd_seg::<T, E, $b> as BcsdSegKernel<T>)
+        };
+    }
+    dispatch_size!(b, apply)
+}
+
+fn bcsr_row_multi_kernel_engine<T: Scalar, E: LaneEngine<T>>(
     shape: BlockShape,
     k: usize,
 ) -> Option<BcsrRowMultiKernel<T>> {
     macro_rules! apply {
         ($r:literal, $c:literal) => {
-            dispatch_k!(k, [scalar::bcsr_block_row_multi], BcsrRowMultiKernel<T>, T, $r, $c)
+            dispatch_k!(k, [block::bcsr_core], BcsrRowMultiKernel<T>, T, E, $r, $c)
         };
     }
     dispatch_shape!(shape, apply)
+}
+
+fn bcsd_seg_multi_kernel_engine<T: Scalar, E: LaneEngine<T>>(
+    b: usize,
+    k: usize,
+) -> Option<BcsdSegMultiKernel<T>> {
+    macro_rules! apply {
+        ($b:literal) => {
+            dispatch_k!(k, [block::bcsd_core], BcsdSegMultiKernel<T>, T, E, $b)
+        };
+    }
+    dispatch_size!(b, apply)
+}
+
+fn bcsr_masked_row_kernel_engine<T: Scalar, E: LaneEngine<T>>(
+    shape: BlockShape,
+) -> Option<BcsrMaskedRowKernel<T>> {
+    macro_rules! apply {
+        ($r:literal, $c:literal) => {
+            Some(masked::bcsr_masked_row::<T, E, $r, $c> as BcsrMaskedRowKernel<T>)
+        };
+    }
+    dispatch_shape!(shape, apply)
+}
+
+fn bcsd_masked_seg_kernel_engine<T: Scalar, E: LaneEngine<T>>(
+    b: usize,
+) -> Option<BcsdMaskedSegKernel<T>> {
+    macro_rules! apply {
+        ($b:literal) => {
+            Some(masked::bcsd_masked_seg::<T, E, $b> as BcsdMaskedSegKernel<T>)
+        };
+    }
+    dispatch_size!(b, apply)
+}
+
+fn bcsr_masked_row_multi_kernel_engine<T: Scalar, E: LaneEngine<T>>(
+    shape: BlockShape,
+    k: usize,
+) -> Option<BcsrMaskedRowMultiKernel<T>> {
+    macro_rules! apply {
+        ($r:literal, $c:literal) => {
+            dispatch_k!(k, [masked::bcsr_masked_core], BcsrMaskedRowMultiKernel<T>, T, E, $r, $c)
+        };
+    }
+    dispatch_shape!(shape, apply)
+}
+
+fn bcsd_masked_seg_multi_kernel_engine<T: Scalar, E: LaneEngine<T>>(
+    b: usize,
+    k: usize,
+) -> Option<BcsdMaskedSegMultiKernel<T>> {
+    macro_rules! apply {
+        ($b:literal) => {
+            dispatch_k!(k, [masked::bcsd_masked_core], BcsdMaskedSegMultiKernel<T>, T, E, $b)
+        };
+    }
+    dispatch_size!(b, apply)
+}
+
+/// Scalar BCSR block-row kernel for `shape`.
+///
+/// # Panics
+///
+/// Panics if `shape` is outside the supported search space (which
+/// [`BlockShape::new`] prevents constructing).
+pub fn bcsr_row_kernel_scalar<T: SimdScalar>(shape: BlockShape) -> BcsrRowKernel<T> {
+    bcsr_row_kernel_engine::<T, ScalarEngine>(shape)
+        .unwrap_or_else(|| panic!("unsupported BCSR shape {shape}"))
+}
+
+/// Scalar BCSD segment kernel for diagonal size `b` (1 ≤ b ≤ 8).
+pub fn bcsd_seg_kernel_scalar<T: SimdScalar>(b: usize) -> BcsdSegKernel<T> {
+    bcsd_seg_kernel_engine::<T, ScalarEngine>(b)
+        .unwrap_or_else(|| panic!("unsupported BCSD size {b}"))
+}
+
+/// BCSR block-row kernel for `(shape, imp)`.
+///
+/// Requesting [`KernelImpl::Simd`] on a target without SIMD support
+/// transparently returns the scalar kernel (the scalar's engine *is* the
+/// scalar engine there), so callers can sweep both implementations
+/// unconditionally.
+pub fn bcsr_row_kernel<T: SimdScalar>(shape: BlockShape, imp: KernelImpl) -> BcsrRowKernel<T> {
+    match imp {
+        KernelImpl::Scalar => bcsr_row_kernel_engine::<T, ScalarEngine>(shape),
+        KernelImpl::Simd => bcsr_row_kernel_engine::<T, T::Engine>(shape),
+    }
+    .unwrap_or_else(|| panic!("unsupported BCSR shape {shape}"))
+}
+
+/// BCSD segment kernel for `(b, imp)`, with the same SIMD fallback rule as
+/// [`bcsr_row_kernel`].
+pub fn bcsd_seg_kernel<T: SimdScalar>(b: usize, imp: KernelImpl) -> BcsdSegKernel<T> {
+    match imp {
+        KernelImpl::Scalar => bcsd_seg_kernel_engine::<T, ScalarEngine>(b),
+        KernelImpl::Simd => bcsd_seg_kernel_engine::<T, T::Engine>(b),
+    }
+    .unwrap_or_else(|| panic!("unsupported BCSD size {b}"))
+}
+
+/// Dot product of a contiguous value run (1D-VBL inner kernel) for `imp`.
+#[inline]
+pub fn dot_run<T: SimdScalar>(vals: &[T], x: &[T], imp: KernelImpl) -> T {
+    match imp {
+        KernelImpl::Scalar => block::dot_run_core::<T, ScalarEngine>(vals, x),
+        KernelImpl::Simd => block::dot_run_core::<T, T::Engine>(vals, x),
+    }
+}
+
+/// Scalar multi-vector BCSR block-row kernel for `(shape, k)`, if `k` is
+/// one of the specialized counts `{1, 2, 4, 8}`.
+///
+/// Returns `None` for other counts (callers chunk `k` greedily into the
+/// specialized sizes).
+pub fn bcsr_row_multi_kernel_scalar<T: SimdScalar>(
+    shape: BlockShape,
+    k: usize,
+) -> Option<BcsrRowMultiKernel<T>> {
+    bcsr_row_multi_kernel_engine::<T, ScalarEngine>(shape, k)
 }
 
 /// Scalar multi-vector BCSD segment kernel for `(b, k)`; `None` for
@@ -107,12 +280,7 @@ pub fn bcsd_seg_multi_kernel_scalar<T: SimdScalar>(
     b: usize,
     k: usize,
 ) -> Option<BcsdSegMultiKernel<T>> {
-    macro_rules! apply {
-        ($b:literal) => {
-            dispatch_k!(k, [scalar::bcsd_segment_multi], BcsdSegMultiKernel<T>, T, $b)
-        };
-    }
-    dispatch_size!(b, apply)
+    bcsd_seg_multi_kernel_engine::<T, ScalarEngine>(b, k)
 }
 
 /// Multi-vector BCSR block-row kernel for `(shape, k, imp)`, with the same
@@ -124,10 +292,8 @@ pub fn bcsr_row_multi_kernel<T: SimdScalar>(
     imp: KernelImpl,
 ) -> Option<BcsrRowMultiKernel<T>> {
     match imp {
-        KernelImpl::Scalar => bcsr_row_multi_kernel_scalar(shape, k),
-        KernelImpl::Simd => {
-            T::bcsr_row_multi_simd(shape, k).or_else(|| bcsr_row_multi_kernel_scalar(shape, k))
-        }
+        KernelImpl::Scalar => bcsr_row_multi_kernel_engine::<T, ScalarEngine>(shape, k),
+        KernelImpl::Simd => bcsr_row_multi_kernel_engine::<T, T::Engine>(shape, k),
     }
 }
 
@@ -139,10 +305,58 @@ pub fn bcsd_seg_multi_kernel<T: SimdScalar>(
     imp: KernelImpl,
 ) -> Option<BcsdSegMultiKernel<T>> {
     match imp {
-        KernelImpl::Scalar => bcsd_seg_multi_kernel_scalar(b, k),
-        KernelImpl::Simd => {
-            T::bcsd_seg_multi_simd(b, k).or_else(|| bcsd_seg_multi_kernel_scalar(b, k))
-        }
+        KernelImpl::Scalar => bcsd_seg_multi_kernel_engine::<T, ScalarEngine>(b, k),
+        KernelImpl::Simd => bcsd_seg_multi_kernel_engine::<T, T::Engine>(b, k),
+    }
+}
+
+/// Masked BCSR block-row kernel for `(shape, imp)` — the padding-free
+/// sibling of [`bcsr_row_kernel`], bitwise-equal to it on the padded
+/// expansion of the same blocks.
+pub fn bcsr_masked_row_kernel<T: SimdScalar>(
+    shape: BlockShape,
+    imp: KernelImpl,
+) -> BcsrMaskedRowKernel<T> {
+    match imp {
+        KernelImpl::Scalar => bcsr_masked_row_kernel_engine::<T, ScalarEngine>(shape),
+        KernelImpl::Simd => bcsr_masked_row_kernel_engine::<T, T::Engine>(shape),
+    }
+    .unwrap_or_else(|| panic!("unsupported BCSR shape {shape}"))
+}
+
+/// Masked BCSD segment kernel for `(b, imp)` — padding-free sibling of
+/// [`bcsd_seg_kernel`].
+pub fn bcsd_masked_seg_kernel<T: SimdScalar>(b: usize, imp: KernelImpl) -> BcsdMaskedSegKernel<T> {
+    match imp {
+        KernelImpl::Scalar => bcsd_masked_seg_kernel_engine::<T, ScalarEngine>(b),
+        KernelImpl::Simd => bcsd_masked_seg_kernel_engine::<T, T::Engine>(b),
+    }
+    .unwrap_or_else(|| panic!("unsupported BCSD size {b}"))
+}
+
+/// Masked multi-vector BCSR block-row kernel for `(shape, k, imp)`;
+/// `None` when `k` is not a specialized count.
+pub fn bcsr_masked_row_multi_kernel<T: SimdScalar>(
+    shape: BlockShape,
+    k: usize,
+    imp: KernelImpl,
+) -> Option<BcsrMaskedRowMultiKernel<T>> {
+    match imp {
+        KernelImpl::Scalar => bcsr_masked_row_multi_kernel_engine::<T, ScalarEngine>(shape, k),
+        KernelImpl::Simd => bcsr_masked_row_multi_kernel_engine::<T, T::Engine>(shape, k),
+    }
+}
+
+/// Masked multi-vector BCSD segment kernel for `(b, k, imp)`; `None`
+/// when `k` is not a specialized count.
+pub fn bcsd_masked_seg_multi_kernel<T: SimdScalar>(
+    b: usize,
+    k: usize,
+    imp: KernelImpl,
+) -> Option<BcsdMaskedSegMultiKernel<T>> {
+    match imp {
+        KernelImpl::Scalar => bcsd_masked_seg_multi_kernel_engine::<T, ScalarEngine>(b, k),
+        KernelImpl::Simd => bcsd_masked_seg_multi_kernel_engine::<T, T::Engine>(b, k),
     }
 }
 
@@ -176,6 +390,8 @@ mod tests {
             for imp in KernelImpl::ALL {
                 let _ = bcsr_row_kernel::<f64>(shape, imp);
                 let _ = bcsr_row_kernel::<f32>(shape, imp);
+                let _ = bcsr_masked_row_kernel::<f64>(shape, imp);
+                let _ = bcsr_masked_row_kernel::<f32>(shape, imp);
             }
         }
         // The degenerate 1x1 kernel exists too (used for CSR profiling).
@@ -188,6 +404,8 @@ mod tests {
             for imp in KernelImpl::ALL {
                 let _ = bcsd_seg_kernel::<f64>(b, imp);
                 let _ = bcsd_seg_kernel::<f32>(b, imp);
+                let _ = bcsd_masked_seg_kernel::<f64>(b, imp);
+                let _ = bcsd_masked_seg_kernel::<f32>(b, imp);
             }
         }
     }
@@ -217,8 +435,10 @@ mod tests {
                 for k in crate::MULTI_KS {
                     assert!(bcsr_row_multi_kernel::<f64>(shape, k, imp).is_some());
                     assert!(bcsr_row_multi_kernel::<f32>(shape, k, imp).is_some());
+                    assert!(bcsr_masked_row_multi_kernel::<f64>(shape, k, imp).is_some());
                 }
                 assert!(bcsr_row_multi_kernel::<f64>(shape, 3, imp).is_none());
+                assert!(bcsr_masked_row_multi_kernel::<f64>(shape, 3, imp).is_none());
             }
         }
         for b in 1..=8 {
@@ -226,8 +446,10 @@ mod tests {
                 for k in crate::MULTI_KS {
                     assert!(bcsd_seg_multi_kernel::<f64>(b, k, imp).is_some());
                     assert!(bcsd_seg_multi_kernel::<f32>(b, k, imp).is_some());
+                    assert!(bcsd_masked_seg_multi_kernel::<f64>(b, k, imp).is_some());
                 }
                 assert!(bcsd_seg_multi_kernel::<f64>(b, 5, imp).is_none());
+                assert!(bcsd_masked_seg_multi_kernel::<f64>(b, 5, imp).is_none());
             }
         }
     }
@@ -248,5 +470,23 @@ mod tests {
         let x = [1.0, 1.0, 1.0, 1.0, 1.0];
         assert_eq!(dot_run(&v, &x, KernelImpl::Scalar), 15.0);
         assert!((dot_run(&v, &x, KernelImpl::Simd) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_kernel_matches_padded_kernel_bitwise() {
+        // One partial + one full 2x2 block, both impls.
+        let pvals = [5.0f64, -3.0, 1.0, 2.0, 3.0, 4.0];
+        let masks = [0b0110u8, 0b1111];
+        let bcols = [0u32, 4];
+        let padded = [0.0, 5.0, -3.0, 0.0, 1.0, 2.0, 3.0, 4.0];
+        let x: Vec<f64> = (0..6).map(|i| 0.1 + i as f64).collect();
+        let shape = BlockShape::new(2, 2).unwrap();
+        for imp in KernelImpl::ALL {
+            let mut ym = [1.0f64; 2];
+            let mut yp = [1.0f64; 2];
+            bcsr_masked_row_kernel::<f64>(shape, imp)(&pvals, &bcols, &masks, &x, &mut ym);
+            bcsr_row_kernel::<f64>(shape, imp)(&padded, &bcols, &x, &mut yp);
+            assert_eq!(ym.map(f64::to_bits), yp.map(f64::to_bits), "{imp:?}");
+        }
     }
 }

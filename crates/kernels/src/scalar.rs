@@ -1,68 +1,26 @@
-//! Fully unrolled scalar block kernels.
+//! Boundary (clipped) block kernels with runtime shape.
 //!
-//! Each fixed block shape gets its own monomorphized kernel through const
-//! generics: the shape dimensions are compile-time constants, so the
-//! compiler fully unrolls the per-block loops — the Rust equivalent of the
-//! paper's per-shape C routines. The [`crate::registry`] module maps a
-//! runtime [`crate::BlockShape`] to the matching instantiation.
-//!
-//! Two kinds of kernels exist per format:
-//!
-//! * **interior** kernels ([`bcsr_block_row`], [`bcsd_segment`]) assume the
-//!   whole block lies inside the matrix and index `x` without per-element
-//!   bounds logic;
-//! * **clipped** kernels ([`bcsr_block_row_clipped`],
-//!   [`bcsd_segment_clipped`]) handle the at-most-one partial block row /
-//!   block column at the matrix boundary (when the dimensions are not
-//!   multiples of the block shape) with runtime shape parameters.
+//! The interior kernels — fully unrolled per shape — live in
+//! [`crate::block`] as instantiations of the const-generic core; this
+//! module keeps the **clipped** variants that handle the at-most-one
+//! partial block row / block column at the matrix boundary (when the
+//! dimensions are not multiples of the block shape). Boundary blocks are
+//! rare (O(1) per block row), so these take runtime shape parameters and
+//! stay scalar; each flushes its accumulator per block, which is what
+//! lets the masked formats delegate here one expanded block at a time
+//! without changing the accumulation order.
 //!
 //! All kernels accumulate (`+=`) into their output slice.
 
 use spmv_core::{Index, Scalar};
-
-/// Processes one BCSR block row: all blocks `k` starting at **absolute**
-/// column `bcols[k]`, values `bvals[k*R*C .. (k+1)*R*C]` (row-major),
-/// accumulating into the `R` outputs of `yrow`.
-///
-/// Start columns are absolute (not block-column indices) so that the same
-/// kernels serve both aligned BCSR (starts are multiples of `C`) and the
-/// unaligned variant used by the alignment ablation.
-///
-/// # Panics
-///
-/// Panics (via slice indexing) if a block reads past `x` — callers route
-/// boundary blocks to [`bcsr_block_row_clipped`] instead.
-#[inline]
-pub fn bcsr_block_row<T: Scalar, const R: usize, const C: usize>(
-    bvals: &[T],
-    bcols: &[Index],
-    x: &[T],
-    yrow: &mut [T],
-) {
-    debug_assert_eq!(yrow.len(), R);
-    debug_assert_eq!(bvals.len(), bcols.len() * R * C);
-    let mut acc = [T::ZERO; R];
-    for (k, &bc) in bcols.iter().enumerate() {
-        let x0 = bc as usize;
-        let xb = &x[x0..x0 + C];
-        let b = &bvals[k * (R * C)..k * (R * C) + R * C];
-        for i in 0..R {
-            for j in 0..C {
-                acc[i] = b[i * C + j].mul_add(xb[j], acc[i]);
-            }
-        }
-    }
-    for (yi, a) in yrow.iter_mut().zip(acc) {
-        *yi += a;
-    }
-}
 
 /// Boundary-safe BCSR block-row kernel with runtime shape.
 ///
 /// `yrow` may be shorter than `r` (a clipped final block row) and blocks
 /// may extend past the last column of `x` (a clipped final block column);
 /// out-of-matrix positions hold padding zeros in `bvals` and are skipped.
-/// `bcols` holds absolute start columns, as in [`bcsr_block_row`].
+/// `bcols` holds absolute start columns, as in
+/// [`crate::block::bcsr_core`].
 pub fn bcsr_block_row_clipped<T: Scalar>(
     r: usize,
     c: usize,
@@ -88,46 +46,12 @@ pub fn bcsr_block_row_clipped<T: Scalar>(
     }
 }
 
-/// Processes one BCSD segment: all diagonal blocks `k` with the `B`
-/// diagonal values in `bvals[k*B .. (k+1)*B]`, accumulating into the `B`
-/// outputs of `yseg`.
-///
-/// `bcols[k]` stores the block's start column **biased by `+B`**
-/// (`bcols[k] = j0 + B`). The bias keeps left-edge blocks — whose true
-/// start column `j0 = col - row_offset` is negative when an element sits
-/// within `B-1` columns of the matrix's left edge — representable in the
-/// unsigned index type. This interior kernel requires `bcols[k] >= B`
-/// (i.e. `j0 >= 0`); edge blocks go through [`bcsd_segment_clipped`].
-#[inline]
-pub fn bcsd_segment<T: Scalar, const B: usize>(
-    bvals: &[T],
-    bcols: &[Index],
-    x: &[T],
-    yseg: &mut [T],
-) {
-    debug_assert_eq!(yseg.len(), B);
-    debug_assert_eq!(bvals.len(), bcols.len() * B);
-    let mut acc = [T::ZERO; B];
-    for (k, &j0) in bcols.iter().enumerate() {
-        let v = &bvals[k * B..k * B + B];
-        debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
-        let j0 = j0 as usize - B;
-        let xb = &x[j0..j0 + B];
-        for t in 0..B {
-            acc[t] = v[t].mul_add(xb[t], acc[t]);
-        }
-    }
-    for (yi, a) in yseg.iter_mut().zip(acc) {
-        *yi += a;
-    }
-}
-
 /// Boundary-safe BCSD segment kernel with runtime block size.
 ///
 /// `yseg` may be shorter than `b` (clipped final segment) and diagonal
 /// blocks may be clipped at either edge: `bcols` carries the `+b` bias of
-/// [`bcsd_segment`], and positions with a negative true column or a column
-/// `>= x.len()` are padding and are skipped.
+/// [`crate::block::bcsd_core`], and positions with a negative true column
+/// or a column `>= x.len()` are padding and are skipped.
 pub fn bcsd_segment_clipped<T: Scalar>(
     b: usize,
     bvals: &[T],
@@ -145,51 +69,6 @@ pub fn bcsd_segment_clipped<T: Scalar>(
         let t_max = yseg.len().min((n_cols - j0).max(0) as usize);
         for t in t_min..t_max {
             yseg[t] = v[t].mul_add(x[(j0 + t as isize) as usize], yseg[t]);
-        }
-    }
-}
-
-/// Multi-vector BCSR block-row kernel: one block row against `K` input
-/// vectors at once.
-///
-/// `x` holds `K` concatenated input vectors of length `xs` each (column
-/// stride `xs`), `y` holds `K` concatenated output vectors of stride `ys`;
-/// the block row's first output row is `y0`. The matrix block values are
-/// loaded once and reused across all `K` columns, keeping an `R × K`
-/// accumulator tile in registers — this is the amortization that makes
-/// SpMM cheaper than `K` SpMV calls.
-///
-/// Per output column the accumulation order is identical to
-/// [`bcsr_block_row`], so a `K`-vector call is bitwise-equal to `K`
-/// single-vector calls.
-#[inline]
-pub fn bcsr_block_row_multi<T: Scalar, const R: usize, const C: usize, const K: usize>(
-    bvals: &[T],
-    bcols: &[Index],
-    x: &[T],
-    xs: usize,
-    y: &mut [T],
-    ys: usize,
-    y0: usize,
-) {
-    debug_assert_eq!(bvals.len(), bcols.len() * R * C);
-    debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
-    let mut acc = [[T::ZERO; K]; R];
-    for (kb, &bc) in bcols.iter().enumerate() {
-        let x0 = bc as usize;
-        let b = &bvals[kb * (R * C)..kb * (R * C) + R * C];
-        for t in 0..K {
-            let xb = &x[t * xs + x0..t * xs + x0 + C];
-            for i in 0..R {
-                for j in 0..C {
-                    acc[i][t] = b[i * C + j].mul_add(xb[j], acc[i][t]);
-                }
-            }
-        }
-    }
-    for (i, row) in acc.iter().enumerate() {
-        for (t, &a) in row.iter().enumerate() {
-            y[t * ys + y0 + i] += a;
         }
     }
 }
@@ -234,43 +113,6 @@ pub fn bcsr_block_row_multi_clipped<T: Scalar>(
     }
 }
 
-/// Multi-vector BCSD segment kernel: one segment of diagonal blocks
-/// against `K` input vectors, with the same stride/offset convention as
-/// [`bcsr_block_row_multi`] and the `+B` column bias of [`bcsd_segment`].
-///
-/// Per output column the accumulation order is identical to
-/// [`bcsd_segment`].
-#[inline]
-pub fn bcsd_segment_multi<T: Scalar, const B: usize, const K: usize>(
-    bvals: &[T],
-    bcols: &[Index],
-    x: &[T],
-    xs: usize,
-    y: &mut [T],
-    ys: usize,
-    y0: usize,
-) {
-    debug_assert_eq!(bvals.len(), bcols.len() * B);
-    debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
-    let mut acc = [[T::ZERO; K]; B];
-    for (kb, &j0) in bcols.iter().enumerate() {
-        let v = &bvals[kb * B..kb * B + B];
-        debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
-        let j0 = j0 as usize - B;
-        for t in 0..K {
-            let xb = &x[t * xs + j0..t * xs + j0 + B];
-            for (s, a) in acc.iter_mut().enumerate() {
-                a[t] = v[s].mul_add(xb[s], a[t]);
-            }
-        }
-    }
-    for (s, row) in acc.iter().enumerate() {
-        for (t, &a) in row.iter().enumerate() {
-            y[t * ys + y0 + s] += a;
-        }
-    }
-}
-
 /// Boundary-safe multi-vector BCSD segment kernel with runtime block size
 /// and vector count; `rows_valid` rows of the segment are inside the
 /// matrix. Mirrors [`bcsd_segment_clipped`] per output column.
@@ -306,98 +148,21 @@ pub fn bcsd_segment_multi_clipped<T: Scalar>(
 }
 
 /// Dot product of a contiguous value run against the matching slice of the
-/// input vector — the inner kernel of the 1D-VBL format.
+/// input vector — the inner kernel of the 1D-VBL format. The scalar-engine
+/// instantiation of [`crate::block::dot_run_core`].
 #[inline]
 pub fn dot_run_scalar<T: Scalar>(vals: &[T], x: &[T]) -> T {
-    debug_assert_eq!(vals.len(), x.len());
-    let mut acc = T::ZERO;
-    for (&v, &xj) in vals.iter().zip(x) {
-        acc = v.mul_add(xj, acc);
-    }
-    acc
+    crate::block::dot_run_scalar_core(vals, x)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Naive reference for one BCSR block row (`bcols` = absolute start
-    /// columns).
-    fn bcsr_reference(
-        r: usize,
-        c: usize,
-        bvals: &[f64],
-        bcols: &[Index],
-        x: &[f64],
-        yrow: &mut [f64],
-    ) {
-        for (k, &bc) in bcols.iter().enumerate() {
-            for i in 0..yrow.len() {
-                for j in 0..c {
-                    let col = bc as usize + j;
-                    if col < x.len() {
-                        yrow[i] += bvals[k * r * c + i * c + j] * x[col];
-                    }
-                }
-            }
-        }
-    }
+    use crate::block;
+    use crate::engine::ScalarEngine;
 
     fn test_vectors(n: usize) -> Vec<f64> {
         (0..n).map(|i| 0.5 + (i % 11) as f64).collect()
-    }
-
-    #[test]
-    fn bcsr_2x2_matches_reference() {
-        let bvals = test_vectors(2 * 4); // two blocks
-        let bcols = [0u32, 4];
-        let x = test_vectors(6);
-        let mut y = [0.0; 2];
-        let mut yref = [0.0; 2];
-        bcsr_block_row::<f64, 2, 2>(&bvals, &bcols, &x, &mut y);
-        bcsr_reference(2, 2, &bvals, &bcols, &x, &mut yref);
-        assert_eq!(y, yref);
-    }
-
-    #[test]
-    fn all_shapes_match_reference() {
-        for shape in crate::BlockShape::search_space() {
-            let (r, c) = (shape.rows(), shape.cols());
-            let nb = 3;
-            let bvals = test_vectors(nb * r * c);
-            let bcols: Vec<Index> = vec![0, c as Index, 3 * c as Index];
-            let x = test_vectors(4 * c);
-            let mut y = vec![0.0; r];
-            let mut yref = vec![0.0; r];
-            let kern = crate::registry::bcsr_row_kernel::<f64>(
-                shape,
-                crate::KernelImpl::Scalar,
-            );
-            kern(&bvals, &bcols, &x, &mut y);
-            bcsr_reference(r, c, &bvals, &bcols, &x, &mut yref);
-            assert_eq!(y, yref, "shape {shape}");
-        }
-    }
-
-    #[test]
-    fn unaligned_start_columns_work() {
-        // Absolute start columns need not be multiples of C.
-        let bvals = [1.0, 1.0];
-        let bcols = [3u32];
-        let x = test_vectors(6);
-        let mut y = [0.0];
-        bcsr_block_row::<f64, 1, 2>(&bvals, &bcols, &x, &mut y);
-        assert_eq!(y[0], x[3] + x[4]);
-    }
-
-    #[test]
-    fn kernels_accumulate_not_overwrite() {
-        let bvals = [1.0, 1.0, 1.0, 1.0];
-        let bcols = [0u32];
-        let x = [1.0, 1.0];
-        let mut y = [10.0, 20.0];
-        bcsr_block_row::<f64, 2, 2>(&bvals, &bcols, &x, &mut y);
-        assert_eq!(y, [12.0, 22.0]);
     }
 
     #[test]
@@ -407,7 +172,7 @@ mod tests {
         let x = test_vectors(6);
         let mut y1 = [0.0; 2];
         let mut y2 = [0.0; 2];
-        bcsr_block_row::<f64, 2, 3>(&bvals, &bcols, &x, &mut y1);
+        block::bcsr_row::<f64, ScalarEngine, 2, 3>(&bvals, &bcols, &x, &mut y1);
         bcsr_block_row_clipped(2, 3, &bvals, &bcols, &x, &mut y2);
         assert_eq!(y1, y2);
     }
@@ -442,31 +207,13 @@ mod tests {
     }
 
     #[test]
-    fn bcsd_matches_manual() {
-        // Segment of height 3, two diagonal blocks at columns 0 and 4.
-        let bvals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
-        let bcols = biased(3, &[0, 4]);
-        let x = test_vectors(8);
-        let mut y = [0.0; 3];
-        bcsd_segment::<f64, 3>(&bvals, &bcols, &x, &mut y);
-        assert_eq!(
-            y,
-            [
-                1.0 * x[0] + 4.0 * x[4],
-                2.0 * x[1] + 5.0 * x[5],
-                3.0 * x[2] + 6.0 * x[6]
-            ]
-        );
-    }
-
-    #[test]
     fn bcsd_clipped_matches_interior_when_nothing_clips() {
         let bvals = test_vectors(8);
         let bcols = biased(4, &[0, 3]);
         let x = test_vectors(8);
         let mut y1 = [0.0; 4];
         let mut y2 = [0.0; 4];
-        bcsd_segment::<f64, 4>(&bvals, &bcols, &x, &mut y1);
+        block::bcsd_seg::<f64, ScalarEngine, 4>(&bvals, &bcols, &x, &mut y1);
         bcsd_segment_clipped(4, &bvals, &bcols, &x, &mut y2);
         assert_eq!(y1, y2);
     }
@@ -514,23 +261,6 @@ mod tests {
     }
 
     #[test]
-    fn bcsr_multi_matches_per_column_single() {
-        let bvals = test_vectors(3 * 6); // three 2x3 blocks
-        let bcols = [0u32, 3, 6];
-        let xs = 12; // columns
-        let ys = 5; // rows
-        let x: Vec<f64> = test_vectors(4 * xs);
-        let mut y = vec![0.0; 4 * ys];
-        bcsr_block_row_multi::<f64, 2, 3, 4>(&bvals, &bcols, &x, xs, &mut y, ys, 2);
-        for t in 0..4 {
-            let mut yref = [0.0; 2];
-            bcsr_block_row::<f64, 2, 3>(&bvals, &bcols, &x[t * xs..(t + 1) * xs], &mut yref);
-            assert_eq!(&y[t * ys + 2..t * ys + 4], &yref, "column {t}");
-            assert_eq!(y[t * ys], 0.0, "rows outside the block row stay untouched");
-        }
-    }
-
-    #[test]
     fn bcsr_multi_clipped_matches_per_column_single() {
         let bvals = test_vectors(2 * 6);
         let bcols = [2u32, 4]; // second block clips at column 6 of 7
@@ -543,22 +273,6 @@ mod tests {
             let mut yref = [0.0; 2];
             bcsr_block_row_clipped(2, 3, &bvals, &bcols, &x[t * xs..(t + 1) * xs], &mut yref);
             assert_eq!(&y[t * ys + 1..t * ys + 3], &yref, "column {t}");
-        }
-    }
-
-    #[test]
-    fn bcsd_multi_matches_per_column_single() {
-        let bvals = test_vectors(2 * 3); // two size-3 diagonal blocks
-        let bcols = biased(3, &[0, 4]);
-        let xs = 8;
-        let ys = 6;
-        let x: Vec<f64> = test_vectors(4 * xs);
-        let mut y = vec![0.0; 4 * ys];
-        bcsd_segment_multi::<f64, 3, 4>(&bvals, &bcols, &x, xs, &mut y, ys, 1);
-        for t in 0..4 {
-            let mut yref = [0.0; 3];
-            bcsd_segment::<f64, 3>(&bvals, &bcols, &x[t * xs..(t + 1) * xs], &mut yref);
-            assert_eq!(&y[t * ys + 1..t * ys + 4], &yref, "column {t}");
         }
     }
 

@@ -1,791 +1,79 @@
-//! SSE2-vectorized kernel variants.
+//! SIMD engine selection per scalar type.
 //!
-//! The paper's `sp-simd` / `dp-simd` configurations use SSE2, which is part
-//! of the x86-64 baseline, so on that architecture the intrinsics are
-//! always available — no runtime feature detection is needed. On other
-//! architectures [`SimdScalar`] falls back to the scalar kernels so that
-//! the `*-simd` configurations still exist (they just coincide with the
-//! scalar ones); the performance models then simply never find them
-//! faster.
+//! The paper's `sp-simd` / `dp-simd` configurations use SSE2, which is
+//! part of the x86-64 baseline, so on that architecture the engines are
+//! always available — no runtime feature detection is needed.
 //!
-//! Vectorization strategy, matching the paper's §III observation that
-//! block kernels expose short dense inner loops:
+//! Historically this module carried a full second copy of every kernel,
+//! hand-written with intrinsics. Those are gone: the generic cores in
+//! [`crate::block`] are instantiated with a [`LaneEngine`], and all this
+//! module keeps is the *choice* of engine — [`SimdScalar::Engine`] names
+//! the vector engine a scalar type uses when a `KernelImpl::Simd` kernel
+//! is requested from [`crate::registry`]. On non-x86-64 targets that
+//! engine is [`ScalarEngine`], so the `*-simd` configurations still
+//! exist (they just coincide with the scalar ones) — the same fallback
+//! rule the old per-method dispatch had; the performance models then
+//! simply never find them faster.
 //!
-//! * **BCSR r×c**: each block row keeps one 2-lane (`f64`) or 4-lane
-//!   (`f32`) accumulator per block *row*; the per-row dot over the block's
-//!   `c` columns is vectorized, with a scalar tail when `c` is not a lane
-//!   multiple. Column counts below the lane width degenerate to scalar —
-//!   the paper likewise notes that narrow blocks do not vectorize
-//!   profitably ("hardware limitations of the vector units … can
-//!   significantly affect the overall performance", §III).
-//! * **BCSD b**: the diagonal multiply `y[t] += v[t] * x[j0+t]` is a pure
-//!   element-wise SIMD operation over `t`, accumulated in registers for a
-//!   whole segment.
-//! * **1D-VBL**: variable-length contiguous runs use a runtime-length
-//!   vectorized dot product.
+//! The 200-seed gate in `crate::gate` pins every dispatched kernel
+//! bitwise to lane-exact simulators of the deleted hand-written
+//! originals.
 
-use crate::scalar;
-use crate::shapes::BlockShape;
-use spmv_core::{Index, Scalar};
-
-/// Kernel function type for one BCSR block row (see
-/// [`crate::registry::BcsrRowKernel`]).
-pub type BcsrRowKernel<T> = fn(&[T], &[Index], &[T], &mut [T]);
-/// Kernel function type for one BCSD segment (see
-/// [`crate::registry::BcsdSegKernel`]).
-pub type BcsdSegKernel<T> = fn(&[T], &[Index], &[T], &mut [T]);
-/// Multi-vector BCSR block-row kernel type (see
-/// [`crate::registry::BcsrRowMultiKernel`]).
-pub type BcsrRowMultiKernel<T> = fn(&[T], &[Index], &[T], usize, &mut [T], usize, usize);
-/// Multi-vector BCSD segment kernel type (see
-/// [`crate::registry::BcsdSegMultiKernel`]).
-pub type BcsdSegMultiKernel<T> = fn(&[T], &[Index], &[T], usize, &mut [T], usize, usize);
-
-/// Scalars that may provide SIMD kernel variants.
-///
-/// The default methods return `None` / delegate to the scalar kernels;
-/// x86-64 builds override them for `f32` and `f64` with SSE2
-/// implementations. Storage formats bound their element type by this trait
-/// so a single generic implementation serves both kernel flavours.
-pub trait SimdScalar: Scalar {
-    /// SSE2 BCSR block-row kernel for `shape`, if one exists.
-    fn bcsr_row_simd(shape: BlockShape) -> Option<BcsrRowKernel<Self>> {
-        let _ = shape;
-        None
-    }
-
-    /// SSE2 BCSD segment kernel for diagonal size `b`, if one exists.
-    fn bcsd_seg_simd(b: usize) -> Option<BcsdSegKernel<Self>> {
-        let _ = b;
-        None
-    }
-
-    /// Vectorized dot product of a contiguous run (1D-VBL inner kernel);
-    /// the default is the scalar implementation.
-    fn dot_run_simd(vals: &[Self], x: &[Self]) -> Self {
-        scalar::dot_run_scalar(vals, x)
-    }
-
-    /// SSE2 multi-vector BCSR block-row kernel for `(shape, k)`, if one
-    /// exists (`k ∈ {1, 2, 4, 8}`).
-    fn bcsr_row_multi_simd(shape: BlockShape, k: usize) -> Option<BcsrRowMultiKernel<Self>> {
-        let _ = (shape, k);
-        None
-    }
-
-    /// SSE2 multi-vector BCSD segment kernel for `(b, k)`, if one exists.
-    fn bcsd_seg_multi_simd(b: usize, k: usize) -> Option<BcsdSegMultiKernel<Self>> {
-        let _ = (b, k);
-        None
-    }
-}
+use crate::engine::LaneEngine;
+use spmv_core::Scalar;
 
 #[cfg(not(target_arch = "x86_64"))]
-impl SimdScalar for f32 {}
-#[cfg(not(target_arch = "x86_64"))]
-impl SimdScalar for f64 {}
-
+use crate::engine::ScalarEngine;
 #[cfg(target_arch = "x86_64")]
-mod x86 {
-    use super::*;
-    use core::arch::x86_64::*;
+use crate::engine::{SseF32, SseF64};
 
-    /// Horizontal sum of a 2-lane double vector.
-    #[inline(always)]
-    unsafe fn hsum_pd(v: __m128d) -> f64 {
-        _mm_cvtsd_f64(v) + _mm_cvtsd_f64(_mm_unpackhi_pd(v, v))
-    }
-
-    /// Horizontal sum of a 4-lane float vector (SSE1-only shuffles).
-    #[inline(always)]
-    unsafe fn hsum_ps(v: __m128) -> f32 {
-        let hi = _mm_movehl_ps(v, v); // lanes [2, 3, 2, 3]
-        let sum2 = _mm_add_ps(v, hi); // lanes [0+2, 1+3, _, _]
-        let lane1 = _mm_shuffle_ps(sum2, sum2, 0b01_01_01_01);
-        _mm_cvtss_f32(_mm_add_ss(sum2, lane1))
-    }
-
-    /// SSE2 BCSR block-row kernel, `f64`, monomorphized per shape.
-    pub fn bcsr_row_f64<const R: usize, const C: usize>(
-        bvals: &[f64],
-        bcols: &[Index],
-        x: &[f64],
-        yrow: &mut [f64],
-    ) {
-        debug_assert_eq!(yrow.len(), R);
-        debug_assert_eq!(bvals.len(), bcols.len() * R * C);
-        // SAFETY: every pointer arithmetic below stays inside `xb` and
-        // `row`, which are length-checked subslices.
-        unsafe {
-            let mut accv = [_mm_setzero_pd(); R];
-            let mut accs = [0.0f64; R];
-            for (k, &bc) in bcols.iter().enumerate() {
-                let x0 = bc as usize;
-                let xb = &x[x0..x0 + C];
-                let b = &bvals[k * (R * C)..k * (R * C) + R * C];
-                for i in 0..R {
-                    let row = &b[i * C..i * C + C];
-                    let mut j = 0;
-                    while j + 2 <= C {
-                        let bv = _mm_loadu_pd(row.as_ptr().add(j));
-                        let xv = _mm_loadu_pd(xb.as_ptr().add(j));
-                        accv[i] = _mm_add_pd(accv[i], _mm_mul_pd(bv, xv));
-                        j += 2;
-                    }
-                    if j < C {
-                        accs[i] += row[j] * xb[j];
-                    }
-                }
-            }
-            for i in 0..R {
-                yrow[i] += hsum_pd(accv[i]) + accs[i];
-            }
-        }
-    }
-
-    /// SSE2 BCSR block-row kernel, `f32`, monomorphized per shape.
-    pub fn bcsr_row_f32<const R: usize, const C: usize>(
-        bvals: &[f32],
-        bcols: &[Index],
-        x: &[f32],
-        yrow: &mut [f32],
-    ) {
-        debug_assert_eq!(yrow.len(), R);
-        debug_assert_eq!(bvals.len(), bcols.len() * R * C);
-        // SAFETY: as in `bcsr_row_f64`.
-        unsafe {
-            let mut accv = [_mm_setzero_ps(); R];
-            let mut accs = [0.0f32; R];
-            for (k, &bc) in bcols.iter().enumerate() {
-                let x0 = bc as usize;
-                let xb = &x[x0..x0 + C];
-                let b = &bvals[k * (R * C)..k * (R * C) + R * C];
-                for i in 0..R {
-                    let row = &b[i * C..i * C + C];
-                    let mut j = 0;
-                    while j + 4 <= C {
-                        let bv = _mm_loadu_ps(row.as_ptr().add(j));
-                        let xv = _mm_loadu_ps(xb.as_ptr().add(j));
-                        accv[i] = _mm_add_ps(accv[i], _mm_mul_ps(bv, xv));
-                        j += 4;
-                    }
-                    while j < C {
-                        accs[i] += row[j] * xb[j];
-                        j += 1;
-                    }
-                }
-            }
-            for i in 0..R {
-                yrow[i] += hsum_ps(accv[i]) + accs[i];
-            }
-        }
-    }
-
-    /// SSE2 BCSD segment kernel, `f64`.
-    pub fn bcsd_seg_f64<const B: usize>(
-        bvals: &[f64],
-        bcols: &[Index],
-        x: &[f64],
-        yseg: &mut [f64],
-    ) {
-        debug_assert_eq!(yseg.len(), B);
-        debug_assert_eq!(bvals.len(), bcols.len() * B);
-        // SAFETY: `v` and `xb` are length-B checked subslices; lane
-        // offsets 2q+1 < B by loop bound.
-        unsafe {
-            let mut accv = [_mm_setzero_pd(); 4]; // B <= 8 => at most 4 pairs
-            let mut acct = 0.0f64;
-            let pairs = B / 2;
-            for (k, &j0) in bcols.iter().enumerate() {
-                let v = &bvals[k * B..k * B + B];
-                debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
-                let j0 = j0 as usize - B;
-                let xb = &x[j0..j0 + B];
-                for (q, acc) in accv.iter_mut().enumerate().take(pairs) {
-                    let bv = _mm_loadu_pd(v.as_ptr().add(2 * q));
-                    let xv = _mm_loadu_pd(xb.as_ptr().add(2 * q));
-                    *acc = _mm_add_pd(*acc, _mm_mul_pd(bv, xv));
-                }
-                if B % 2 == 1 {
-                    acct += v[B - 1] * xb[B - 1];
-                }
-            }
-            for (q, acc) in accv.iter().enumerate().take(pairs) {
-                yseg[2 * q] += _mm_cvtsd_f64(*acc);
-                yseg[2 * q + 1] += _mm_cvtsd_f64(_mm_unpackhi_pd(*acc, *acc));
-            }
-            if B % 2 == 1 {
-                yseg[B - 1] += acct;
-            }
-        }
-    }
-
-    /// SSE2 BCSD segment kernel, `f32`.
-    pub fn bcsd_seg_f32<const B: usize>(
-        bvals: &[f32],
-        bcols: &[Index],
-        x: &[f32],
-        yseg: &mut [f32],
-    ) {
-        debug_assert_eq!(yseg.len(), B);
-        debug_assert_eq!(bvals.len(), bcols.len() * B);
-        // SAFETY: as in `bcsd_seg_f64`.
-        unsafe {
-            let mut accv = [_mm_setzero_ps(); 2]; // B <= 8 => at most 2 quads
-            let mut acct = [0.0f32; 3]; // at most 3 tail lanes
-            let quads = B / 4;
-            let tail = B % 4;
-            for (k, &j0) in bcols.iter().enumerate() {
-                let v = &bvals[k * B..k * B + B];
-                debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
-                let j0 = j0 as usize - B;
-                let xb = &x[j0..j0 + B];
-                for (q, acc) in accv.iter_mut().enumerate().take(quads) {
-                    let bv = _mm_loadu_ps(v.as_ptr().add(4 * q));
-                    let xv = _mm_loadu_ps(xb.as_ptr().add(4 * q));
-                    *acc = _mm_add_ps(*acc, _mm_mul_ps(bv, xv));
-                }
-                for t in 0..tail {
-                    acct[t] += v[4 * quads + t] * xb[4 * quads + t];
-                }
-            }
-            for (q, acc) in accv.iter().enumerate().take(quads) {
-                let mut lanes = [0.0f32; 4];
-                _mm_storeu_ps(lanes.as_mut_ptr(), *acc);
-                for (t, lane) in lanes.iter().enumerate() {
-                    yseg[4 * q + t] += lane;
-                }
-            }
-            for t in 0..tail {
-                yseg[4 * quads + t] += acct[t];
-            }
-        }
-    }
-
-    /// Runtime-length SSE2 dot product, `f64` (1D-VBL runs).
-    pub fn dot_run_f64(vals: &[f64], x: &[f64]) -> f64 {
-        debug_assert_eq!(vals.len(), x.len());
-        let n = vals.len();
-        // SAFETY: offsets j+1 < n inside the 2-wide loop.
-        unsafe {
-            let mut acc = _mm_setzero_pd();
-            let mut j = 0;
-            while j + 2 <= n {
-                let bv = _mm_loadu_pd(vals.as_ptr().add(j));
-                let xv = _mm_loadu_pd(x.as_ptr().add(j));
-                acc = _mm_add_pd(acc, _mm_mul_pd(bv, xv));
-                j += 2;
-            }
-            let mut sum = hsum_pd(acc);
-            if j < n {
-                sum += vals[j] * x[j];
-            }
-            sum
-        }
-    }
-
-    /// SSE2 multi-vector BCSR block-row kernel, `f64`, monomorphized per
-    /// `(shape, K)`.
-    ///
-    /// Each block-value vector is loaded once and multiplied against the
-    /// `K` input columns, keeping an `R × K` tile of 2-lane accumulators
-    /// in registers. Per output column the vector-op sequence matches
-    /// [`bcsr_row_f64`] exactly, so results are bitwise-equal to `K`
-    /// single-vector SIMD calls.
-    pub fn bcsr_row_multi_f64<const R: usize, const C: usize, const K: usize>(
-        bvals: &[f64],
-        bcols: &[Index],
-        x: &[f64],
-        xs: usize,
-        y: &mut [f64],
-        ys: usize,
-        y0: usize,
-    ) {
-        debug_assert_eq!(bvals.len(), bcols.len() * R * C);
-        debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
-        // SAFETY: pointer offsets stay inside length-checked subslices.
-        unsafe {
-            let mut accv = [[_mm_setzero_pd(); K]; R];
-            let mut accs = [[0.0f64; K]; R];
-            for (kb, &bc) in bcols.iter().enumerate() {
-                let x0 = bc as usize;
-                let b = &bvals[kb * (R * C)..kb * (R * C) + R * C];
-                for i in 0..R {
-                    let row = &b[i * C..i * C + C];
-                    let mut j = 0;
-                    while j + 2 <= C {
-                        let bv = _mm_loadu_pd(row.as_ptr().add(j));
-                        for t in 0..K {
-                            let xb = &x[t * xs + x0..t * xs + x0 + C];
-                            let xv = _mm_loadu_pd(xb.as_ptr().add(j));
-                            accv[i][t] = _mm_add_pd(accv[i][t], _mm_mul_pd(bv, xv));
-                        }
-                        j += 2;
-                    }
-                    if j < C {
-                        for t in 0..K {
-                            accs[i][t] += row[j] * x[t * xs + x0 + j];
-                        }
-                    }
-                }
-            }
-            for i in 0..R {
-                for t in 0..K {
-                    y[t * ys + y0 + i] += hsum_pd(accv[i][t]) + accs[i][t];
-                }
-            }
-        }
-    }
-
-    /// SSE2 multi-vector BCSR block-row kernel, `f32`; see
-    /// [`bcsr_row_multi_f64`].
-    pub fn bcsr_row_multi_f32<const R: usize, const C: usize, const K: usize>(
-        bvals: &[f32],
-        bcols: &[Index],
-        x: &[f32],
-        xs: usize,
-        y: &mut [f32],
-        ys: usize,
-        y0: usize,
-    ) {
-        debug_assert_eq!(bvals.len(), bcols.len() * R * C);
-        debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
-        // SAFETY: as in `bcsr_row_multi_f64`.
-        unsafe {
-            let mut accv = [[_mm_setzero_ps(); K]; R];
-            let mut accs = [[0.0f32; K]; R];
-            for (kb, &bc) in bcols.iter().enumerate() {
-                let x0 = bc as usize;
-                let b = &bvals[kb * (R * C)..kb * (R * C) + R * C];
-                for i in 0..R {
-                    let row = &b[i * C..i * C + C];
-                    let mut j = 0;
-                    while j + 4 <= C {
-                        let bv = _mm_loadu_ps(row.as_ptr().add(j));
-                        for t in 0..K {
-                            let xb = &x[t * xs + x0..t * xs + x0 + C];
-                            let xv = _mm_loadu_ps(xb.as_ptr().add(j));
-                            accv[i][t] = _mm_add_ps(accv[i][t], _mm_mul_ps(bv, xv));
-                        }
-                        j += 4;
-                    }
-                    while j < C {
-                        for t in 0..K {
-                            accs[i][t] += row[j] * x[t * xs + x0 + j];
-                        }
-                        j += 1;
-                    }
-                }
-            }
-            for i in 0..R {
-                for t in 0..K {
-                    y[t * ys + y0 + i] += hsum_ps(accv[i][t]) + accs[i][t];
-                }
-            }
-        }
-    }
-
-    /// SSE2 multi-vector BCSD segment kernel, `f64`; per output column the
-    /// vector-op sequence matches [`bcsd_seg_f64`] exactly.
-    pub fn bcsd_seg_multi_f64<const B: usize, const K: usize>(
-        bvals: &[f64],
-        bcols: &[Index],
-        x: &[f64],
-        xs: usize,
-        y: &mut [f64],
-        ys: usize,
-        y0: usize,
-    ) {
-        debug_assert_eq!(bvals.len(), bcols.len() * B);
-        debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
-        // SAFETY: `v` and `xb` are length-B checked subslices.
-        unsafe {
-            let mut accv = [[_mm_setzero_pd(); K]; 4]; // B <= 8 => at most 4 pairs
-            let mut acct = [0.0f64; K];
-            let pairs = B / 2;
-            for (kb, &j0) in bcols.iter().enumerate() {
-                let v = &bvals[kb * B..kb * B + B];
-                debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
-                let j0 = j0 as usize - B;
-                for (q, acc) in accv.iter_mut().enumerate().take(pairs) {
-                    let bv = _mm_loadu_pd(v.as_ptr().add(2 * q));
-                    for t in 0..K {
-                        let xb = &x[t * xs + j0..t * xs + j0 + B];
-                        let xv = _mm_loadu_pd(xb.as_ptr().add(2 * q));
-                        acc[t] = _mm_add_pd(acc[t], _mm_mul_pd(bv, xv));
-                    }
-                }
-                if B % 2 == 1 {
-                    for t in 0..K {
-                        acct[t] += v[B - 1] * x[t * xs + j0 + B - 1];
-                    }
-                }
-            }
-            for (q, acc) in accv.iter().enumerate().take(pairs) {
-                for t in 0..K {
-                    y[t * ys + y0 + 2 * q] += _mm_cvtsd_f64(acc[t]);
-                    y[t * ys + y0 + 2 * q + 1] += _mm_cvtsd_f64(_mm_unpackhi_pd(acc[t], acc[t]));
-                }
-            }
-            if B % 2 == 1 {
-                for t in 0..K {
-                    y[t * ys + y0 + B - 1] += acct[t];
-                }
-            }
-        }
-    }
-
-    /// SSE2 multi-vector BCSD segment kernel, `f32`; see
-    /// [`bcsd_seg_multi_f64`].
-    pub fn bcsd_seg_multi_f32<const B: usize, const K: usize>(
-        bvals: &[f32],
-        bcols: &[Index],
-        x: &[f32],
-        xs: usize,
-        y: &mut [f32],
-        ys: usize,
-        y0: usize,
-    ) {
-        debug_assert_eq!(bvals.len(), bcols.len() * B);
-        debug_assert!(x.len() >= K * xs && y.len() >= K * ys);
-        // SAFETY: as in `bcsd_seg_multi_f64`.
-        unsafe {
-            let mut accv = [[_mm_setzero_ps(); K]; 2]; // B <= 8 => at most 2 quads
-            let mut acct = [[0.0f32; K]; 3]; // at most 3 tail lanes
-            let quads = B / 4;
-            let tail = B % 4;
-            for (kb, &j0) in bcols.iter().enumerate() {
-                let v = &bvals[kb * B..kb * B + B];
-                debug_assert!(j0 as usize >= B, "left-clipped block in interior kernel");
-                let j0 = j0 as usize - B;
-                for (q, acc) in accv.iter_mut().enumerate().take(quads) {
-                    let bv = _mm_loadu_ps(v.as_ptr().add(4 * q));
-                    for t in 0..K {
-                        let xb = &x[t * xs + j0..t * xs + j0 + B];
-                        let xv = _mm_loadu_ps(xb.as_ptr().add(4 * q));
-                        acc[t] = _mm_add_ps(acc[t], _mm_mul_ps(bv, xv));
-                    }
-                }
-                for (s, at) in acct.iter_mut().enumerate().take(tail) {
-                    for (t, a) in at.iter_mut().enumerate().take(K) {
-                        *a += v[4 * quads + s] * x[t * xs + j0 + 4 * quads + s];
-                    }
-                }
-            }
-            for (q, acc) in accv.iter().enumerate().take(quads) {
-                for t in 0..K {
-                    let mut lanes = [0.0f32; 4];
-                    _mm_storeu_ps(lanes.as_mut_ptr(), acc[t]);
-                    for (s, lane) in lanes.iter().enumerate() {
-                        y[t * ys + y0 + 4 * q + s] += lane;
-                    }
-                }
-            }
-            for (s, at) in acct.iter().enumerate().take(tail) {
-                for (t, &a) in at.iter().enumerate().take(K) {
-                    y[t * ys + y0 + 4 * quads + s] += a;
-                }
-            }
-        }
-    }
-
-    /// Runtime-length SSE2 dot product, `f32` (1D-VBL runs).
-    pub fn dot_run_f32(vals: &[f32], x: &[f32]) -> f32 {
-        debug_assert_eq!(vals.len(), x.len());
-        let n = vals.len();
-        // SAFETY: offsets j+3 < n inside the 4-wide loop.
-        unsafe {
-            let mut acc = _mm_setzero_ps();
-            let mut j = 0;
-            while j + 4 <= n {
-                let bv = _mm_loadu_ps(vals.as_ptr().add(j));
-                let xv = _mm_loadu_ps(x.as_ptr().add(j));
-                acc = _mm_add_ps(acc, _mm_mul_ps(bv, xv));
-                j += 4;
-            }
-            let mut sum = hsum_ps(acc);
-            while j < n {
-                sum += vals[j] * x[j];
-                j += 1;
-            }
-            sum
-        }
-    }
-}
-
-/// Expands to a `match` mapping a runtime [`BlockShape`] onto a
-/// monomorphized `<const R, const C>` kernel.
+/// Scalars with a designated SIMD lane engine.
 ///
-/// `$apply` is a caller-defined callback macro receiving the two literal
-/// shape dimensions; it must expand to `Some(<kernel fn pointer>)`. The
-/// indirection lets one dispatch table serve kernels with different
-/// generic signatures (scalar kernels carry a `T` parameter, the SSE2
-/// kernels are type-specific).
-macro_rules! dispatch_shape {
-    ($shape:expr, $apply:ident) => {
-        match ($shape.r, $shape.c) {
-            (1, 1) => $apply!(1, 1),
-            (1, 2) => $apply!(1, 2),
-            (1, 3) => $apply!(1, 3),
-            (1, 4) => $apply!(1, 4),
-            (1, 5) => $apply!(1, 5),
-            (1, 6) => $apply!(1, 6),
-            (1, 7) => $apply!(1, 7),
-            (1, 8) => $apply!(1, 8),
-            (2, 1) => $apply!(2, 1),
-            (2, 2) => $apply!(2, 2),
-            (2, 3) => $apply!(2, 3),
-            (2, 4) => $apply!(2, 4),
-            (3, 1) => $apply!(3, 1),
-            (3, 2) => $apply!(3, 2),
-            (4, 1) => $apply!(4, 1),
-            (4, 2) => $apply!(4, 2),
-            (5, 1) => $apply!(5, 1),
-            (6, 1) => $apply!(6, 1),
-            (7, 1) => $apply!(7, 1),
-            (8, 1) => $apply!(8, 1),
-            _ => None,
-        }
-    };
+/// Storage formats and the profiler bound their element type by this
+/// trait so one generic implementation serves both kernel flavours; the
+/// registry instantiates the block cores with
+/// [`ScalarEngine`](crate::engine::ScalarEngine) for
+/// [`KernelImpl::Scalar`](crate::shapes::KernelImpl) and with
+/// [`Self::Engine`] for [`KernelImpl::Simd`](crate::shapes::KernelImpl).
+pub trait SimdScalar: Scalar {
+    /// The lane engine backing this scalar's `KernelImpl::Simd` kernels.
+    type Engine: LaneEngine<Self>;
 }
-
-/// Expands to a `match` mapping a runtime BCSD size onto a monomorphized
-/// `<const B>` kernel; same callback convention as [`dispatch_shape`].
-macro_rules! dispatch_size {
-    ($b:expr, $apply:ident) => {
-        match $b {
-            1 => $apply!(1),
-            2 => $apply!(2),
-            3 => $apply!(3),
-            4 => $apply!(4),
-            5 => $apply!(5),
-            6 => $apply!(6),
-            7 => $apply!(7),
-            8 => $apply!(8),
-            _ => None,
-        }
-    };
-}
-
-/// Expands to a `match` mapping a runtime vector count `k` onto a
-/// monomorphized kernel whose **last** const parameter is `K`; the leading
-/// const parameters (shape dims or BCSD size) are passed through as
-/// literals. Only the specialized counts `k ∈ {1, 2, 4, 8}` exist — other
-/// counts return `None` and callers chunk `k` greedily (8, 4, 2, 1).
-macro_rules! dispatch_k {
-    ($k:expr, [$($kern:tt)+], $ty:ty, $($dims:tt),+) => {
-        match $k {
-            1 => Some($($kern)+::<$($dims),+, 1> as $ty),
-            2 => Some($($kern)+::<$($dims),+, 2> as $ty),
-            4 => Some($($kern)+::<$($dims),+, 4> as $ty),
-            8 => Some($($kern)+::<$($dims),+, 8> as $ty),
-            _ => None,
-        }
-    };
-}
-
-pub(crate) use dispatch_k;
-pub(crate) use dispatch_shape;
-pub(crate) use dispatch_size;
 
 #[cfg(target_arch = "x86_64")]
 impl SimdScalar for f64 {
-    fn bcsr_row_simd(shape: BlockShape) -> Option<BcsrRowKernel<f64>> {
-        macro_rules! apply {
-            ($r:literal, $c:literal) => {
-                Some(x86::bcsr_row_f64::<$r, $c> as BcsrRowKernel<f64>)
-            };
-        }
-        dispatch_shape!(shape, apply)
-    }
-
-    fn bcsd_seg_simd(b: usize) -> Option<BcsdSegKernel<f64>> {
-        macro_rules! apply {
-            ($b:literal) => {
-                Some(x86::bcsd_seg_f64::<$b> as BcsdSegKernel<f64>)
-            };
-        }
-        dispatch_size!(b, apply)
-    }
-
-    fn dot_run_simd(vals: &[f64], x: &[f64]) -> f64 {
-        x86::dot_run_f64(vals, x)
-    }
-
-    fn bcsr_row_multi_simd(shape: BlockShape, k: usize) -> Option<BcsrRowMultiKernel<f64>> {
-        macro_rules! apply {
-            ($r:literal, $c:literal) => {
-                dispatch_k!(k, [x86::bcsr_row_multi_f64], BcsrRowMultiKernel<f64>, $r, $c)
-            };
-        }
-        dispatch_shape!(shape, apply)
-    }
-
-    fn bcsd_seg_multi_simd(b: usize, k: usize) -> Option<BcsdSegMultiKernel<f64>> {
-        macro_rules! apply {
-            ($b:literal) => {
-                dispatch_k!(k, [x86::bcsd_seg_multi_f64], BcsdSegMultiKernel<f64>, $b)
-            };
-        }
-        dispatch_size!(b, apply)
-    }
+    type Engine = SseF64;
 }
 
 #[cfg(target_arch = "x86_64")]
 impl SimdScalar for f32 {
-    fn bcsr_row_simd(shape: BlockShape) -> Option<BcsrRowKernel<f32>> {
-        macro_rules! apply {
-            ($r:literal, $c:literal) => {
-                Some(x86::bcsr_row_f32::<$r, $c> as BcsrRowKernel<f32>)
-            };
-        }
-        dispatch_shape!(shape, apply)
-    }
+    type Engine = SseF32;
+}
 
-    fn bcsd_seg_simd(b: usize) -> Option<BcsdSegKernel<f32>> {
-        macro_rules! apply {
-            ($b:literal) => {
-                Some(x86::bcsd_seg_f32::<$b> as BcsdSegKernel<f32>)
-            };
-        }
-        dispatch_size!(b, apply)
-    }
+#[cfg(not(target_arch = "x86_64"))]
+impl SimdScalar for f64 {
+    type Engine = ScalarEngine;
+}
 
-    fn dot_run_simd(vals: &[f32], x: &[f32]) -> f32 {
-        x86::dot_run_f32(vals, x)
-    }
-
-    fn bcsr_row_multi_simd(shape: BlockShape, k: usize) -> Option<BcsrRowMultiKernel<f32>> {
-        macro_rules! apply {
-            ($r:literal, $c:literal) => {
-                dispatch_k!(k, [x86::bcsr_row_multi_f32], BcsrRowMultiKernel<f32>, $r, $c)
-            };
-        }
-        dispatch_shape!(shape, apply)
-    }
-
-    fn bcsd_seg_multi_simd(b: usize, k: usize) -> Option<BcsdSegMultiKernel<f32>> {
-        macro_rules! apply {
-            ($b:literal) => {
-                dispatch_k!(k, [x86::bcsd_seg_multi_f32], BcsdSegMultiKernel<f32>, $b)
-            };
-        }
-        dispatch_size!(b, apply)
-    }
+#[cfg(not(target_arch = "x86_64"))]
+impl SimdScalar for f32 {
+    type Engine = ScalarEngine;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::shapes::BCSD_SIZES;
-
-    fn fill_f64(n: usize) -> Vec<f64> {
-        (0..n).map(|i| 0.25 + (i % 13) as f64).collect()
-    }
-
-    fn fill_f32(n: usize) -> Vec<f32> {
-        (0..n).map(|i| 0.25 + (i % 13) as f32).collect()
-    }
 
     #[test]
-    fn simd_bcsr_matches_scalar_f64() {
-        for shape in BlockShape::search_space() {
-            let Some(simd) = f64::bcsr_row_simd(shape) else {
-                continue;
-            };
-            let (r, c) = (shape.rows(), shape.cols());
-            let nb = 4;
-            let bvals = fill_f64(nb * r * c);
-            let bcols: Vec<u32> = [0usize, 2, 3, 5].iter().map(|&b| (b * c) as u32).collect();
-            let x = fill_f64(6 * c);
-            let mut ys = vec![1.0; r];
-            let mut yv = vec![1.0; r];
-            let scal =
-                crate::registry::bcsr_row_kernel::<f64>(shape, crate::KernelImpl::Scalar);
-            scal(&bvals, &bcols, &x, &mut ys);
-            simd(&bvals, &bcols, &x, &mut yv);
-            for (a, b) in ys.iter().zip(&yv) {
-                assert!((a - b).abs() < 1e-9, "shape {shape}: {a} vs {b}");
-            }
-        }
-    }
-
-    #[test]
-    fn simd_bcsr_matches_scalar_f32() {
-        for shape in BlockShape::search_space() {
-            let Some(simd) = f32::bcsr_row_simd(shape) else {
-                continue;
-            };
-            let (r, c) = (shape.rows(), shape.cols());
-            let nb = 4;
-            let bvals = fill_f32(nb * r * c);
-            let bcols: Vec<u32> = [0usize, 2, 3, 5].iter().map(|&b| (b * c) as u32).collect();
-            let x = fill_f32(6 * c);
-            let mut ys = vec![1.0f32; r];
-            let mut yv = vec![1.0f32; r];
-            let scal =
-                crate::registry::bcsr_row_kernel::<f32>(shape, crate::KernelImpl::Scalar);
-            scal(&bvals, &bcols, &x, &mut ys);
-            simd(&bvals, &bcols, &x, &mut yv);
-            for (a, b) in ys.iter().zip(&yv) {
-                assert!((a - b).abs() < 1e-3, "shape {shape}: {a} vs {b}");
-            }
-        }
-    }
-
-    #[test]
-    fn simd_bcsd_matches_scalar_both_precisions() {
-        for &b in &BCSD_SIZES {
-            let nb = 5;
-            let bcols: Vec<u32> = [0usize, 1, 4, 7, 9]
-                .iter()
-                .map(|&j0| (j0 + b) as u32)
-                .collect();
-
-            if let Some(simd) = f64::bcsd_seg_simd(b) {
-                let bvals = fill_f64(nb * b);
-                let x = fill_f64(9 + b);
-                let mut ys = vec![0.5; b];
-                let mut yv = vec![0.5; b];
-                let scal =
-                    crate::registry::bcsd_seg_kernel::<f64>(b, crate::KernelImpl::Scalar);
-                scal(&bvals, &bcols, &x, &mut ys);
-                simd(&bvals, &bcols, &x, &mut yv);
-                for (p, q) in ys.iter().zip(&yv) {
-                    assert!((p - q).abs() < 1e-9, "b={b}: {p} vs {q}");
-                }
-            }
-
-            if let Some(simd) = f32::bcsd_seg_simd(b) {
-                let bvals = fill_f32(nb * b);
-                let x = fill_f32(9 + b);
-                let mut ys = vec![0.5f32; b];
-                let mut yv = vec![0.5f32; b];
-                let scal =
-                    crate::registry::bcsd_seg_kernel::<f32>(b, crate::KernelImpl::Scalar);
-                scal(&bvals, &bcols, &x, &mut ys);
-                simd(&bvals, &bcols, &x, &mut yv);
-                for (p, q) in ys.iter().zip(&yv) {
-                    assert!((p - q).abs() < 1e-2, "b={b}: {p} vs {q}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn simd_dot_run_matches_scalar() {
-        for n in 0..20 {
-            let v64 = fill_f64(n);
-            let x64 = fill_f64(n);
-            let s = crate::scalar::dot_run_scalar(&v64, &x64);
-            let d = f64::dot_run_simd(&v64, &x64);
-            assert!((s - d).abs() < 1e-9, "n={n}");
-
-            let v32 = fill_f32(n);
-            let x32 = fill_f32(n);
-            let s = crate::scalar::dot_run_scalar(&v32, &x32);
-            let d = f32::dot_run_simd(&v32, &x32);
-            assert!((s - d).abs() < 1e-2, "n={n}");
+    fn simd_engines_have_expected_lane_counts() {
+        let f64_lanes = <<f64 as SimdScalar>::Engine as LaneEngine<f64>>::LANES;
+        let f32_lanes = <<f32 as SimdScalar>::Engine as LaneEngine<f32>>::LANES;
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(f64_lanes, 2);
+            assert_eq!(f32_lanes, 4);
+        } else {
+            assert_eq!(f64_lanes, 1);
+            assert_eq!(f32_lanes, 1);
         }
     }
 }

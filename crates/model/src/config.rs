@@ -4,8 +4,8 @@
 use core::fmt;
 use spmv_core::{Csr, Index, IndexWidth, MatrixShape, Scalar, SpMv, SpMvMulti};
 use spmv_formats::{
-    bcsd_dec_stats, bcsd_stats, bcsr_dec_stats, bcsr_stats, csr_delta_stats, Bcsd, BcsdDec, Bcsr,
-    BcsrDec, CsrDelta, FormatKind,
+    bcsd_dec_stats, bcsd_masked_stats, bcsd_stats, bcsr_dec_stats, bcsr_masked_stats, bcsr_stats,
+    csr_delta_stats, Bcsd, BcsdDec, BcsdMasked, Bcsr, BcsrDec, BcsrMasked, CsrDelta, FormatKind,
 };
 use spmv_kernels::simd::SimdScalar;
 use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES};
@@ -31,6 +31,11 @@ pub enum BlockConfig {
     /// BCSD with a narrow-width block-column array (index-compression
     /// extension).
     BcsdNarrow(usize),
+    /// Masked BCSR: per-block occupancy bitmasks, no padded values
+    /// (padding-free extension).
+    BcsrMasked(BlockShape),
+    /// Masked BCSD: per-block occupancy bitmasks, no padded values.
+    BcsdMasked(usize),
 }
 
 impl BlockConfig {
@@ -43,6 +48,8 @@ impl BlockConfig {
             BlockConfig::Bcsd(_) | BlockConfig::BcsdNarrow(_) => FormatKind::Bcsd,
             BlockConfig::BcsdDec(_) => FormatKind::BcsdDec,
             BlockConfig::CsrDelta => FormatKind::CsrDelta,
+            BlockConfig::BcsrMasked(_) => FormatKind::BcsrMasked,
+            BlockConfig::BcsdMasked(_) => FormatKind::BcsdMasked,
         }
     }
 }
@@ -135,6 +142,24 @@ impl Config {
                 });
             }
         }
+        // Masked (padding-free) variants, appended last so the base and
+        // narrow spaces keep their prefix positions.
+        for shape in BlockShape::search_space() {
+            for &imp in imps {
+                out.push(Config {
+                    block: BlockConfig::BcsrMasked(shape),
+                    imp,
+                });
+            }
+        }
+        for b in BCSD_SIZES {
+            for &imp in imps {
+                out.push(Config {
+                    block: BlockConfig::BcsdMasked(b),
+                    imp,
+                });
+            }
+        }
         out
     }
 
@@ -159,6 +184,17 @@ impl Config {
                     imp: self.imp,
                 }
             }
+            // The masked kernels iterate mask bits and expand partial
+            // blocks, so their per-block cost differs from the padded
+            // kernels' — they get their own profiling keys.
+            BlockConfig::BcsrMasked(shape) => KernelKey::BcsrMasked {
+                shape,
+                imp: self.imp,
+            },
+            BlockConfig::BcsdMasked(b) => KernelKey::BcsdMasked {
+                b: b as u8,
+                imp: self.imp,
+            },
         }
     }
 
@@ -178,6 +214,12 @@ impl Config {
             }
             BlockConfig::BcsdNarrow(b) => {
                 BuiltFormat::Bcsd(Bcsd::from_csr_narrow(csr, b, self.imp))
+            }
+            BlockConfig::BcsrMasked(shape) => {
+                BuiltFormat::BcsrMasked(BcsrMasked::from_csr(csr, shape, self.imp))
+            }
+            BlockConfig::BcsdMasked(b) => {
+                BuiltFormat::BcsdMasked(BcsdMasked::from_csr(csr, b, self.imp))
             }
         }
     }
@@ -254,6 +296,33 @@ impl Config {
                     key: self.kernel_key(),
                 }]
             }
+            // Masked variants charge true stored-value bytes plus one
+            // occupancy byte per block and a per-row value-offset array
+            // on top of the usual index arrays.
+            BlockConfig::BcsrMasked(shape) => {
+                let st = bcsr_masked_stats(csr, shape);
+                vec![SubStat {
+                    ws_bytes: main_bytes(st.stored, st.nb, st.index_rows)
+                        + st.nb
+                        + (st.index_rows + 1) * idx
+                        + vecs,
+                    vec_bytes: vecs,
+                    nb: st.nb,
+                    key: self.kernel_key(),
+                }]
+            }
+            BlockConfig::BcsdMasked(b) => {
+                let st = bcsd_masked_stats(csr, b);
+                vec![SubStat {
+                    ws_bytes: main_bytes(st.stored, st.nb, st.index_rows)
+                        + st.nb
+                        + (st.index_rows + 1) * idx
+                        + vecs,
+                    vec_bytes: vecs,
+                    nb: st.nb,
+                    key: self.kernel_key(),
+                }]
+            }
             BlockConfig::BcsrDec(shape) => {
                 let st = bcsr_dec_stats(csr, shape);
                 vec![
@@ -303,6 +372,8 @@ impl fmt::Display for Config {
             BlockConfig::CsrDelta => write!(f, "CSR-DELTA")?,
             BlockConfig::BcsrNarrow(s) => write!(f, "BCSR16 {s}")?,
             BlockConfig::BcsdNarrow(b) => write!(f, "BCSD16 b={b}")?,
+            BlockConfig::BcsrMasked(s) => write!(f, "BCSR-MASK {s}")?,
+            BlockConfig::BcsdMasked(b) => write!(f, "BCSD-MASK b={b}")?,
         }
         if self.imp == KernelImpl::Simd {
             write!(f, " simd")?;
@@ -352,6 +423,20 @@ pub enum KernelKey {
         /// Kernel implementation (SIMD accelerates unit runs).
         imp: KernelImpl,
     },
+    /// A masked BCSR block-row kernel (expands occupancy-masked blocks).
+    BcsrMasked {
+        /// Block shape.
+        shape: BlockShape,
+        /// Kernel implementation.
+        imp: KernelImpl,
+    },
+    /// A masked BCSD segment kernel.
+    BcsdMasked {
+        /// Diagonal block size.
+        b: u8,
+        /// Kernel implementation.
+        imp: KernelImpl,
+    },
 }
 
 impl KernelKey {
@@ -360,8 +445,8 @@ impl KernelKey {
     pub fn block_elems(self) -> usize {
         match self {
             KernelKey::Csr | KernelKey::CsrDelta { .. } => 1,
-            KernelKey::Bcsr { shape, .. } => shape.elems(),
-            KernelKey::Bcsd { b, .. } => b as usize,
+            KernelKey::Bcsr { shape, .. } | KernelKey::BcsrMasked { shape, .. } => shape.elems(),
+            KernelKey::Bcsd { b, .. } | KernelKey::BcsdMasked { b, .. } => b as usize,
         }
     }
 }
@@ -373,6 +458,10 @@ impl fmt::Display for KernelKey {
             KernelKey::Bcsr { shape, imp } => write!(f, "bcsr-{shape}{}", imp.suffix()),
             KernelKey::Bcsd { b, imp } => write!(f, "bcsd-{b}{}", imp.suffix()),
             KernelKey::CsrDelta { imp } => write!(f, "csr-delta{}", imp.suffix()),
+            KernelKey::BcsrMasked { shape, imp } => {
+                write!(f, "bcsr-mask-{shape}{}", imp.suffix())
+            }
+            KernelKey::BcsdMasked { b, imp } => write!(f, "bcsd-mask-{b}{}", imp.suffix()),
         }
     }
 }
@@ -393,6 +482,10 @@ pub enum BuiltFormat<T> {
     BcsdDec(BcsdDec<T>),
     /// CSR-Δ.
     CsrDelta(CsrDelta<T>),
+    /// Masked BCSR.
+    BcsrMasked(BcsrMasked<T>),
+    /// Masked BCSD.
+    BcsdMasked(BcsdMasked<T>),
 }
 
 macro_rules! delegate {
@@ -404,6 +497,8 @@ macro_rules! delegate {
             BuiltFormat::Bcsd(x) => x.$m($($arg),*),
             BuiltFormat::BcsdDec(x) => x.$m($($arg),*),
             BuiltFormat::CsrDelta(x) => x.$m($($arg),*),
+            BuiltFormat::BcsrMasked(x) => x.$m($($arg),*),
+            BuiltFormat::BcsdMasked(x) => x.$m($($arg),*),
         }
     };
 }
@@ -472,18 +567,30 @@ mod tests {
 
     #[test]
     fn enumerate_counts() {
-        // scalar-only: CSR + (19 BCSR + 19 BCSR-DEC) + (7 BCSD + 7 BCSD-DEC)
-        assert_eq!(Config::enumerate(false).len(), 1 + 38 + 14);
-        // with SIMD: blocked configs double
-        assert_eq!(Config::enumerate(true).len(), 1 + 76 + 28);
+        // Derived, not hardcoded: CSR + per implementation a BCSR and a
+        // BCSR-DEC config per shape, plus a BCSD and a BCSD-DEC config
+        // per diagonal size.
+        let shapes = BlockShape::search_space().len();
+        let sizes = BCSD_SIZES.len();
+        assert_eq!(Config::enumerate(false).len(), 1 + 2 * (shapes + sizes));
+        assert_eq!(Config::enumerate(true).len(), 1 + 4 * (shapes + sizes));
     }
 
     #[test]
     fn enumerate_extended_counts() {
-        // base + CSR-Δ + 19 narrow BCSR shapes + 7 narrow BCSD sizes
-        assert_eq!(Config::enumerate_extended(false).len(), 53 + 1 + 19 + 7);
-        // with SIMD every extension doubles (CSR-Δ has a SIMD variant too)
-        assert_eq!(Config::enumerate_extended(true).len(), 105 + 2 + 38 + 14);
+        // Per implementation the extensions add CSR-Δ, one narrow config
+        // per shape/size, and one masked config per shape/size.
+        let shapes = BlockShape::search_space().len();
+        let sizes = BCSD_SIZES.len();
+        let ext_per_imp = 1 + 2 * (shapes + sizes);
+        assert_eq!(
+            Config::enumerate_extended(false).len(),
+            Config::enumerate(false).len() + ext_per_imp
+        );
+        assert_eq!(
+            Config::enumerate_extended(true).len(),
+            Config::enumerate(true).len() + 2 * ext_per_imp
+        );
     }
 
     #[test]
@@ -526,6 +633,8 @@ mod tests {
                     assert_eq!(stats[0].nb, m.main().n_blocks(), "{config}");
                     assert_eq!(stats[1].nb, m.rest().nnz(), "{config}");
                 }
+                BuiltFormat::BcsrMasked(m) => assert_eq!(stats[0].nb, m.n_blocks(), "{config}"),
+                BuiltFormat::BcsdMasked(m) => assert_eq!(stats[0].nb, m.n_blocks(), "{config}"),
             }
         }
     }
@@ -605,6 +714,28 @@ mod tests {
             let w = Config { block: wide, imp }.substats(&csr)[0].ws_bytes;
             assert!(n < w, "{narrow:?}: {n} !< {w}");
         }
+    }
+
+    #[test]
+    fn masked_substats_shrink_the_working_set_on_sparse_blocks() {
+        // The fixture's blocks are mostly partial, so dropping padded
+        // values must outweigh the one mask byte per block.
+        let csr = fixture();
+        let imp = KernelImpl::Scalar;
+        let shape = BlockShape::new(2, 4).unwrap();
+        let m = Config {
+            block: BlockConfig::BcsrMasked(shape),
+            imp,
+        }
+        .substats(&csr)[0]
+            .ws_bytes;
+        let p = Config {
+            block: BlockConfig::Bcsr(shape),
+            imp,
+        }
+        .substats(&csr)[0]
+            .ws_bytes;
+        assert!(m < p, "masked {m} !< padded {p}");
     }
 
     #[test]

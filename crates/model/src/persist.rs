@@ -15,6 +15,8 @@
 //! bcsr <r> <c> <scalar|simd> <t_b> <nof>
 //! bcsd <b> <scalar|simd> <t_b> <nof>
 //! csrdelta <scalar|simd> <t_b> <nof>
+//! bcsrmasked <r> <c> <scalar|simd> <t_b> <nof>
+//! bcsdmasked <b> <scalar|simd> <t_b> <nof>
 //! ```
 
 use crate::config::KernelKey;
@@ -82,6 +84,23 @@ pub fn write_profile<W: Write>(
             KernelKey::CsrDelta { imp } => writeln!(
                 w,
                 "csrdelta {} {:e} {:e}",
+                imp_label(imp),
+                times.t_b,
+                times.nof
+            )?,
+            KernelKey::BcsrMasked { shape, imp } => writeln!(
+                w,
+                "bcsrmasked {} {} {} {:e} {:e}",
+                shape.r,
+                shape.c,
+                imp_label(imp),
+                times.t_b,
+                times.nof
+            )?,
+            KernelKey::BcsdMasked { b, imp } => writeln!(
+                w,
+                "bcsdmasked {} {} {:e} {:e}",
+                b,
                 imp_label(imp),
                 times.t_b,
                 times.nof
@@ -182,6 +201,38 @@ pub fn read_profile<R: BufRead>(r: R) -> Result<(MachineProfile, KernelProfile)>
                     nof: parse_f64(tok[3])?,
                 },
             ),
+            "bcsrmasked" if tok.len() == 6 => {
+                let r: usize = tok[1].parse().map_err(|_| bad(lineno, "bad r"))?;
+                let c: usize = tok[2].parse().map_err(|_| bad(lineno, "bad c"))?;
+                let shape = BlockShape::new(r, c)
+                    .map_err(|e| bad(lineno, &e.to_string()))?;
+                profile.set(
+                    KernelKey::BcsrMasked {
+                        shape,
+                        imp: parse_imp(tok[3])?,
+                    },
+                    BlockTimes {
+                        t_b: parse_f64(tok[4])?,
+                        nof: parse_f64(tok[5])?,
+                    },
+                );
+            }
+            "bcsdmasked" if tok.len() == 5 => {
+                let b: u8 = tok[1].parse().map_err(|_| bad(lineno, "bad b"))?;
+                if !(1..=8).contains(&b) {
+                    return Err(bad(lineno, "bcsdmasked size out of range"));
+                }
+                profile.set(
+                    KernelKey::BcsdMasked {
+                        b,
+                        imp: parse_imp(tok[2])?,
+                    },
+                    BlockTimes {
+                        t_b: parse_f64(tok[3])?,
+                        nof: parse_f64(tok[4])?,
+                    },
+                );
+            }
             other => return Err(bad(lineno, &format!("unknown record `{other}`"))),
         }
     }

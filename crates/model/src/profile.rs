@@ -13,7 +13,7 @@ use crate::config::KernelKey;
 use crate::machine::MachineProfile;
 use crate::timing::measure_spmv;
 use spmv_core::{Csr, DenseMatrix, Scalar, SpMv};
-use spmv_formats::{Bcsd, Bcsr, CsrDelta};
+use spmv_formats::{Bcsd, BcsdMasked, Bcsr, BcsrMasked, CsrDelta};
 use spmv_kernels::simd::SimdScalar;
 use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES};
 use std::collections::HashMap;
@@ -101,11 +101,13 @@ impl KernelProfile {
         for shape in BlockShape::search_space() {
             for imp in KernelImpl::ALL {
                 p.set(KernelKey::Bcsr { shape, imp }, times);
+                p.set(KernelKey::BcsrMasked { shape, imp }, times);
             }
         }
         for b in BCSD_SIZES {
             for imp in KernelImpl::ALL {
                 p.set(KernelKey::Bcsd { b: b as u8, imp }, times);
+                p.set(KernelKey::BcsdMasked { b: b as u8, imp }, times);
             }
         }
         p
@@ -227,6 +229,34 @@ pub fn profile_keys<T: SimdScalar>(
             KernelKey::Bcsd { b, imp } => {
                 let small_b = Bcsd::from_csr(&small, b as usize, imp);
                 let large_b = Bcsd::from_csr(&large, b as usize, imp);
+                let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+                let t_b = t_small / small_b.n_blocks().max(1) as f64;
+                let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+                let nof = nof_of(
+                    t_large,
+                    large_b.working_set_bytes(),
+                    large_b.n_blocks(),
+                    t_b,
+                );
+                BlockTimes { t_b, nof }
+            }
+            KernelKey::BcsrMasked { shape, imp } => {
+                let small_b = BcsrMasked::from_csr(&small, shape, imp);
+                let large_b = BcsrMasked::from_csr(&large, shape, imp);
+                let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+                let t_b = t_small / small_b.n_blocks().max(1) as f64;
+                let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+                let nof = nof_of(
+                    t_large,
+                    large_b.working_set_bytes(),
+                    large_b.n_blocks(),
+                    t_b,
+                );
+                BlockTimes { t_b, nof }
+            }
+            KernelKey::BcsdMasked { b, imp } => {
+                let small_b = BcsdMasked::from_csr(&small, b as usize, imp);
+                let large_b = BcsdMasked::from_csr(&large, b as usize, imp);
                 let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
                 let t_b = t_small / small_b.n_blocks().max(1) as f64;
                 let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
@@ -366,6 +396,57 @@ pub fn profile_kernels<T: SimdScalar>(
         }
     }
 
+    // Masked BCSR kernels. The dense profiling matrices have all-ones
+    // masks, so these t_b/nof capture the fast-path cost (mask check +
+    // direct borrow); the partial-block expansion overhead shows up in
+    // the residuals the masked sweep records.
+    for shape in BlockShape::search_space() {
+        let _s = spmv_telemetry::span_with(
+            "model.profile.bcsr_masked",
+            (shape.r as u64) << 8 | shape.c as u64,
+        );
+        let mut small_b = BcsrMasked::from_csr(&small, shape, KernelImpl::Scalar);
+        let mut large_b = BcsrMasked::from_csr(&large, shape, KernelImpl::Scalar);
+        for imp in KernelImpl::ALL {
+            small_b.set_kernel_impl(imp);
+            large_b.set_kernel_impl(imp);
+            let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+            let t_b = t_small / small_b.n_blocks().max(1) as f64;
+            let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+            let nof = nof_of(
+                t_large,
+                large_b.working_set_bytes(),
+                large_b.n_blocks(),
+                t_b,
+            );
+            profile.set(KernelKey::BcsrMasked { shape, imp }, BlockTimes { t_b, nof });
+        }
+    }
+
+    // Masked BCSD kernels.
+    for b in BCSD_SIZES {
+        let _s = spmv_telemetry::span_with("model.profile.bcsd_masked", b as u64);
+        let mut small_b = BcsdMasked::from_csr(&small, b, KernelImpl::Scalar);
+        let mut large_b = BcsdMasked::from_csr(&large, b, KernelImpl::Scalar);
+        for imp in KernelImpl::ALL {
+            small_b.set_kernel_impl(imp);
+            large_b.set_kernel_impl(imp);
+            let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+            let t_b = t_small / small_b.n_blocks().max(1) as f64;
+            let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+            let nof = nof_of(
+                t_large,
+                large_b.working_set_bytes(),
+                large_b.n_blocks(),
+                t_b,
+            );
+            profile.set(
+                KernelKey::BcsdMasked { b: b as u8, imp },
+                BlockTimes { t_b, nof },
+            );
+        }
+    }
+
     profile
 }
 
@@ -382,11 +463,20 @@ mod tests {
         }
     }
 
+    /// CSR, plus per implementation: CSR-Δ, one padded and one masked
+    /// kernel per BCSR shape, one padded and one masked kernel per BCSD
+    /// size. Derived from the search space, not hardcoded.
+    fn expected_profile_len() -> usize {
+        let shapes = BlockShape::search_space().len();
+        let sizes = BCSD_SIZES.len();
+        1 + KernelImpl::ALL.len() * (1 + 2 * (shapes + sizes))
+    }
+
     #[test]
     fn profile_covers_the_whole_search_space() {
         let machine = MachineProfile::paper_testbed();
         let p = profile_kernels::<f64>(&machine, &tiny_opts());
-        assert_eq!(p.len(), 1 + 2 + 19 * 2 + 7 * 2);
+        assert_eq!(p.len(), expected_profile_len());
         let _ = p.get(KernelKey::Csr);
         for imp in KernelImpl::ALL {
             let t = p.get(KernelKey::CsrDelta { imp });
@@ -397,6 +487,15 @@ mod tests {
                 let t = p.get(KernelKey::Bcsr { shape, imp });
                 assert!(t.t_b > 0.0, "t_b must be positive for {shape}");
                 assert!((0.0..=1.0).contains(&t.nof));
+                let tm = p.get(KernelKey::BcsrMasked { shape, imp });
+                assert!(tm.t_b > 0.0, "masked t_b must be positive for {shape}");
+                assert!((0.0..=1.0).contains(&tm.nof));
+            }
+        }
+        for b in BCSD_SIZES {
+            for imp in KernelImpl::ALL {
+                let t = p.get(KernelKey::BcsdMasked { b: b as u8, imp });
+                assert!(t.t_b > 0.0, "masked t_b must be positive for b={b}");
             }
         }
     }
@@ -448,11 +547,19 @@ mod tests {
             KernelKey::CsrDelta {
                 imp: KernelImpl::Scalar,
             },
+            KernelKey::BcsrMasked {
+                shape,
+                imp: KernelImpl::Scalar,
+            },
+            KernelKey::BcsdMasked {
+                b: 4,
+                imp: KernelImpl::Simd,
+            },
             // Duplicate: measured once.
             KernelKey::Csr,
         ];
         let measured = profile_keys::<f64>(&machine, &tiny_opts(), &keys);
-        assert_eq!(measured.len(), 4);
+        assert_eq!(measured.len(), 6);
         for (key, times) in &measured {
             assert!(times.t_b > 0.0, "{key}: t_b must be positive");
             assert!((0.0..=1.0).contains(&times.nof), "{key}: nof in [0,1]");
@@ -468,7 +575,7 @@ mod tests {
     #[test]
     fn uniform_profile_for_tests() {
         let p = KernelProfile::uniform(1e-9, 0.5);
-        assert_eq!(p.len(), 1 + 2 + 38 + 14);
+        assert_eq!(p.len(), expected_profile_len());
         assert_eq!(p.get(KernelKey::Csr).nof, 0.5);
     }
 

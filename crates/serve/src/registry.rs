@@ -79,6 +79,8 @@ pub fn residual_key_for(config: Config, model: Model) -> ResidualKey {
         BlockConfig::Bcsd(b) => ("BCSD", format!("b{b}")),
         BlockConfig::BcsdNarrow(b) => ("BCSD16", format!("b{b}")),
         BlockConfig::BcsdDec(b) => ("BCSD-DEC", format!("b{b}")),
+        BlockConfig::BcsrMasked(s) => ("BCSR-MASK", format!("{}x{}", s.r, s.c)),
+        BlockConfig::BcsdMasked(b) => ("BCSD-MASK", format!("b{b}")),
     };
     ResidualKey {
         format: format.to_string(),

@@ -32,7 +32,10 @@ if [ -z "${SPMV_CHECK_OFFLINE:-}" ]; then
         && test -s target/adaptive-smoke.txt \
         && cargo run --release --bin numa_scale -- \
             --flat --threads 2 --n 4000 --reps 5 --trials 2 --out target/numa-smoke.txt \
-        && test -s target/numa-smoke.txt; then
+        && test -s target/numa-smoke.txt \
+        && cargo run --release --bin masked -- \
+            --n 4000 --blocks 4 --reps 2 --trials 1 --out target/masked-smoke.txt \
+        && test -s target/masked-smoke.txt; then
         echo "check.sh: cargo build + clippy + test OK"
         exit 0
     fi
@@ -181,6 +184,25 @@ $RD --crate-type lib --crate-name spmv_tune crates/tune/src/lib.rs \
     --extern spmv_parallel="$BD/libspmv_parallel.rlib" \
     --extern spmv_serve="$BD/libspmv_serve.rlib" \
     --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/libspmv_tune.rlib"
+$RD --crate-type lib --crate-name spmv_bench crates/bench/src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_gen="$B/libspmv_gen.rlib" \
+    --extern spmv_model="$BD/libspmv_model.rlib" \
+    --extern spmv_parallel="$BD/libspmv_parallel.rlib" \
+    --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/libspmv_bench.rlib"
+$RD --crate-type lib --crate-name blocked_spmv src/lib.rs \
+    --extern spmv_core="$B/libspmv_core.rlib" \
+    --extern spmv_kernels="$B/libspmv_kernels.rlib" \
+    --extern spmv_formats="$B/libspmv_formats.rlib" \
+    --extern spmv_gen="$B/libspmv_gen.rlib" \
+    --extern spmv_model="$BD/libspmv_model.rlib" \
+    --extern spmv_parallel="$BD/libspmv_parallel.rlib" \
+    --extern spmv_bench="$BD/libspmv_bench.rlib" \
+    --extern spmv_serve="$BD/libspmv_serve.rlib" \
+    --extern spmv_tune="$BD/libspmv_tune.rlib" \
+    --extern spmv_telemetry="$BD/libspmv_telemetry.rlib" -o "$BD/libblocked_spmv.rlib"
 
 if command -v clippy-driver > /dev/null; then
     echo "== clippy (offline: clippy-driver per crate, -D warnings)"
@@ -328,7 +350,7 @@ for t in differential_equivalence edge_cases kernel_shapes \
          format_equivalence kernel_properties model_pipeline \
          parallel_equivalence serving telemetry_pool telemetry_trace \
          adaptive_tuner adaptive_faults adaptive_property \
-         numa_partition; do
+         numa_partition masked_equivalence; do
     $R --test "tests/$t.rs" \
         --extern blocked_spmv="$B/libblocked_spmv.rlib" \
         --extern rand="$B/librand.rlib" -o "$B/t_$t"
@@ -363,5 +385,21 @@ $R src/bin/numa_scale.rs \
     --out "$B/numa-smoke.txt" > /dev/null
 test -s "$B/numa-smoke.txt" || {
     echo "check.sh: numa_scale smoke produced no output" >&2; exit 1; }
+# Masked padded-vs-masked sweep smoke in both telemetry configs: the
+# refactored kernel + masked format path must run end-to-end and leave
+# a non-empty results file.
+$R src/bin/masked.rs \
+    --extern blocked_spmv="$B/libblocked_spmv.rlib" -o "$B/masked"
+"$B/masked" --n 4000 --blocks 4 --reps 2 --trials 1 \
+    --out "$B/masked-smoke.txt" > /dev/null
+test -s "$B/masked-smoke.txt" || {
+    echo "check.sh: masked smoke produced no output" >&2; exit 1; }
+$RD src/bin/masked.rs \
+    --extern blocked_spmv="$BD/libblocked_spmv.rlib" -o "$BD/masked"
+"$BD/masked" --n 4000 --blocks 4 --reps 2 --trials 1 \
+    --out "$BD/masked-smoke.txt" > /dev/null
+test -s "$BD/masked-smoke.txt" || {
+    echo "check.sh: masked (telemetry-disabled) smoke produced no output" >&2
+    exit 1; }
 
 echo "check.sh: offline fallback OK"

@@ -1,0 +1,269 @@
+//! `masked`: padded vs masked blocked storage across block fill ratios.
+//!
+//! Generates banded block-structured matrices — block columns within a
+//! fixed band of the diagonal, like a banded FEM discretisation — whose
+//! 2x4 block rows are bimodal: *interior* rows carry fully dense blocks
+//! while *interface* rows carry sparse blocks (2 of 8 positions), mixed
+//! to hit a target aggregate fill. That is the regime where padding
+//! actually hurts: the source-vector band stays cache-resident, so the
+//! value stream is the bottleneck, and the padded format streams
+//! `1/fill` times more value bytes than the masked one. The sweep
+//! measures the padded [`Bcsr`] and the padding-free [`BcsrMasked`] on
+//! the same matrix — time per SpMV, matrix bytes per nonzero, and the
+//! OVERLAP model's prediction residual for both — across aggregate
+//! fills 0.3..=1.0; below full occupancy the masked format's time drops
+//! under the padded format's while the model (fed the true stored
+//! bytes) keeps tracking both.
+//!
+//! ```sh
+//! masked                                  # full sweep to results/masked.txt
+//! masked --n 4000 --reps 3 --trials 1     # smoke-sized run
+//! ```
+
+use std::time::Instant;
+
+use blocked_spmv::core::{Coo, Csr, MatrixShape, SpMv};
+use blocked_spmv::formats::{Bcsr, BcsrMasked};
+use blocked_spmv::kernels::{BlockShape, KernelImpl};
+use blocked_spmv::model::{
+    profile_keys, BlockConfig, Config, KernelProfile, MachineProfile, Model, ProfileOptions,
+};
+
+struct Opts {
+    n: usize,
+    blocks_per_row: usize,
+    reps: usize,
+    trials: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        // Large enough that the padded value stream spills the last-level
+        // cache while the banded source-vector slice stays hot.
+        n: 600_000,
+        blocks_per_row: 16,
+        reps: 5,
+        trials: 6,
+        seed: 42,
+        out: "results/masked.txt".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs an integer argument");
+                    std::process::exit(2);
+                })
+        };
+        match a.as_str() {
+            "--n" => opts.n = num("--n").max(64) as usize,
+            "--blocks" => opts.blocks_per_row = num("--blocks").max(1) as usize,
+            "--reps" => opts.reps = num("--reps").max(1) as usize,
+            "--trials" => opts.trials = num("--trials").max(1) as usize,
+            "--seed" => opts.seed = num("--seed"),
+            "--out" => {
+                opts.out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path argument");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: masked [--n N] [--blocks B] [--reps R] [--trials X] \
+                     [--seed S] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Nonzeros per block in the sparse (interface) rows.
+const SPARSE_PER_BLOCK: usize = 2;
+
+/// Block-column band width: every block sits within this many block
+/// columns of the diagonal, so the touched source-vector slice stays
+/// cache-resident while the value stream does not.
+const BAND_BLOCK_COLS: usize = 2048;
+
+/// An `n`x`n` banded matrix of 2x4 blocks with bimodal per-row fill:
+/// each block row is either *interior* (every block fully dense) or
+/// *interface* (every block holds [`SPARSE_PER_BLOCK`] of 8 positions,
+/// chosen by a per-block stride walk so partial masks vary), with the
+/// interior fraction solved so the aggregate occupancy hits `fill`.
+/// `blocks_per_row` blocks sit at random aligned positions within
+/// [`BAND_BLOCK_COLS`] of the diagonal.
+fn fill_controlled_matrix(n: usize, blocks_per_row: usize, fill: f64, seed: u64) -> Csr<f64> {
+    let (r, c) = (2usize, 4usize);
+    let elems = r * c;
+    let n_bcols = n / c;
+    let n_brows = n / r;
+    // full_frac * elems + (1 - full_frac) * SPARSE_PER_BLOCK = fill * elems
+    let full_frac = ((fill * elems as f64 - SPARSE_PER_BLOCK as f64)
+        / (elems - SPARSE_PER_BLOCK) as f64)
+        .clamp(0.0, 1.0);
+    let full_cut = (full_frac * 4096.0) as u64;
+    let mut rng = seed;
+    let mut coo = Coo::new(n, n);
+    let band = BAND_BLOCK_COLS.min(n_bcols);
+    for bi in 0..n_brows {
+        let per_block = if splitmix(&mut rng) % 4096 < full_cut {
+            elems
+        } else {
+            SPARSE_PER_BLOCK
+        };
+        let diag = bi * n_bcols / n_brows;
+        let mut cols: Vec<usize> = (0..blocks_per_row)
+            .map(|_| {
+                let off = splitmix(&mut rng) as usize % band;
+                (diag + off).min(n_bcols - 1)
+            })
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for bj in cols {
+            let start = splitmix(&mut rng) as usize % elems;
+            for s in 0..per_block {
+                let slot = (start + s * 3) % elems;
+                let (di, dj) = (slot / c, slot % c);
+                let v = (splitmix(&mut rng) % 4000) as f64 / 1000.0 - 2.0;
+                let v = if v == 0.0 { 0.5 } else { v };
+                let _ = coo.push(bi * r + di, bj * c + dj, v);
+            }
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+/// Seconds per SpMV: the mean of `reps` back-to-back products.
+fn time_once<M: SpMv<f64>>(mat: &M, x: &[f64], y: &mut [f64], reps: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        mat.spmv_into(x, y);
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Best-of-`trials` for both formats with the trials *interleaved*
+/// (pad, mask, pad, mask, …) so slow machine-wide drift lands on both
+/// measurements equally instead of biasing whichever ran last.
+fn time_pair<A: SpMv<f64>, B: SpMv<f64>>(
+    padded: &A,
+    masked: &B,
+    x: &[f64],
+    n_rows: usize,
+    reps: usize,
+    trials: usize,
+) -> (f64, f64) {
+    let mut y = vec![0.0f64; n_rows];
+    padded.spmv_into(x, &mut y); // warm-up
+    masked.spmv_into(x, &mut y);
+    let (mut tp, mut tm) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..trials {
+        tp = tp.min(time_once(padded, x, &mut y, reps));
+        tm = tm.min(time_once(masked, x, &mut y, reps));
+    }
+    (tp, tm)
+}
+
+fn rel_err(measured: f64, predicted: f64) -> f64 {
+    if measured <= 0.0 {
+        return 0.0;
+    }
+    (predicted - measured) / measured
+}
+
+fn main() {
+    let opts = parse_opts();
+    let shape = BlockShape::new(2, 4).unwrap();
+    let imp = KernelImpl::Simd;
+    let padded_cfg = Config { block: BlockConfig::Bcsr(shape), imp };
+    let masked_cfg = Config { block: BlockConfig::BcsrMasked(shape), imp };
+
+    // One calibration serves the whole sweep: the OVERLAP model needs
+    // the live bandwidth plus t_b/nof for exactly the two kernels.
+    let probe = fill_controlled_matrix(opts.n, opts.blocks_per_row, 1.0, opts.seed);
+    let footprint = probe.working_set_bytes().max(8 << 20);
+    let machine = MachineProfile::detect_with(footprint);
+    let mut profile = KernelProfile::default();
+    let popts = ProfileOptions {
+        large_bytes: footprint,
+        min_time: 2e-3,
+        ..ProfileOptions::default()
+    };
+    for (key, times) in profile_keys::<f64>(
+        &machine,
+        &popts,
+        &[padded_cfg.kernel_key(), masked_cfg.kernel_key()],
+    ) {
+        profile.set(key, times);
+    }
+
+    let mut out = String::new();
+    let header = format!(
+        "# masked sweep: BCSR {shape} {imp:?}, n={}, blocks/brow={}, seed={}\n\
+         # fill occ nnz pad_ms mask_ms speedup pad_B/nnz mask_B/nnz \
+         pad_resid mask_resid",
+        opts.n, opts.blocks_per_row, opts.seed
+    );
+    println!("{header}");
+    out.push_str(&header);
+    out.push('\n');
+
+    for fill10 in 3..=10 {
+        let fill = fill10 as f64 / 10.0;
+        let csr = fill_controlled_matrix(opts.n, opts.blocks_per_row, fill, opts.seed);
+        let x: Vec<f64> = (0..csr.n_cols())
+            .map(|i| 0.5 + (i % 13) as f64 * 0.125)
+            .collect();
+        let nnz = csr.nnz();
+
+        let padded = Bcsr::from_csr(&csr, shape, imp);
+        let masked = BcsrMasked::from_csr(&csr, shape, imp);
+        let (t_pad, t_mask) =
+            time_pair(&padded, &masked, &x, csr.n_rows(), opts.reps, opts.trials);
+
+        let pred_pad = Model::Overlap.predict(&padded_cfg.substats(&csr), &machine, &profile);
+        let pred_mask = Model::Overlap.predict(&masked_cfg.substats(&csr), &machine, &profile);
+
+        let line = format!(
+            "{fill:.1} {:.3} {nnz} {:.4} {:.4} {:.3} {:.2} {:.2} {:+.3} {:+.3}",
+            masked.occupancy(),
+            t_pad * 1e3,
+            t_mask * 1e3,
+            t_pad / t_mask,
+            padded.matrix_bytes() as f64 / nnz as f64,
+            masked.matrix_bytes() as f64 / nnz as f64,
+            rel_err(t_pad, pred_pad),
+            rel_err(t_mask, pred_mask),
+        );
+        println!("{line}");
+        out.push_str(&line);
+        out.push('\n');
+    }
+
+    if let Some(dir) = std::path::Path::new(&opts.out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&opts.out, out).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+}

@@ -155,7 +155,9 @@ fn saved_profile_file_is_human_auditable() {
     assert!(text.contains("\nbcsr 2 2 scalar "));
     assert!(text.contains("\nbcsd 4 simd "));
     assert!(text.contains("\ncsrdelta scalar "));
-    // 1 header + 1 machine + 55 kernel lines (csr + 2 csr-delta + 38
-    // bcsr + 14 bcsd).
-    assert_eq!(text.trim_end().lines().count(), 57);
+    assert!(text.contains("\nbcsrmasked 2 2 scalar "));
+    assert!(text.contains("\nbcsdmasked 4 simd "));
+    // 1 header + 1 machine + 107 kernel lines (csr + 2 csr-delta + 38
+    // bcsr + 14 bcsd + their 52 masked twins).
+    assert_eq!(text.trim_end().lines().count(), 109);
 }
