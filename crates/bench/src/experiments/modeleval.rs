@@ -86,6 +86,8 @@ fn family(block: BlockConfig) -> &'static str {
         BlockConfig::BcsdDec(_) => "BCSD-DEC",
         BlockConfig::BcsrMasked(_) => "BCSR-MASK",
         BlockConfig::BcsdMasked(_) => "BCSD-MASK",
+        BlockConfig::SellCSigma { .. } => "SELL",
+        BlockConfig::SellCSigmaNarrow { .. } => "SELL16",
     }
 }
 
@@ -106,6 +108,13 @@ fn shape_label(block: BlockConfig) -> String {
         | BlockConfig::BcsdNarrow(b)
         | BlockConfig::BcsdMasked(b) => {
             format!("b{b}")
+        }
+        BlockConfig::SellCSigma { c, sigma } | BlockConfig::SellCSigmaNarrow { c, sigma } => {
+            if sigma == spmv_formats::SELL_SIGMA_FULL {
+                format!("c{c}sn")
+            } else {
+                format!("c{c}s{sigma}")
+            }
         }
     }
 }

@@ -15,7 +15,9 @@ use spmv_gen::{random_vector, suite, Geometry};
 use spmv_kernels::simd::SimdScalar;
 use spmv_model::timing::measure_spmv;
 use spmv_model::{BlockConfig, Config};
-use spmv_parallel::{bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, PinPolicy, SpmvPool};
+use spmv_parallel::{
+    bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, sell_unit_weights, PinPolicy, SpmvPool,
+};
 use std::collections::BTreeMap;
 
 /// Thread counts evaluated by Figure 2.
@@ -46,6 +48,10 @@ fn partition_inputs<T: SimdScalar>(csr: &Csr<T>, config: Config) -> (Vec<u64>, u
         // Masked formats store no padding, so true nonzeros are the work.
         BlockConfig::BcsrMasked(shape) => (unit_nnz_weights(csr, shape.rows()), shape.rows()),
         BlockConfig::BcsdMasked(b) => (unit_nnz_weights(csr, b), b),
+        // SELL strips split on slice boundaries; weights count padded slices.
+        BlockConfig::SellCSigma { c, .. } | BlockConfig::SellCSigmaNarrow { c, .. } => {
+            (sell_unit_weights(csr, c), c)
+        }
     }
 }
 

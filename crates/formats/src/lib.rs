@@ -16,6 +16,7 @@
 //! | [`Vbl`] | 1D-VBL | variable-size 1-D blocks, no padding |
 //! | [`Vbr`] | VBR | variable-size 2-D blocks (described in §II, not in the model study) |
 //! | [`CsrDelta`] | CSR-Δ | delta-encoded, narrow-width column indices (extension) |
+//! | [`SellCSigma`] | SELL-C-σ | sliced ELLPACK, σ-windowed row sorting, padding (extension) |
 //!
 //! As an index-compression extension beyond the paper, BCSR, BCSD, and
 //! 1D-VBL additionally offer `from_csr_narrow` constructors that store
@@ -37,6 +38,7 @@ pub mod csr_delta;
 pub mod decomposed;
 pub mod masked;
 mod narrow;
+pub mod sellc;
 pub mod stats;
 pub mod vbl;
 pub mod vbr;
@@ -46,9 +48,10 @@ pub use bcsr::Bcsr;
 pub use csr_delta::{csr_delta_stats, CsrDelta, DeltaStats};
 pub use decomposed::{BcsdDec, BcsrDec, Decomposed};
 pub use masked::{BcsdMasked, BcsrMasked};
+pub use sellc::{sell_sigmas, SellCSigma, SELL_SIGMA_FULL};
 pub use stats::{
     bcsd_dec_stats, bcsd_masked_stats, bcsd_stats, bcsr_dec_stats, bcsr_masked_stats, bcsr_stats,
-    bcsr_stats_sampled, vbl_stats, FormatStats,
+    bcsr_stats_sampled, sellc_stats, vbl_stats, FormatStats,
 };
 pub use vbl::Vbl;
 pub use vbr::Vbr;
@@ -150,6 +153,9 @@ pub enum FormatKind {
     Vbr,
     /// Delta-encoded CSR (index-compression extension beyond the paper).
     CsrDelta,
+    /// SELL-C-σ: sliced ELLPACK with σ-windowed row sorting
+    /// (padding-dominated extension beyond the paper).
+    SellCSigma,
 }
 
 impl FormatKind {
@@ -166,6 +172,7 @@ impl FormatKind {
             FormatKind::Vbl => "1D-VBL",
             FormatKind::Vbr => "VBR",
             FormatKind::CsrDelta => "CSR-DELTA",
+            FormatKind::SellCSigma => "SELL",
         }
     }
 

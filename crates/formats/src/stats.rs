@@ -240,6 +240,43 @@ pub fn vbl_stats<T: Scalar>(csr: &Csr<T>) -> FormatStats {
     }
 }
 
+/// Counts slice-columns/padding for SELL-C-σ ([`crate::SellCSigma`])
+/// without building it: rows are (virtually) sorted by descending length
+/// within σ-row windows, and each slice of `c` rows stores
+/// `max row length` columns. `nb` is the total slice-column count,
+/// `stored = nb * c` includes padding, and `index_rows` is the slice
+/// count. Only row lengths matter, so this runs in `O(n_rows log σ)`.
+pub fn sellc_stats<T: Scalar>(csr: &Csr<T>, c: usize, sigma: usize) -> FormatStats {
+    assert!(sigma > 0, "SELL sorting window must be at least 1");
+    let n_rows = csr.n_rows();
+    let sigma_eff = if sigma == crate::SELL_SIGMA_FULL {
+        n_rows.max(1)
+    } else {
+        sigma
+    };
+    let mut lens: Vec<usize> = (0..n_rows).map(|i| csr.row_nnz(i)).collect();
+    for w0 in (0..n_rows).step_by(sigma_eff) {
+        let w1 = (w0 + sigma_eff).min(n_rows);
+        lens[w0..w1].sort_unstable_by_key(|&l| core::cmp::Reverse(l));
+    }
+    let n_slices = n_rows.div_ceil(c);
+    let mut nb = 0usize;
+    for s in 0..n_slices {
+        nb += lens[s * c..((s + 1) * c).min(n_rows)]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+    }
+    FormatStats {
+        nb,
+        stored: nb * c,
+        rest_nnz: 0,
+        index_rows: n_slices,
+        fill_bytes: (nb * c - csr.nnz()) * T::BYTES,
+    }
+}
+
 /// Sampled BCSR statistics, SPARSITY/OSKI style: only `ceil(fraction *
 /// n_brows)` block rows are scanned (a deterministic stride starting at
 /// `seed % stride`), and the counts are scaled back up.
@@ -403,6 +440,21 @@ mod tests {
             assert_eq!(est.nb, real.n_blocks(), "b {b}");
             assert_eq!(est.stored, real.nnz_stored(), "b {b}");
             assert_eq!(est.fill_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn sellc_stats_match_constructed_format() {
+        let csr = fixture(12);
+        for c in spmv_kernels::SELL_HEIGHTS {
+            for sigma in crate::sell_sigmas(c) {
+                let est = sellc_stats(&csr, c, sigma);
+                let real = crate::SellCSigma::from_csr(&csr, c, sigma, KernelImpl::Scalar);
+                assert_eq!(est.nb, real.n_blocks(), "c {c} sigma {sigma}");
+                assert_eq!(est.stored, real.nnz_stored(), "c {c} sigma {sigma}");
+                assert_eq!(est.index_rows, real.n_slices(), "c {c} sigma {sigma}");
+                assert_eq!(est.fill_bytes, real.padding() * 8, "c {c} sigma {sigma}");
+            }
         }
     }
 

@@ -29,6 +29,7 @@ mod gate;
 pub mod masked;
 pub mod registry;
 pub mod scalar;
+pub mod sell;
 pub mod shapes;
 pub mod simd;
 
@@ -39,6 +40,10 @@ pub use registry::{
     dot_run, dot_run_multi, BcsdMaskedSegKernel, BcsdMaskedSegMultiKernel, BcsdSegKernel,
     BcsdSegMultiKernel, BcsrMaskedRowKernel, BcsrMaskedRowMultiKernel, BcsrRowKernel,
     BcsrRowMultiKernel,
+};
+pub use sell::{
+    sell_slice_kernel, sell_slice_multi_kernel, SellSliceKernel, SellSliceMultiKernel,
+    SELL_HEIGHTS,
 };
 pub use shapes::{BlockShape, KernelImpl, BCSD_SIZES, MAX_BLOCK_ELEMS};
 

@@ -1,0 +1,293 @@
+//! SELL-C-σ slice kernels.
+//!
+//! SELL-C-σ (Kreutzer et al., arXiv:1307.6209) stores the matrix as
+//! slices of `C` consecutive (sorted) rows, each padded to the slice's
+//! widest row and laid out column-major within the slice: entry
+//! `(j, lane)` of a slice lives at `j * C + lane`, so one vector load
+//! fetches the `j`-th element of `C` adjacent rows at once. The kernels
+//! here process one slice: `C` independent row accumulators advance in
+//! lockstep down the slice columns — the [`crate::block::dot_run_core`]
+//! shape transposed across `C` lanes.
+//!
+//! **Bitwise contract.** Every lane's accumulation is a self-contained
+//! fused `a.mul_add(x[col], acc)` chain from `T::ZERO` in increasing
+//! column order — exactly the CSR row chain — and padded slots are
+//! skipped by a per-lane length guard rather than multiplied as zeros
+//! (accumulating a padded `+0.0` product could flip a `-0.0` sum). The
+//! [`LaneEngine`] only changes *how the value stream is loaded* (one
+//! vector load per lane group vs. scalar loads) and never the per-lane
+//! arithmetic, so scalar and SIMD kernels — and therefore SELL-C-σ and
+//! CSR — produce bitwise-identical results.
+
+use crate::engine::{LaneEngine, ScalarEngine};
+use crate::simd::SimdScalar;
+use spmv_core::{Index, Scalar};
+
+/// Slice heights with dedicated kernel specializations, matched to the
+/// engine lane widths (2 = SSE f64, 4 = SSE f32, 8 = two f32 vectors).
+pub const SELL_HEIGHTS: [usize; 3] = [2, 4, 8];
+
+/// A kernel processing one SELL slice for a single input vector:
+/// `kernel(vals, cols, lens, x, yslice)` **assigns** the `C` per-lane
+/// accumulator chains into `yslice[0..C]` (callers own the scatter
+/// through the row permutation). `vals`/`cols` hold the slice's
+/// column-major storage (`width * C` entries), `lens` the true row
+/// length of each lane.
+pub type SellSliceKernel<T> = fn(&[T], &[Index], &[Index], &[T], &mut [T]);
+
+/// A kernel processing one SELL slice against several input vectors:
+/// `kernel(vals, cols, lens, x, xstride, yslice)` assigns the chains for
+/// vector `t` into `yslice[t * C..(t + 1) * C]`; `x` holds `K`
+/// concatenated vectors of stride `xstride`.
+pub type SellSliceMultiKernel<T> = fn(&[T], &[Index], &[Index], &[T], usize, &mut [T]);
+
+/// The generic SELL slice core: `C` lanes (rows) × `K` vectors.
+///
+/// Walks the slice column-major (`j` outer, lane inner). Lane groups of
+/// `E::LANES` share one vector load of the value stream; lanes past the
+/// last full group (`C < E::LANES`) load scalar. Both paths feed the
+/// identical per-lane fused chain, so the engine choice never alters
+/// the result.
+pub fn sell_slice_core<T: Scalar, E: LaneEngine<T>, const C: usize, const K: usize>(
+    vals: &[T],
+    cols: &[Index],
+    lens: &[Index],
+    x: &[T],
+    xstride: usize,
+    yslice: &mut [T],
+) {
+    debug_assert!(vals.len().is_multiple_of(C));
+    debug_assert_eq!(cols.len(), vals.len());
+    debug_assert_eq!(lens.len(), C);
+    debug_assert_eq!(yslice.len(), C * K);
+    let width = vals.len() / C;
+    let mut acc = [[T::ZERO; K]; C];
+    for j in 0..width {
+        let base = j * C;
+        let mut l = 0;
+        while l + E::LANES <= C {
+            // One vector load covers E::LANES adjacent lanes of column j.
+            let v = unsafe { E::load(vals.as_ptr().add(base + l)) };
+            for q in 0..E::LANES {
+                let lane = l + q;
+                if j < lens[lane] as usize {
+                    let a = E::lane(v, q);
+                    let col = cols[base + lane] as usize;
+                    for t in 0..K {
+                        acc[lane][t] = a.mul_add(x[t * xstride + col], acc[lane][t]);
+                    }
+                }
+            }
+            l += E::LANES;
+        }
+        // Lanes beyond the last full vector group (C < E::LANES).
+        while l < C {
+            if j < lens[l] as usize {
+                let a = vals[base + l];
+                let col = cols[base + l] as usize;
+                for t in 0..K {
+                    acc[l][t] = a.mul_add(x[t * xstride + col], acc[l][t]);
+                }
+            }
+            l += 1;
+        }
+    }
+    for (lane, a) in acc.iter().enumerate() {
+        for (t, &v) in a.iter().enumerate() {
+            yslice[t * C + lane] = v;
+        }
+    }
+}
+
+/// Single-vector wrapper over [`sell_slice_core`] with `K = 1`.
+fn sell_slice<T: Scalar, E: LaneEngine<T>, const C: usize>(
+    vals: &[T],
+    cols: &[Index],
+    lens: &[Index],
+    x: &[T],
+    yslice: &mut [T],
+) {
+    sell_slice_core::<T, E, C, 1>(vals, cols, lens, x, 0, yslice);
+}
+
+macro_rules! dispatch_c {
+    ($c:expr, $apply:ident) => {
+        match $c {
+            2 => $apply!(2),
+            4 => $apply!(4),
+            8 => $apply!(8),
+            _ => None,
+        }
+    };
+}
+
+fn sell_slice_kernel_engine<T: Scalar, E: LaneEngine<T>>(c: usize) -> Option<SellSliceKernel<T>> {
+    macro_rules! apply {
+        ($c:literal) => {
+            Some(sell_slice::<T, E, $c> as SellSliceKernel<T>)
+        };
+    }
+    dispatch_c!(c, apply)
+}
+
+fn sell_slice_multi_kernel_engine<T: Scalar, E: LaneEngine<T>>(
+    c: usize,
+    k: usize,
+) -> Option<SellSliceMultiKernel<T>> {
+    macro_rules! apply {
+        ($c:literal) => {
+            match k {
+                1 => Some(sell_slice_core::<T, E, $c, 1> as SellSliceMultiKernel<T>),
+                2 => Some(sell_slice_core::<T, E, $c, 2> as SellSliceMultiKernel<T>),
+                4 => Some(sell_slice_core::<T, E, $c, 4> as SellSliceMultiKernel<T>),
+                8 => Some(sell_slice_core::<T, E, $c, 8> as SellSliceMultiKernel<T>),
+                _ => None,
+            }
+        };
+    }
+    dispatch_c!(c, apply)
+}
+
+/// SELL slice kernel for `(c, imp)`, with the same transparent
+/// SIMD→scalar fallback as the block-kernel getters.
+///
+/// # Panics
+///
+/// Panics if `c` is not one of [`SELL_HEIGHTS`].
+pub fn sell_slice_kernel<T: SimdScalar>(
+    c: usize,
+    imp: crate::shapes::KernelImpl,
+) -> SellSliceKernel<T> {
+    match imp {
+        crate::shapes::KernelImpl::Scalar => sell_slice_kernel_engine::<T, ScalarEngine>(c),
+        crate::shapes::KernelImpl::Simd => sell_slice_kernel_engine::<T, T::Engine>(c),
+    }
+    .unwrap_or_else(|| panic!("unsupported SELL slice height {c}"))
+}
+
+/// Multi-vector SELL slice kernel for `(c, k, imp)`; `None` when `k` is
+/// not a specialized count (callers chunk greedily, as with the block
+/// kernels).
+pub fn sell_slice_multi_kernel<T: SimdScalar>(
+    c: usize,
+    k: usize,
+    imp: crate::shapes::KernelImpl,
+) -> Option<SellSliceMultiKernel<T>> {
+    match imp {
+        crate::shapes::KernelImpl::Scalar => sell_slice_multi_kernel_engine::<T, ScalarEngine>(c, k),
+        crate::shapes::KernelImpl::Simd => sell_slice_multi_kernel_engine::<T, T::Engine>(c, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::KernelImpl;
+
+    /// The CSR reference chain for one lane: fused mul_add in column
+    /// order from zero, padded slots untouched.
+    fn reference_lane(vals: &[f64], cols: &[Index], len: usize, c: usize, lane: usize, x: &[f64]) -> f64 {
+        let mut acc = 0.0f64;
+        for j in 0..len {
+            acc = vals[j * c + lane].mul_add(x[cols[j * c + lane] as usize] as f64, acc);
+        }
+        acc
+    }
+
+    #[test]
+    fn every_height_dispatches_and_matches_reference() {
+        // width-3 slice: lane lengths 3, 1, 0, 2, ... per height.
+        let x: Vec<f64> = (0..10).map(|i| 0.5 + i as f64).collect();
+        for c in SELL_HEIGHTS {
+            let width = 3usize;
+            let mut vals = vec![0.0f64; width * c];
+            let mut cols = vec![0 as Index; width * c];
+            let lens: Vec<Index> = (0..c).map(|l| ((3 + l) % (width + 1)) as Index).collect();
+            for lane in 0..c {
+                for j in 0..lens[lane] as usize {
+                    vals[j * c + lane] = 1.0 + (lane * width + j) as f64;
+                    cols[j * c + lane] = ((lane + 3 * j) % 10) as Index;
+                }
+            }
+            for imp in KernelImpl::ALL {
+                let kern = sell_slice_kernel::<f64>(c, imp);
+                let mut y = vec![f64::NAN; c];
+                kern(&vals, &cols, &lens, &x, &mut y);
+                for lane in 0..c {
+                    let want = reference_lane(&vals, &cols, lens[lane] as usize, c, lane, &x);
+                    assert_eq!(y[lane].to_bits(), want.to_bits(), "c={c} lane={lane} {imp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_agree_bitwise_f32() {
+        let x: Vec<f32> = (0..16).map(|i| 0.25 + (i as f32) * 0.75).collect();
+        for c in SELL_HEIGHTS {
+            let width = 5usize;
+            let mut vals = vec![0.0f32; width * c];
+            let mut cols = vec![0 as Index; width * c];
+            let lens: Vec<Index> = (0..c).map(|l| ((l * 3 + 1) % (width + 1)) as Index).collect();
+            for lane in 0..c {
+                for j in 0..lens[lane] as usize {
+                    vals[j * c + lane] = 0.1 + (lane + j) as f32;
+                    cols[j * c + lane] = ((lane * 7 + j * 3) % 16) as Index;
+                }
+            }
+            let mut ys = vec![0.0f32; c];
+            let mut yv = vec![0.0f32; c];
+            sell_slice_kernel::<f32>(c, KernelImpl::Scalar)(&vals, &cols, &lens, &x, &mut ys);
+            sell_slice_kernel::<f32>(c, KernelImpl::Simd)(&vals, &cols, &lens, &x, &mut yv);
+            assert_eq!(
+                ys.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                yv.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_kernel_matches_repeated_single_calls() {
+        let c = 4usize;
+        let width = 4usize;
+        let m = 12usize;
+        let mut vals = vec![0.0f64; width * c];
+        let mut cols = vec![0 as Index; width * c];
+        let lens: Vec<Index> = vec![4, 2, 0, 3];
+        for lane in 0..c {
+            for j in 0..lens[lane] as usize {
+                vals[j * c + lane] = (1 + lane * 5 + j) as f64 * 0.5;
+                cols[j * c + lane] = ((lane + j * 2) % m) as Index;
+            }
+        }
+        for k in crate::MULTI_KS {
+            let x: Vec<f64> = (0..m * k).map(|i| 0.125 * (i as f64 + 1.0)).collect();
+            for imp in KernelImpl::ALL {
+                let multi = sell_slice_multi_kernel::<f64>(c, k, imp).unwrap();
+                let single = sell_slice_kernel::<f64>(c, imp);
+                let mut ym = vec![0.0f64; c * k];
+                multi(&vals, &cols, &lens, &x, m, &mut ym);
+                for t in 0..k {
+                    let mut y1 = vec![0.0f64; c];
+                    single(&vals, &cols, &lens, &x[t * m..(t + 1) * m], &mut y1);
+                    assert_eq!(
+                        ym[t * c..(t + 1) * c]
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "k={k} t={t} {imp}"
+                    );
+                }
+            }
+            assert!(sell_slice_multi_kernel::<f64>(c, 3, KernelImpl::Scalar).is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported SELL slice height")]
+    fn unsupported_height_panics() {
+        let _ = sell_slice_kernel::<f64>(3, KernelImpl::Scalar);
+    }
+}

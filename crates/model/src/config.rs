@@ -5,10 +5,11 @@ use core::fmt;
 use spmv_core::{Csr, Index, IndexWidth, MatrixShape, Scalar, SpMv, SpMvMulti};
 use spmv_formats::{
     bcsd_dec_stats, bcsd_masked_stats, bcsd_stats, bcsr_dec_stats, bcsr_masked_stats, bcsr_stats,
-    csr_delta_stats, Bcsd, BcsdDec, BcsdMasked, Bcsr, BcsrDec, BcsrMasked, CsrDelta, FormatKind,
+    csr_delta_stats, sell_sigmas, sellc_stats, Bcsd, BcsdDec, BcsdMasked, Bcsr, BcsrDec,
+    BcsrMasked, CsrDelta, FormatKind, SellCSigma, SELL_SIGMA_FULL,
 };
 use spmv_kernels::simd::SimdScalar;
-use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES};
+use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES, SELL_HEIGHTS};
 
 /// A storage format plus its block parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,6 +37,24 @@ pub enum BlockConfig {
     BcsrMasked(BlockShape),
     /// Masked BCSD: per-block occupancy bitmasks, no padded values.
     BcsdMasked(usize),
+    /// SELL-C-σ: slice height `c`, sorting window `sigma`
+    /// ([`SELL_SIGMA_FULL`] for the global sort; padding-dominated
+    /// extension).
+    SellCSigma {
+        /// Slice height (rows per slice; one of
+        /// [`spmv_kernels::SELL_HEIGHTS`]).
+        c: usize,
+        /// Sorting window in rows.
+        sigma: usize,
+    },
+    /// SELL-C-σ with a narrow-width column-index array
+    /// (index-compression extension).
+    SellCSigmaNarrow {
+        /// Slice height.
+        c: usize,
+        /// Sorting window in rows.
+        sigma: usize,
+    },
 }
 
 impl BlockConfig {
@@ -50,6 +69,9 @@ impl BlockConfig {
             BlockConfig::CsrDelta => FormatKind::CsrDelta,
             BlockConfig::BcsrMasked(_) => FormatKind::BcsrMasked,
             BlockConfig::BcsdMasked(_) => FormatKind::BcsdMasked,
+            BlockConfig::SellCSigma { .. } | BlockConfig::SellCSigmaNarrow { .. } => {
+                FormatKind::SellCSigma
+            }
         }
     }
 }
@@ -160,6 +182,28 @@ impl Config {
                 });
             }
         }
+        // SELL-C-σ variants, appended last: every slice height crossed
+        // with the σ window set, wide then narrow indices.
+        for c in SELL_HEIGHTS {
+            for sigma in sell_sigmas(c) {
+                for &imp in imps {
+                    out.push(Config {
+                        block: BlockConfig::SellCSigma { c, sigma },
+                        imp,
+                    });
+                }
+            }
+        }
+        for c in SELL_HEIGHTS {
+            for sigma in sell_sigmas(c) {
+                for &imp in imps {
+                    out.push(Config {
+                        block: BlockConfig::SellCSigmaNarrow { c, sigma },
+                        imp,
+                    });
+                }
+            }
+        }
         out
     }
 
@@ -195,6 +239,15 @@ impl Config {
                 b: b as u8,
                 imp: self.imp,
             },
+            // σ only shuffles rows between slices; the per-slice-column
+            // work is fixed by the slice height, so every σ shares one
+            // profiled kernel per height.
+            BlockConfig::SellCSigma { c, .. } | BlockConfig::SellCSigmaNarrow { c, .. } => {
+                KernelKey::Sell {
+                    c: c as u8,
+                    imp: self.imp,
+                }
+            }
         }
     }
 
@@ -220,6 +273,12 @@ impl Config {
             }
             BlockConfig::BcsdMasked(b) => {
                 BuiltFormat::BcsdMasked(BcsdMasked::from_csr(csr, b, self.imp))
+            }
+            BlockConfig::SellCSigma { c, sigma } => {
+                BuiltFormat::SellCSigma(SellCSigma::from_csr(csr, c, sigma, self.imp))
+            }
+            BlockConfig::SellCSigmaNarrow { c, sigma } => {
+                BuiltFormat::SellCSigma(SellCSigma::from_csr_narrow(csr, c, sigma, self.imp))
             }
         }
     }
@@ -323,6 +382,28 @@ impl Config {
                     key: self.kernel_key(),
                 }]
             }
+            // SELL charges the padded value stream, one column index per
+            // stored slot (narrowable), the slice pointer and per-lane
+            // length arrays, and the row permutation.
+            BlockConfig::SellCSigma { c, sigma } | BlockConfig::SellCSigmaNarrow { c, sigma } => {
+                let st = sellc_stats(csr, c, sigma);
+                let colw = if matches!(self.block, BlockConfig::SellCSigmaNarrow { .. }) {
+                    IndexWidth::for_cols(csr.n_cols()).bytes()
+                } else {
+                    idx
+                };
+                vec![SubStat {
+                    ws_bytes: st.stored * T::BYTES
+                        + st.stored * colw
+                        + (st.index_rows + 1) * idx
+                        + st.index_rows * c * idx
+                        + csr.n_rows() * idx
+                        + vecs,
+                    vec_bytes: vecs,
+                    nb: st.nb,
+                    key: self.kernel_key(),
+                }]
+            }
             BlockConfig::BcsrDec(shape) => {
                 let st = bcsr_dec_stats(csr, shape);
                 vec![
@@ -374,11 +455,30 @@ impl fmt::Display for Config {
             BlockConfig::BcsdNarrow(b) => write!(f, "BCSD16 b={b}")?,
             BlockConfig::BcsrMasked(s) => write!(f, "BCSR-MASK {s}")?,
             BlockConfig::BcsdMasked(b) => write!(f, "BCSD-MASK b={b}")?,
+            BlockConfig::SellCSigma { c, sigma } => {
+                write!(f, "SELL {c}/{}", SigmaLabel(sigma))?
+            }
+            BlockConfig::SellCSigmaNarrow { c, sigma } => {
+                write!(f, "SELL16 {c}/{}", SigmaLabel(sigma))?
+            }
         }
         if self.imp == KernelImpl::Simd {
             write!(f, " simd")?;
         }
         Ok(())
+    }
+}
+
+/// Renders a σ value, spelling the [`SELL_SIGMA_FULL`] sentinel as `n`.
+struct SigmaLabel(usize);
+
+impl fmt::Display for SigmaLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == SELL_SIGMA_FULL {
+            f.write_str("n")
+        } else {
+            write!(f, "{}", self.0)
+        }
     }
 }
 
@@ -437,6 +537,14 @@ pub enum KernelKey {
         /// Kernel implementation.
         imp: KernelImpl,
     },
+    /// A SELL-C-σ slice kernel (σ does not change the kernel, only the
+    /// slice widths it runs over).
+    Sell {
+        /// Slice height.
+        c: u8,
+        /// Kernel implementation.
+        imp: KernelImpl,
+    },
 }
 
 impl KernelKey {
@@ -447,6 +555,7 @@ impl KernelKey {
             KernelKey::Csr | KernelKey::CsrDelta { .. } => 1,
             KernelKey::Bcsr { shape, .. } | KernelKey::BcsrMasked { shape, .. } => shape.elems(),
             KernelKey::Bcsd { b, .. } | KernelKey::BcsdMasked { b, .. } => b as usize,
+            KernelKey::Sell { c, .. } => c as usize,
         }
     }
 }
@@ -462,6 +571,7 @@ impl fmt::Display for KernelKey {
                 write!(f, "bcsr-mask-{shape}{}", imp.suffix())
             }
             KernelKey::BcsdMasked { b, imp } => write!(f, "bcsd-mask-{b}{}", imp.suffix()),
+            KernelKey::Sell { c, imp } => write!(f, "sell-{c}{}", imp.suffix()),
         }
     }
 }
@@ -486,6 +596,8 @@ pub enum BuiltFormat<T> {
     BcsrMasked(BcsrMasked<T>),
     /// Masked BCSD.
     BcsdMasked(BcsdMasked<T>),
+    /// SELL-C-σ.
+    SellCSigma(SellCSigma<T>),
 }
 
 macro_rules! delegate {
@@ -499,6 +611,7 @@ macro_rules! delegate {
             BuiltFormat::CsrDelta(x) => x.$m($($arg),*),
             BuiltFormat::BcsrMasked(x) => x.$m($($arg),*),
             BuiltFormat::BcsdMasked(x) => x.$m($($arg),*),
+            BuiltFormat::SellCSigma(x) => x.$m($($arg),*),
         }
     };
 }
@@ -579,10 +692,12 @@ mod tests {
     #[test]
     fn enumerate_extended_counts() {
         // Per implementation the extensions add CSR-Δ, one narrow config
-        // per shape/size, and one masked config per shape/size.
+        // per shape/size, one masked config per shape/size, and a wide
+        // plus a narrow SELL config per (height, σ) pair.
         let shapes = BlockShape::search_space().len();
         let sizes = BCSD_SIZES.len();
-        let ext_per_imp = 1 + 2 * (shapes + sizes);
+        let sell: usize = SELL_HEIGHTS.iter().map(|&c| sell_sigmas(c).len()).sum();
+        let ext_per_imp = 1 + 2 * (shapes + sizes) + 2 * sell;
         assert_eq!(
             Config::enumerate_extended(false).len(),
             Config::enumerate(false).len() + ext_per_imp
@@ -635,6 +750,7 @@ mod tests {
                 }
                 BuiltFormat::BcsrMasked(m) => assert_eq!(stats[0].nb, m.n_blocks(), "{config}"),
                 BuiltFormat::BcsdMasked(m) => assert_eq!(stats[0].nb, m.n_blocks(), "{config}"),
+                BuiltFormat::SellCSigma(m) => assert_eq!(stats[0].nb, m.n_blocks(), "{config}"),
             }
         }
     }
@@ -736,6 +852,23 @@ mod tests {
         .substats(&csr)[0]
             .ws_bytes;
         assert!(m < p, "masked {m} !< padded {p}");
+    }
+
+    #[test]
+    fn sell_substats_charge_padding_and_narrow_indices() {
+        let csr = fixture();
+        let imp = KernelImpl::Scalar;
+        for c in SELL_HEIGHTS {
+            let ws = |block: BlockConfig| Config { block, imp }.substats(&csr)[0].ws_bytes;
+            let wide = ws(BlockConfig::SellCSigma { c, sigma: 1 });
+            assert!(ws(BlockConfig::SellCSigmaNarrow { c, sigma: 1 }) < wide, "c={c}");
+            // The global sort can only shrink the padded working set.
+            let sorted = ws(BlockConfig::SellCSigma {
+                c,
+                sigma: SELL_SIGMA_FULL,
+            });
+            assert!(sorted <= wide, "c={c}");
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! csrdelta <scalar|simd> <t_b> <nof>
 //! bcsrmasked <r> <c> <scalar|simd> <t_b> <nof>
 //! bcsdmasked <b> <scalar|simd> <t_b> <nof>
+//! sell <c> <scalar|simd> <t_b> <nof>
 //! ```
 
 use crate::config::KernelKey;
@@ -101,6 +102,14 @@ pub fn write_profile<W: Write>(
                 w,
                 "bcsdmasked {} {} {:e} {:e}",
                 b,
+                imp_label(imp),
+                times.t_b,
+                times.nof
+            )?,
+            KernelKey::Sell { c, imp } => writeln!(
+                w,
+                "sell {} {} {:e} {:e}",
+                c,
                 imp_label(imp),
                 times.t_b,
                 times.nof
@@ -233,6 +242,22 @@ pub fn read_profile<R: BufRead>(r: R) -> Result<(MachineProfile, KernelProfile)>
                     },
                 );
             }
+            "sell" if tok.len() == 5 => {
+                let c: u8 = tok[1].parse().map_err(|_| bad(lineno, "bad c"))?;
+                if !spmv_kernels::SELL_HEIGHTS.contains(&(c as usize)) {
+                    return Err(bad(lineno, "sell slice height out of range"));
+                }
+                profile.set(
+                    KernelKey::Sell {
+                        c,
+                        imp: parse_imp(tok[2])?,
+                    },
+                    BlockTimes {
+                        t_b: parse_f64(tok[3])?,
+                        nof: parse_f64(tok[4])?,
+                    },
+                );
+            }
             other => return Err(bad(lineno, &format!("unknown record `{other}`"))),
         }
     }
@@ -295,6 +320,8 @@ mod tests {
         assert!(read_profile(no_machine.as_bytes()).is_err());
         let bad_shape = format!("{MAGIC}\nmachine 1e9 1 2\nbcsr 9 9 scalar 1e-9 0.5\n");
         assert!(read_profile(bad_shape.as_bytes()).is_err());
+        let bad_sell = format!("{MAGIC}\nmachine 1e9 1 2\nsell 3 scalar 1e-9 0.5\n");
+        assert!(read_profile(bad_sell.as_bytes()).is_err());
     }
 
     #[test]

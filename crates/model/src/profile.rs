@@ -13,9 +13,9 @@ use crate::config::KernelKey;
 use crate::machine::MachineProfile;
 use crate::timing::measure_spmv;
 use spmv_core::{Csr, DenseMatrix, Scalar, SpMv};
-use spmv_formats::{Bcsd, BcsdMasked, Bcsr, BcsrMasked, CsrDelta};
+use spmv_formats::{Bcsd, BcsdMasked, Bcsr, BcsrMasked, CsrDelta, SellCSigma};
 use spmv_kernels::simd::SimdScalar;
-use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES};
+use spmv_kernels::{BlockShape, KernelImpl, BCSD_SIZES, SELL_HEIGHTS};
 use std::collections::HashMap;
 
 /// Profiled characteristics of one kernel.
@@ -110,6 +110,11 @@ impl KernelProfile {
                 p.set(KernelKey::BcsdMasked { b: b as u8, imp }, times);
             }
         }
+        for c in SELL_HEIGHTS {
+            for imp in KernelImpl::ALL {
+                p.set(KernelKey::Sell { c: c as u8, imp }, times);
+            }
+        }
         p
     }
 }
@@ -150,7 +155,7 @@ fn profiling_matrix<T: Scalar>(target_bytes: usize) -> Csr<T> {
 
 /// Re-measures only `keys` — the bounded re-profile an online tuner runs
 /// when residuals implicate specific kernels, instead of the full
-/// 55-kernel sweep of [`profile_kernels`].
+/// search-space sweep of [`profile_kernels`].
 ///
 /// Each requested key gets the same two measurements the full profiler
 /// takes (`t_b` on an L1-resident dense matrix, `nof` on an out-of-cache
@@ -268,6 +273,22 @@ pub fn profile_keys<T: SimdScalar>(
                 );
                 BlockTimes { t_b, nof }
             }
+            // Dense rows all share one length, so σ = 1 (no sorting) is
+            // representative of every σ: the slice widths are identical.
+            KernelKey::Sell { c, imp } => {
+                let small_b = SellCSigma::from_csr(&small, c as usize, 1, imp);
+                let large_b = SellCSigma::from_csr(&large, c as usize, 1, imp);
+                let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+                let t_b = t_small / small_b.n_blocks().max(1) as f64;
+                let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+                let nof = nof_of(
+                    t_large,
+                    large_b.working_set_bytes(),
+                    large_b.n_blocks(),
+                    t_b,
+                );
+                BlockTimes { t_b, nof }
+            }
         };
         out.push((key, times));
     }
@@ -289,8 +310,8 @@ pub fn profile_kernels<T: SimdScalar>(
     };
     let large_bytes = if opts.large_bytes == 0 {
         // Twice the LLC, capped at 64 MiB: large enough to defeat modest
-        // caches, small enough that profiling all 55 kernels stays in
-        // seconds even on machines with very large last-level caches
+        // caches, small enough that profiling the full kernel set stays
+        // in seconds even on machines with very large last-level caches
         // (where the triad-matched bandwidth keeps the model consistent;
         // DESIGN.md §2).
         (machine.llc_bytes * 2).min(64 << 20)
@@ -447,6 +468,31 @@ pub fn profile_kernels<T: SimdScalar>(
         }
     }
 
+    // SELL slice kernels. Dense rows are uniform, so σ = 1 profiles the
+    // same slice widths any σ would produce.
+    for c in SELL_HEIGHTS {
+        let _s = spmv_telemetry::span_with("model.profile.sell", c as u64);
+        let mut small_b = SellCSigma::from_csr(&small, c, 1, KernelImpl::Scalar);
+        let mut large_b = SellCSigma::from_csr(&large, c, 1, KernelImpl::Scalar);
+        for imp in KernelImpl::ALL {
+            small_b.set_kernel_impl(imp);
+            large_b.set_kernel_impl(imp);
+            let t_small = measure_spmv(&small_b, &x_small, opts.min_time, opts.batches);
+            let t_b = t_small / small_b.n_blocks().max(1) as f64;
+            let t_large = measure_spmv(&large_b, &x_large, opts.min_time, opts.batches);
+            let nof = nof_of(
+                t_large,
+                large_b.working_set_bytes(),
+                large_b.n_blocks(),
+                t_b,
+            );
+            profile.set(
+                KernelKey::Sell { c: c as u8, imp },
+                BlockTimes { t_b, nof },
+            );
+        }
+    }
+
     profile
 }
 
@@ -465,11 +511,12 @@ mod tests {
 
     /// CSR, plus per implementation: CSR-Δ, one padded and one masked
     /// kernel per BCSR shape, one padded and one masked kernel per BCSD
-    /// size. Derived from the search space, not hardcoded.
+    /// size, and one SELL kernel per slice height. Derived from the
+    /// search space, not hardcoded.
     fn expected_profile_len() -> usize {
         let shapes = BlockShape::search_space().len();
         let sizes = BCSD_SIZES.len();
-        1 + KernelImpl::ALL.len() * (1 + 2 * (shapes + sizes))
+        1 + KernelImpl::ALL.len() * (1 + 2 * (shapes + sizes) + SELL_HEIGHTS.len())
     }
 
     #[test]
@@ -496,6 +543,13 @@ mod tests {
             for imp in KernelImpl::ALL {
                 let t = p.get(KernelKey::BcsdMasked { b: b as u8, imp });
                 assert!(t.t_b > 0.0, "masked t_b must be positive for b={b}");
+            }
+        }
+        for c in SELL_HEIGHTS {
+            for imp in KernelImpl::ALL {
+                let t = p.get(KernelKey::Sell { c: c as u8, imp });
+                assert!(t.t_b > 0.0, "sell t_b must be positive for c={c}");
+                assert!((0.0..=1.0).contains(&t.nof));
             }
         }
     }
@@ -555,11 +609,15 @@ mod tests {
                 b: 4,
                 imp: KernelImpl::Simd,
             },
+            KernelKey::Sell {
+                c: 4,
+                imp: KernelImpl::Simd,
+            },
             // Duplicate: measured once.
             KernelKey::Csr,
         ];
         let measured = profile_keys::<f64>(&machine, &tiny_opts(), &keys);
-        assert_eq!(measured.len(), 6);
+        assert_eq!(measured.len(), 7);
         for (key, times) in &measured {
             assert!(times.t_b > 0.0, "{key}: t_b must be positive");
             assert!((0.0..=1.0).contains(&times.nof), "{key}: nof in [0,1]");

@@ -351,8 +351,38 @@ mod tests {
     fn extended_select_prefers_delta_csr_on_scatter() {
         // Same scattered matrix as `scattered_matrix_keeps_csr`: blocked
         // formats pay padding, so CSR wins the base space — and CSR-Δ,
-        // which streams strictly fewer index bytes at the same block
-        // count, must win the extended space under every model.
+        // which streams strictly fewer index bytes at the same element
+        // count, must win the extended space under every model. The
+        // proportional profile (not the uniform one) is essential here:
+        // SELL-C-σ covers these uniform-length rows with nnz/c wide
+        // "blocks", so a flat per-block cost would hand it an artificial
+        // compute advantage; charging per element makes compute equal
+        // and lets byte traffic decide.
+        let csr = GenSpec::Random {
+            n: 300,
+            m: 300,
+            nnz_per_row: 2,
+        }
+        .build(3);
+        let profile = KernelProfile::proportional(1e-9, 1.0);
+        for model in Model::ALL {
+            let best = select_extended(model, &csr, &machine(), &profile, true);
+            assert_eq!(
+                best.config.block,
+                BlockConfig::CsrDelta,
+                "{model} should pick CSR-DELTA on scatter"
+            );
+        }
+    }
+
+    #[test]
+    fn extended_select_can_pick_sell() {
+        // Uniform-length rows are SELL's best case: nearly no padding,
+        // and each c-row slice column covers c elements. Under a flat
+        // per-block cost the compute-aware models must rank a SELL
+        // configuration first, proving the format competes end-to-end
+        // in the extended space. MEM is excluded: it sees only byte
+        // traffic, where CSR-Δ's delta stream wins.
         let csr = GenSpec::Random {
             n: 300,
             m: 300,
@@ -360,12 +390,15 @@ mod tests {
         }
         .build(3);
         let profile = KernelProfile::uniform(1e-9, 1.0);
-        for model in Model::ALL {
+        for model in [Model::MemComp, Model::Overlap] {
             let best = select_extended(model, &csr, &machine(), &profile, true);
-            assert_eq!(
-                best.config.block,
-                BlockConfig::CsrDelta,
-                "{model} should pick CSR-DELTA on scatter"
+            assert!(
+                matches!(
+                    best.config.block,
+                    BlockConfig::SellCSigma { .. } | BlockConfig::SellCSigmaNarrow { .. }
+                ),
+                "{model} picked {} instead of a SELL config",
+                best.config
             );
         }
     }

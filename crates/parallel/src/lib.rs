@@ -49,7 +49,7 @@ pub use affinity::{run_pinned, PinPolicy};
 pub use driver::ParallelSpmv;
 pub use partition::{
     bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, heavy_unit, partition_units,
-    split_segments, units_to_rows,
+    sell_unit_weights, split_segments, units_to_rows,
 };
 pub use pool::{Placement, SpmvPool, StripReport};
 pub use topology::Topology;

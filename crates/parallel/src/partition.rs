@@ -261,6 +261,39 @@ pub fn bcsd_unit_weights<T: Scalar>(csr: &Csr<T>, b: usize) -> Vec<u64> {
     weights
 }
 
+/// Per-unit weights for SELL-C-σ: stored elements including padding for
+/// each unit of `c` consecutive rows (`c * max row nnz` in the unit).
+///
+/// Strips partitioned on these units start at multiples of `c`, so each
+/// worker's local SELL conversion (with its own σ windows and row
+/// permutation over its contiguous strip) begins on a slice boundary.
+/// The weight assumes the unit becomes one slice of width
+/// `max row nnz`; a strip's σ-windowed sort can only narrow its slices
+/// further, so this is a conservative (≥ stored) balancing estimate.
+///
+/// ```
+/// use spmv_core::{Coo, Csr};
+/// use spmv_parallel::sell_unit_weights;
+/// // Rows of length 3 and 1 share a 2-row slice: both pad to width 3.
+/// let csr = Csr::from_coo(&Coo::from_triplets(3, 4, vec![
+///     (0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 0, 1.0),
+/// ]).unwrap());
+/// assert_eq!(sell_unit_weights(&csr, 2), vec![6, 2]);
+/// ```
+pub fn sell_unit_weights<T: Scalar>(csr: &Csr<T>, c: usize) -> Vec<u64> {
+    let n_rows = csr.n_rows();
+    let n_units = n_rows.div_ceil(c);
+    let mut weights = vec![0u64; n_units];
+    for (u, w) in weights.iter_mut().enumerate() {
+        let width = (u * c..((u + 1) * c).min(n_rows))
+            .map(|i| csr.row_nnz(i))
+            .max()
+            .unwrap_or(0);
+        *w = (width * c) as u64;
+    }
+    weights
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +405,23 @@ mod tests {
                 assert!(max - min <= 1, "nnz={nnz} parts={parts}: {segs:?}");
             }
         }
+    }
+
+    #[test]
+    fn sell_weights_count_padded_slices() {
+        // Unit 0 (rows 0-1) pads both rows to width 3; unit 1 (row 2,
+        // tail) still weighs a full 2-lane slice.
+        let csr = Csr::from_coo(
+            &Coo::from_triplets(
+                3,
+                4,
+                vec![(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 0, 1.0)],
+            )
+            .unwrap(),
+        );
+        assert_eq!(sell_unit_weights(&csr, 2), vec![6, 2]);
+        let nnz: u64 = csr_unit_weights(&csr).iter().sum();
+        assert!(sell_unit_weights(&csr, 2).iter().sum::<u64>() >= nnz);
     }
 
     #[test]

@@ -34,7 +34,7 @@ use spmv_kernels::KernelImpl;
 use spmv_model::{
     select_extended, BlockConfig, BuiltFormat, Config, KernelProfile, MachineProfile, Model,
 };
-use spmv_parallel::{csr_unit_weights, Placement, PinPolicy, SpmvPool};
+use spmv_parallel::{csr_unit_weights, sell_unit_weights, Placement, PinPolicy, SpmvPool};
 use spmv_telemetry::residual::ResidualKey;
 
 /// Identity of a matrix in the registry: an opaque 64-bit id chosen by
@@ -81,6 +81,8 @@ pub fn residual_key_for(config: Config, model: Model) -> ResidualKey {
         BlockConfig::BcsdDec(b) => ("BCSD-DEC", format!("b{b}")),
         BlockConfig::BcsrMasked(s) => ("BCSR-MASK", format!("{}x{}", s.r, s.c)),
         BlockConfig::BcsdMasked(b) => ("BCSD-MASK", format!("b{b}")),
+        BlockConfig::SellCSigma { c, sigma } => ("SELL", sell_shape_label(c, sigma)),
+        BlockConfig::SellCSigmaNarrow { c, sigma } => ("SELL16", sell_shape_label(c, sigma)),
     };
     ResidualKey {
         format: format.to_string(),
@@ -90,6 +92,28 @@ pub fn residual_key_for(config: Config, model: Model) -> ResidualKey {
             KernelImpl::Simd => "simd".to_string(),
         },
         model: model.label().to_string(),
+    }
+}
+
+fn sell_shape_label(c: usize, sigma: usize) -> String {
+    if sigma == spmv_formats::SELL_SIGMA_FULL {
+        format!("c{c}sn")
+    } else {
+        format!("c{c}s{sigma}")
+    }
+}
+
+/// The pool partitioning inputs for `config`: per-unit weights and the
+/// unit height strips are aligned to. SELL configurations partition on
+/// slice boundaries (units of `c` rows, weighted by the padded slice
+/// storage) so every worker's local σ-windowed conversion starts on a
+/// slice edge; everything else balances per-row nonzeros.
+fn pool_inputs<T: SimdScalar>(config: Config, csr: &Csr<T>) -> (Vec<u64>, usize) {
+    match config.block {
+        BlockConfig::SellCSigma { c, .. } | BlockConfig::SellCSigmaNarrow { c, .. } => {
+            (sell_unit_weights(csr, c), c)
+        }
+        _ => (csr_unit_weights(csr), 1),
     }
 }
 
@@ -192,11 +216,12 @@ impl<T: SimdScalar> PreparedMatrix<T> {
     ) -> Self {
         let choice = select_extended(model, csr, machine, profile, include_simd);
         let config = choice.config;
+        let (weights, unit_height) = pool_inputs(config, csr);
         let pool = SpmvPool::from_csr_placed(
             csr,
             n_threads,
-            &csr_unit_weights(csr),
-            1,
+            &weights,
+            unit_height,
             move |sub| config.build(sub),
             placement,
         );
@@ -232,11 +257,12 @@ impl<T: SimdScalar> PreparedMatrix<T> {
         n_threads: usize,
         placement: Placement,
     ) -> Self {
+        let (weights, unit_height) = pool_inputs(config, csr);
         let pool = SpmvPool::from_csr_placed(
             csr,
             n_threads,
-            &csr_unit_weights(csr),
-            1,
+            &weights,
+            unit_height,
             move |sub| config.build(sub),
             placement,
         );
@@ -683,6 +709,33 @@ mod tests {
             .map(|c| residual_key_for(c, Model::Overlap).to_string())
             .collect();
         assert_eq!(keys.len(), Config::enumerate_extended(true).len());
+    }
+
+    #[test]
+    fn pooled_sell_config_matches_serial_bitwise() {
+        // The hot-swap path (`from_config_pooled`) must host SELL on
+        // strips split at slice boundaries and still reproduce the
+        // serial product bit-for-bit — per-row chains are
+        // self-contained, so the strip-local permutations cannot show.
+        let mut coo = Coo::new(37, 37);
+        for i in 0..37usize {
+            for s in 0..(i * 5) % 9 {
+                coo.push(i, (i * 7 + s * 3) % 37, 0.5 + (i + s) as f64).unwrap();
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..37).map(|i| 0.25 * (i % 9) as f64 - 1.0).collect();
+        for sigma in [1usize, 8, spmv_formats::SELL_SIGMA_FULL] {
+            let config = Config {
+                block: BlockConfig::SellCSigma { c: 4, sigma },
+                imp: KernelImpl::Simd,
+            };
+            let serial = PreparedMatrix::from_config(config, &csr);
+            let pooled =
+                PreparedMatrix::from_config_pooled(config, &csr, 3, PinPolicy::None);
+            assert!(pooled.is_pooled());
+            assert_eq!(pooled.spmv(&x), serial.spmv(&x), "sigma={sigma}");
+        }
     }
 
     #[test]

@@ -35,7 +35,10 @@ if [ -z "${SPMV_CHECK_OFFLINE:-}" ]; then
         && test -s target/numa-smoke.txt \
         && cargo run --release --bin masked -- \
             --n 4000 --blocks 4 --reps 2 --trials 1 --out target/masked-smoke.txt \
-        && test -s target/masked-smoke.txt; then
+        && test -s target/masked-smoke.txt \
+        && cargo run --release --bin sellc -- \
+            --n 20000 --reps 2 --trials 1 --out target/sellc-smoke.txt \
+        && test -s target/sellc-smoke.txt; then
         echo "check.sh: cargo build + clippy + test OK"
         exit 0
     fi
@@ -350,7 +353,7 @@ for t in differential_equivalence edge_cases kernel_shapes \
          format_equivalence kernel_properties model_pipeline \
          parallel_equivalence serving telemetry_pool telemetry_trace \
          adaptive_tuner adaptive_faults adaptive_property \
-         numa_partition masked_equivalence; do
+         numa_partition masked_equivalence sellc_equivalence; do
     $R --test "tests/$t.rs" \
         --extern blocked_spmv="$B/libblocked_spmv.rlib" \
         --extern rand="$B/librand.rlib" -o "$B/t_$t"
@@ -400,6 +403,22 @@ $RD src/bin/masked.rs \
     --out "$BD/masked-smoke.txt" > /dev/null
 test -s "$BD/masked-smoke.txt" || {
     echo "check.sh: masked (telemetry-disabled) smoke produced no output" >&2
+    exit 1; }
+# SELL-C-σ padding sweep smoke in both telemetry configs: the format +
+# model + selection path must run end-to-end and leave a non-empty
+# results file.
+$R src/bin/sellc.rs \
+    --extern blocked_spmv="$B/libblocked_spmv.rlib" -o "$B/sellc"
+"$B/sellc" --n 20000 --reps 2 --trials 1 \
+    --out "$B/sellc-smoke.txt" > /dev/null
+test -s "$B/sellc-smoke.txt" || {
+    echo "check.sh: sellc smoke produced no output" >&2; exit 1; }
+$RD src/bin/sellc.rs \
+    --extern blocked_spmv="$BD/libblocked_spmv.rlib" -o "$BD/sellc"
+"$BD/sellc" --n 20000 --reps 2 --trials 1 \
+    --out "$BD/sellc-smoke.txt" > /dev/null
+test -s "$BD/sellc-smoke.txt" || {
+    echo "check.sh: sellc (telemetry-disabled) smoke produced no output" >&2
     exit 1; }
 
 echo "check.sh: offline fallback OK"

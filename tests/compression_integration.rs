@@ -4,15 +4,16 @@
 //! serial counterparts, and extended model-driven selection over the
 //! compressed search space builds formats that multiply correctly.
 
-use blocked_spmv::core::{Coo, Csr, MatrixShape, SpMv, SpMvMulti};
+use blocked_spmv::core::{MatrixShape, SpMv, SpMvMulti};
 use blocked_spmv::formats::{Bcsd, Bcsr, CsrDelta, Vbl};
 use blocked_spmv::kernels::{BlockShape, KernelImpl};
 use blocked_spmv::model::{select_extended, BlockConfig, KernelProfile, MachineProfile, Model};
 use blocked_spmv::parallel::{
     bcsd_unit_weights, bcsr_unit_weights, csr_unit_weights, PinPolicy, SpmvPool,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+#[path = "support/corpus.rs"]
+mod corpus;
+use corpus::pool_matrix as seeded_matrix;
 
 fn machine() -> MachineProfile {
     MachineProfile {
@@ -20,23 +21,6 @@ fn machine() -> MachineProfile {
         l1_bytes: 32 * 1024,
         llc_bytes: 4 << 20,
     }
-}
-
-/// A seeded random matrix large enough that every pool strip is
-/// non-trivial and gaps span all three delta widths is overkill here;
-/// 300x300 with ~8 nnz/row exercises strip boundaries and ragged rows.
-fn seeded_matrix(seed: u64) -> Csr<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let (n, m) = (300, 300);
-    let mut coo = Coo::new(n, m);
-    for i in 0..n {
-        for _ in 0..rng.gen_range(1..9) {
-            let j = rng.gen_range(0..m);
-            let v = rng.gen::<f64>() * 4.0 - 2.0;
-            let _ = coo.push(i, j, v);
-        }
-    }
-    Csr::from_coo(&coo)
 }
 
 #[test]
@@ -121,8 +105,10 @@ fn pooled_compressed_multi_vector_matches_serial() {
 #[test]
 fn extended_selection_picks_compressed_storage_and_multiplies() {
     // On a scattered matrix (no block structure) the compressed search
-    // space should beat plain CSR on bytes alone, and whatever each model
-    // picks must build into a format that agrees with CSR numerically.
+    // space should beat plain CSR on bytes alone — narrow-index blocked
+    // storage, delta CSR, or a globally sorted narrow SELL — and
+    // whatever each model picks must build into a format that agrees
+    // with CSR numerically.
     let csr = seeded_matrix(42);
     let x: Vec<f64> = (0..csr.n_cols()).map(|i| 0.5 + (i % 5) as f64).collect();
     let want = csr.spmv(&x);
@@ -132,7 +118,10 @@ fn extended_selection_picks_compressed_storage_and_multiplies() {
         assert!(
             matches!(
                 cand.config.block,
-                BlockConfig::CsrDelta | BlockConfig::BcsrNarrow(_) | BlockConfig::BcsdNarrow(_)
+                BlockConfig::CsrDelta
+                    | BlockConfig::BcsrNarrow(_)
+                    | BlockConfig::BcsdNarrow(_)
+                    | BlockConfig::SellCSigmaNarrow { .. }
             ),
             "{model}: scattered matrix should select compressed storage, got {}",
             cand.config

@@ -1,9 +1,10 @@
 //! Seeded differential equivalence suite.
 //!
-//! 200 `StdRng`-seeded random matrices spanning uniform densities, banded
-//! structure, 2-D block clusters, and diagonal runs. Every storage
-//! format's single-vector product (`spmv`) and batched product
-//! (`spmv_multi`, k = 4) is checked against a naive triplet-list
+//! 200 seeded random matrices (the shared `support/corpus.rs` corpus)
+//! spanning uniform densities, banded structure, 2-D block clusters,
+//! and diagonal runs, with injected dense-row / empty-tail pathologies.
+//! Every storage format's single-vector product (`spmv`) and batched
+//! product (`spmv_multi`, k = 4) is checked against a naive triplet-list
 //! reference accumulated in `f64`, for scalar and SIMD kernels and both
 //! precisions, within ULP-scaled bounds.
 //!
@@ -11,86 +12,15 @@
 //! fns — no proptest — so it runs in minimal environments and its
 //! failures reproduce from the seed alone.
 
-use blocked_spmv::core::{Coo, Csr, Precision, Scalar, SpMv, SpMvMulti};
+use blocked_spmv::core::{Csr, Precision, Scalar, SpMv, SpMvMulti};
 use blocked_spmv::formats::{Bcsd, BcsdDec, Bcsr, BcsrDec, CsrDelta, Vbl, Vbr};
 use blocked_spmv::kernels::simd::SimdScalar;
 use blocked_spmv::kernels::{BlockShape, KernelImpl};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+#[path = "support/corpus.rs"]
+mod corpus;
+use corpus::{structured_case, Case, SEEDS};
 
-const SEEDS: u64 = 200;
 const K: usize = 4;
-
-struct Case {
-    n: usize,
-    m: usize,
-    trips: Vec<(usize, usize, f64)>,
-}
-
-/// One seeded matrix; the low bits of the seed pick the structure class
-/// so the 200 seeds sweep density, bandedness, and block structure.
-fn gen_case(seed: u64) -> Case {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n = rng.gen_range(1..40);
-    let m = rng.gen_range(1..40);
-    let mut trips = Vec::new();
-    fn val(rng: &mut StdRng) -> f64 {
-        rng.gen::<f64>() * 4.0 - 2.0
-    }
-    match seed % 4 {
-        0 => {
-            // Uniform random fill, density 2%..32%.
-            let p = 0.02 + 0.3 * rng.gen::<f64>();
-            for i in 0..n {
-                for j in 0..m {
-                    if rng.gen_bool(p) {
-                        trips.push((i, j, val(&mut rng)));
-                    }
-                }
-            }
-        }
-        1 => {
-            // Banded, bandwidth 1..6, 70% fill inside the band.
-            let bw = rng.gen_range(1..7);
-            for i in 0..n {
-                for j in i.saturating_sub(bw)..(i + bw + 1).min(m) {
-                    if rng.gen_bool(0.7) {
-                        trips.push((i, j, val(&mut rng)));
-                    }
-                }
-            }
-        }
-        2 => {
-            // Dense 2-D clusters at random anchors (BCSR-friendly), with
-            // overlaps — duplicate coordinates sum by construction.
-            let (br, bc) = if seed % 8 < 4 { (2, 2) } else { (3, 2) };
-            let max_blocks = (n * m / (br * bc)).max(1) + 1;
-            for _ in 0..rng.gen_range(1..max_blocks) {
-                let i0 = rng.gen_range(0..n);
-                let j0 = rng.gen_range(0..m);
-                for di in 0..br {
-                    for dj in 0..bc {
-                        if i0 + di < n && j0 + dj < m {
-                            trips.push((i0 + di, j0 + dj, val(&mut rng)));
-                        }
-                    }
-                }
-            }
-        }
-        _ => {
-            // Wrapped diagonal runs (BCSD-friendly).
-            for _ in 0..rng.gen_range(1..5) {
-                let off = rng.gen_range(0..m);
-                for i in 0..n {
-                    if rng.gen_bool(0.8) {
-                        trips.push((i, (i + off) % m, val(&mut rng)));
-                    }
-                }
-            }
-        }
-    }
-    Case { n, m, trips }
-}
 
 /// Naive reference: accumulate `A * X` straight off the triplet list in
 /// `f64`, over inputs rounded through `T` so only accumulation order
@@ -153,14 +83,9 @@ fn run<T: SimdScalar>(k: usize) {
         BlockShape::new(1, 4).unwrap(),
     ];
     for seed in 0..SEEDS {
-        let case = gen_case(seed);
-        let (n, m) = (case.n, case.m);
-        let trips: Vec<(usize, usize, T)> = case
-            .trips
-            .iter()
-            .map(|&(i, j, v)| (i, j, T::from_f64(v)))
-            .collect();
-        let csr = Csr::from_coo(&Coo::from_triplets(n, m, trips).unwrap());
+        let case = structured_case(seed);
+        let m = case.m;
+        let csr: Csr<T> = case.csr();
         let x: Vec<T> = (0..m * k)
             .map(|i| T::from_f64(0.25 * (i % 9) as f64 - 1.0))
             .collect();
@@ -222,11 +147,9 @@ fn f32_multi_vector_matches_reference() {
 #[test]
 fn multi_vector_is_bitwise_per_column() {
     for seed in 0..50 {
-        let case = gen_case(seed);
+        let case = structured_case(seed);
         let (n, m) = (case.n, case.m);
-        let csr = Csr::from_coo(
-            &Coo::from_triplets(n, m, case.trips.clone()).unwrap(),
-        );
+        let csr: Csr<f64> = case.csr();
         let x: Vec<f64> = (0..m * K)
             .map(|i| 0.25 * (i % 9) as f64 - 1.0)
             .collect();
@@ -269,9 +192,9 @@ fn multi_vector_is_bitwise_per_column() {
 fn compressed_formats_are_bitwise_equal_to_u32_baselines() {
     let shape = BlockShape::new(2, 2).unwrap();
     for seed in 0..SEEDS {
-        let case = gen_case(seed);
-        let (_, m) = (case.n, case.m);
-        let csr = Csr::from_coo(&Coo::from_triplets(case.n, m, case.trips.clone()).unwrap());
+        let case = structured_case(seed);
+        let m = case.m;
+        let csr: Csr<f64> = case.csr();
         let x: Vec<f64> = (0..m * K)
             .map(|i| 0.25 * (i % 9) as f64 - 1.0)
             .collect();

@@ -157,7 +157,8 @@ fn saved_profile_file_is_human_auditable() {
     assert!(text.contains("\ncsrdelta scalar "));
     assert!(text.contains("\nbcsrmasked 2 2 scalar "));
     assert!(text.contains("\nbcsdmasked 4 simd "));
-    // 1 header + 1 machine + 107 kernel lines (csr + 2 csr-delta + 38
-    // bcsr + 14 bcsd + their 52 masked twins).
-    assert_eq!(text.trim_end().lines().count(), 109);
+    assert!(text.contains("\nsell 4 simd "));
+    // 1 header + 1 machine + 113 kernel lines (csr + 2 csr-delta + 38
+    // bcsr + 14 bcsd + their 52 masked twins + 6 sell heights × impls).
+    assert_eq!(text.trim_end().lines().count(), 115);
 }

@@ -8,37 +8,18 @@
 //! across {scalar, simd} × {f32, f64} × {k = 1, 4}, pins the mask edge
 //! cases (all-ones mask, single-bit mask, empty block row), and runs a
 //! masked format through the persistent worker pool against its serial
-//! twin.
+//! twin. The corpus is the shared `support/corpus.rs` blocky profile.
 
 use blocked_spmv::core::{Coo, Csr, MatrixShape, SpMv, SpMvMulti};
 use blocked_spmv::formats::{Bcsd, BcsdMasked, Bcsr, BcsrMasked};
 use blocked_spmv::kernels::simd::SimdScalar;
 use blocked_spmv::kernels::{BlockShape, KernelImpl};
 use blocked_spmv::parallel::{bcsr_unit_weights, PinPolicy, SpmvPool};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+#[path = "support/corpus.rs"]
+mod corpus;
+use corpus::{blocky_matrix as seeded_matrix, SEEDS};
 
-const SEEDS: u64 = 200;
 const K: usize = 4;
-
-/// A seeded random matrix whose density (and therefore block fill
-/// ratio) varies with the seed, so the corpus sweeps sparse and dense
-/// block populations instead of one regime 200 times.
-fn seeded_matrix(seed: u64) -> Csr<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n = 40 + (seed as usize % 5) * 13;
-    let m = 40 + (seed as usize % 7) * 9;
-    let max_row = 1 + (seed as usize % 10);
-    let mut coo = Coo::new(n, m);
-    for i in 0..n {
-        for _ in 0..rng.gen_range(0..max_row + 1) {
-            let j = rng.gen_range(0..m);
-            let v = rng.gen::<f64>() * 4.0 - 2.0;
-            let _ = coo.push(i, j, v);
-        }
-    }
-    Csr::from_coo(&coo)
-}
 
 fn dense_x<T: blocked_spmv::core::Scalar>(len: usize) -> Vec<T> {
     (0..len)
